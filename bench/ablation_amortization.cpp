@@ -1,0 +1,55 @@
+// Ablation A2: the amortization horizon `n` of Eq. 7,
+// f_S(n, Build_S(S)) = Build_S(S) / n.
+//
+// "Selecting n is a challenging problem in itself … We intend to study
+// this problem in our future research" (Section IV-D) — this sweep is that
+// study at simulation scale. Short horizons price hypothetical structures
+// (and freshly built ones) far above the back-end quote, so regret never
+// accrues and nothing is built; long horizons make cache plans cheap but
+// recover the build spend slowly, leaving the account exposed when the
+// workload drifts.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/sim/report.h"
+#include "src/util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace cloudcache;
+  using namespace cloudcache::bench;
+
+  const BenchOptions options = ParseArgs(argc, argv, /*default=*/60'000);
+  const PaperSetup setup = MakePaperSetup(options);
+
+  const std::vector<int64_t> horizons = {100,     1'000,   10'000,
+                                         50'000,  200'000, 1'000'000};
+  TableWriter table({"n", "mean_resp_s", "op_cost_$", "investments",
+                     "hit_rate", "revenue_$", "credit_$"});
+  for (int64_t n : horizons) {
+    ExperimentConfig config = PaperConfig(options, 10.0);
+    config.scheme = SchemeKind::kEconCheap;
+    config.customize_econ = [n](EconScheme::Config& econ) {
+      econ.economy.initial_credit = Money::FromDollars(200);
+      econ.economy.model_build_latency = false;
+      econ.economy.regret_fraction_a = 0.02;
+      econ.economy.amortization_horizon = n;
+    };
+    const SimMetrics m =
+        RunExperiment(setup.catalog, setup.templates, config);
+    CLOUDCACHE_CHECK(table
+                         .AddRow({std::to_string(n),
+                                  FormatDouble(m.MeanResponse(), 3),
+                                  FormatDouble(m.operating_cost.Total(), 2),
+                                  std::to_string(m.investments),
+                                  FormatDouble(m.CacheHitRate(), 3),
+                                  FormatDouble(m.revenue.ToDollars(), 2),
+                                  FormatDouble(m.final_credit.ToDollars(),
+                                               2)})
+                         .ok());
+    std::fprintf(stderr, "  n=%lld done\n", static_cast<long long>(n));
+  }
+  std::puts("Ablation A2 — amortization horizon n (Eq. 7), econ-cheap @ 10s");
+  EmitTable(table, options);
+  return 0;
+}

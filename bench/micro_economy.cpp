@@ -1,0 +1,86 @@
+// M3: full economy decision throughput (OnQuery end to end) — bounds how
+// many simulated queries per second the harness sustains.
+
+#include <benchmark/benchmark.h>
+
+#include "src/baseline/scheme.h"
+#include "src/catalog/tpch.h"
+#include "src/econ/economy.h"
+#include "src/query/templates.h"
+#include "src/structure/index_advisor.h"
+#include "src/util/rng.h"
+
+namespace cloudcache {
+namespace {
+
+struct Env {
+  Env() : catalog(MakeTpchCatalog(2500.0)) {
+    auto resolved = ResolveTemplates(catalog, MakeTpchTemplates());
+    templates = *resolved;
+    indexes = RecommendIndexes(catalog, templates, 65);
+    Rng rng(3);
+    for (int i = 0; i < 256; ++i) {
+      queries.push_back(InstantiateQuery(
+          templates[i % templates.size()], catalog, rng,
+          static_cast<int>(i % templates.size()), i));
+    }
+  }
+  Catalog catalog;
+  std::vector<ResolvedTemplate> templates;
+  std::vector<StructureKey> indexes;
+  std::vector<Query> queries;
+};
+
+Env& GetEnv() {
+  static Env env;
+  return env;
+}
+
+void BM_EconomyOnQuery(benchmark::State& state) {
+  Env& env = GetEnv();
+  PriceList prices = PriceList::AmazonEc2_2009();
+  EconScheme::Config config = EconScheme::EconCheapConfig();
+  config.economy.initial_credit = Money::FromDollars(200);
+  config.economy.model_build_latency = false;
+  EconScheme scheme(&env.catalog, &prices, env.indexes,
+                    std::move(config));
+  size_t i = 0;
+  double now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheme.OnQuery(env.queries[i++ % env.queries.size()], now));
+    now += 10.0;
+  }
+}
+BENCHMARK(BM_EconomyOnQuery);
+
+void BM_EconColOnQuery(benchmark::State& state) {
+  Env& env = GetEnv();
+  PriceList prices = PriceList::AmazonEc2_2009();
+  EconScheme scheme(&env.catalog, &prices, env.indexes,
+                    EconScheme::EconColConfig());
+  size_t i = 0;
+  double now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheme.OnQuery(env.queries[i++ % env.queries.size()], now));
+    now += 10.0;
+  }
+}
+BENCHMARK(BM_EconColOnQuery);
+
+void BM_BudgetEvaluation(benchmark::State& state) {
+  StepBudget step(Money::FromDollars(1), 100.0);
+  ConcaveBudget concave(Money::FromDollars(1), 100.0);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.1;
+    if (t > 100.0) t = 0.1;
+    benchmark::DoNotOptimize(step.At(t));
+    benchmark::DoNotOptimize(concave.At(t));
+  }
+}
+BENCHMARK(BM_BudgetEvaluation);
+
+}  // namespace
+}  // namespace cloudcache

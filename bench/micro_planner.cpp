@@ -1,0 +1,91 @@
+// M2: plan enumeration and skyline filtering throughput — called once per
+// query with the full 65-candidate advisor pool.
+
+#include <benchmark/benchmark.h>
+
+#include "src/cache/cache_state.h"
+#include "src/catalog/tpch.h"
+#include "src/plan/enumerator.h"
+#include "src/plan/skyline.h"
+#include "src/query/templates.h"
+#include "src/structure/index_advisor.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace cloudcache {
+namespace {
+
+struct Env {
+  Env()
+      : catalog(MakeTpchCatalog(2500.0)),
+        prices(PriceList::AmazonEc2_2009()),
+        model(&catalog, &prices),
+        registry(&catalog),
+        cache(&registry),
+        enumerator(&model, &registry, {}) {
+    auto resolved = ResolveTemplates(catalog, MakeTpchTemplates());
+    templates = *resolved;
+    enumerator.SetIndexCandidates(
+        RecommendIndexes(catalog, templates, 65));
+    Rng rng(2);
+    for (int i = 0; i < 64; ++i) {
+      queries.push_back(InstantiateQuery(
+          templates[i % templates.size()], catalog, rng,
+          static_cast<int>(i % templates.size()), i));
+    }
+    // Warm half the hot columns so both existing and hypothetical plans
+    // appear, as in mid-simulation steady state.
+    const ColumnId date = *catalog.FindColumn("lineitem.l_shipdate");
+    const ColumnId disc = *catalog.FindColumn("lineitem.l_discount");
+    CLOUDCACHE_CHECK(
+        cache.Add(registry.Intern(ColumnKey(catalog, date)), 0).ok());
+    CLOUDCACHE_CHECK(
+        cache.Add(registry.Intern(ColumnKey(catalog, disc)), 0).ok());
+  }
+  Catalog catalog;
+  PriceList prices;
+  CostModel model;
+  StructureRegistry registry;
+  CacheState cache;
+  PlanEnumerator enumerator;
+  std::vector<ResolvedTemplate> templates;
+  std::vector<Query> queries;
+};
+
+Env& GetEnv() {
+  static Env env;
+  return env;
+}
+
+void BM_Enumerate(benchmark::State& state) {
+  Env& env = GetEnv();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.enumerator.Enumerate(
+        env.queries[i++ % env.queries.size()], env.cache));
+  }
+}
+BENCHMARK(BM_Enumerate);
+
+void BM_EnumerateAndSkyline(benchmark::State& state) {
+  Env& env = GetEnv();
+  size_t i = 0;
+  for (auto _ : state) {
+    PlanSet set = env.enumerator.Enumerate(
+        env.queries[i++ % env.queries.size()], env.cache);
+    benchmark::DoNotOptimize(SkylineFilter(std::move(set)));
+  }
+}
+BENCHMARK(BM_EnumerateAndSkyline);
+
+void BM_RecommendIndexes(benchmark::State& state) {
+  Env& env = GetEnv();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RecommendIndexes(env.catalog, env.templates, 65));
+  }
+}
+BENCHMARK(BM_RecommendIndexes);
+
+}  // namespace
+}  // namespace cloudcache

@@ -1,0 +1,75 @@
+// M4: workload generation and trace serialization throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "src/catalog/tpch.h"
+#include "src/query/templates.h"
+#include "src/workload/generator.h"
+#include "src/workload/trace.h"
+
+namespace cloudcache {
+namespace {
+
+struct Env {
+  Env() : catalog(MakeTpchCatalog(2500.0)) {
+    auto resolved = ResolveTemplates(catalog, MakeTpchTemplates());
+    templates = *resolved;
+  }
+  Catalog catalog;
+  std::vector<ResolvedTemplate> templates;
+};
+
+Env& GetEnv() {
+  static Env env;
+  return env;
+}
+
+void BM_GenerateQuery(benchmark::State& state) {
+  Env& env = GetEnv();
+  WorkloadGenerator gen(&env.catalog, env.templates, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next());
+  }
+}
+BENCHMARK(BM_GenerateQuery);
+
+void BM_GenerateQueryPoisson(benchmark::State& state) {
+  Env& env = GetEnv();
+  WorkloadOptions options;
+  options.arrival = WorkloadOptions::Arrival::kPoisson;
+  WorkloadGenerator gen(&env.catalog, env.templates, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next());
+  }
+}
+BENCHMARK(BM_GenerateQueryPoisson);
+
+void BM_TraceSerialize(benchmark::State& state) {
+  Env& env = GetEnv();
+  WorkloadGenerator gen(&env.catalog, env.templates, {});
+  std::vector<Query> queries;
+  for (int i = 0; i < 1000; ++i) queries.push_back(gen.Next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TraceWriter::ToCsv(queries));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TraceSerialize);
+
+void BM_TraceParse(benchmark::State& state) {
+  Env& env = GetEnv();
+  WorkloadGenerator gen(&env.catalog, env.templates, {});
+  std::vector<Query> queries;
+  for (int i = 0; i < 1000; ++i) queries.push_back(gen.Next());
+  const std::string csv = TraceWriter::ToCsv(queries);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TraceReader::FromCsv(csv, env.catalog));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TraceParse);
+
+}  // namespace
+}  // namespace cloudcache

@@ -1,0 +1,69 @@
+// Custom pricing: how the provider's rate card reshapes the economy.
+//
+// Section I observes that "cloud businesses usually prorate cost to more
+// types of resources. For instance, GoGrid gives network bandwidth for
+// free." This example runs the same workload under three decision-price
+// sheets — 2009 EC2, a GoGrid-like card with free bandwidth, and a
+// hypothetical premium-disk provider — and shows how the self-tuned cache
+// changes what it builds.
+
+#include <cstdio>
+
+#include "src/util/logging.h"
+#include "src/catalog/tpch.h"
+#include "src/sim/experiment.h"
+#include "src/sim/report.h"
+
+int main() {
+  using namespace cloudcache;
+  const Catalog catalog = MakePaperTpchCatalog();
+  const std::vector<QueryTemplate> templates = MakeTpchTemplates();
+
+  struct Provider {
+    const char* name;
+    PriceList prices;
+  };
+  PriceList premium_disk = PriceList::AmazonEc2_2009();
+  premium_disk.disk_byte_second_dollars *= 20.0;  // SSD-era hot storage.
+  const Provider providers[] = {
+      {"amazon-ec2-2009", PriceList::AmazonEc2_2009()},
+      {"gogrid-free-net", PriceList::GoGrid2009()},
+      {"premium-disk", premium_disk},
+  };
+
+  TableWriter table({"provider", "mean_resp_s", "op_cost_$", "hit_rate",
+                     "investments", "evictions", "cache_GB"});
+  for (const Provider& provider : providers) {
+    ExperimentConfig config;
+    config.scheme = SchemeKind::kEconCheap;
+    config.workload.interarrival_seconds = 10.0;
+    config.sim.num_queries = 30'000;
+    config.decision_prices = provider.prices;
+    config.customize_econ = [](EconScheme::Config& econ) {
+      econ.economy.initial_credit = Money::FromDollars(200);
+      econ.economy.regret_fraction_a = 0.02;
+      econ.economy.model_build_latency = false;
+    };
+    const SimMetrics m = RunExperiment(catalog, templates, config);
+    CLOUDCACHE_CHECK(
+        table
+            .AddRow({provider.name, FormatDouble(m.MeanResponse(), 3),
+                     FormatDouble(m.operating_cost.Total(), 2),
+                     FormatDouble(m.CacheHitRate(), 3),
+                     std::to_string(m.investments),
+                     std::to_string(m.evictions),
+                     FormatDouble(static_cast<double>(
+                                      m.final_resident_bytes) /
+                                      1e9,
+                                  1)})
+            .ok());
+    std::printf("%s done\n", provider.name);
+  }
+  std::puts("\ndecision prices vs what the economy builds:");
+  std::fputs(table.ToAscii().c_str(), stdout);
+  std::puts(
+      "\nnote: operating cost is always metered at real EC2 rates; a "
+      "provider whose *decision* prices ignore a resource still pays for "
+      "it, exactly like the paper's net-only emulation.");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Scheme comparison: the paper's four contenders side by side on one
+// workload — the interactive version of Figures 4 and 5.
+//
+//   ./scheme_comparison [queries] [interarrival_seconds]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/catalog/tpch.h"
+#include "src/sim/experiment.h"
+#include "src/sim/report.h"
+
+int main(int argc, char** argv) {
+  using namespace cloudcache;
+  const uint64_t num_queries =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 40'000;
+  const double interarrival =
+      argc > 2 ? std::strtod(argv[2], nullptr) : 10.0;
+
+  const Catalog catalog = MakePaperTpchCatalog();
+  const std::vector<QueryTemplate> templates = MakeTpchTemplates();
+
+  ExperimentConfig config;
+  config.workload.interarrival_seconds = interarrival;
+  config.sim.num_queries = num_queries;
+  config.customize_econ = [](EconScheme::Config& econ) {
+    econ.economy.initial_credit = Money::FromDollars(200);
+    econ.economy.regret_fraction_a = 0.02;
+    econ.economy.model_build_latency = false;
+  };
+
+  std::printf(
+      "running 4 schemes x %llu queries at %.0fs inter-arrival on a "
+      "%.2f TB backend...\n\n",
+      static_cast<unsigned long long>(num_queries), interarrival,
+      static_cast<double>(catalog.TotalBytes()) / 1e12);
+
+  const std::vector<SimMetrics> results =
+      RunAllSchemes(catalog, templates, config);
+  std::fputs(MakeSchemeSummaryTable(results).ToAscii().c_str(), stdout);
+
+  std::puts("");
+  for (const SimMetrics& metrics : results) {
+    std::fputs(FormatRunDetail(metrics).c_str(), stdout);
+  }
+  return 0;
+}

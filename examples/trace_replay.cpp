@@ -1,0 +1,76 @@
+// Trace record & replay: capture a workload once, replay it against any
+// scheme — the mechanism that guarantees every contender in the figures
+// sees byte-identical input, and the hook for feeding real query logs in.
+//
+//   ./trace_replay [queries] [trace.csv]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/logging.h"
+#include "src/baseline/bypass_yield.h"
+#include "src/baseline/scheme.h"
+#include "src/catalog/tpch.h"
+#include "src/query/templates.h"
+#include "src/structure/index_advisor.h"
+#include "src/workload/generator.h"
+#include "src/workload/trace.h"
+
+int main(int argc, char** argv) {
+  using namespace cloudcache;
+  const uint64_t num_queries =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5'000;
+  const std::string path = argc > 2 ? argv[2] : "/tmp/cloudcache_trace.csv";
+
+  const Catalog catalog = MakePaperTpchCatalog();
+  Result<std::vector<ResolvedTemplate>> resolved =
+      ResolveTemplates(catalog, MakeTpchTemplates());
+  CLOUDCACHE_CHECK(resolved.ok());
+
+  // Record.
+  WorkloadOptions options;
+  options.interarrival_seconds = 10.0;
+  WorkloadGenerator generator(&catalog, *resolved, options);
+  std::vector<Query> trace;
+  trace.reserve(num_queries);
+  for (uint64_t i = 0; i < num_queries; ++i) trace.push_back(generator.Next());
+  const Status write_status = TraceWriter::Write(path, trace);
+  if (!write_status.ok()) {
+    std::fprintf(stderr, "trace write failed: %s\n",
+                 write_status.ToString().c_str());
+    return 1;
+  }
+  std::printf("recorded %zu queries to %s\n", trace.size(), path.c_str());
+
+  // Replay against two schemes.
+  Result<std::vector<Query>> replay = TraceReader::Read(path, catalog);
+  CLOUDCACHE_CHECK(replay.ok());
+  std::printf("replaying %zu queries...\n\n", replay->size());
+
+  const PriceList prices = PriceList::AmazonEc2_2009();
+  const std::vector<StructureKey> indexes =
+      RecommendIndexes(catalog, *resolved, 65);
+
+  BypassYieldScheme bypass(&catalog, {});
+  EconScheme::Config config = EconScheme::EconCheapConfig();
+  config.economy.initial_credit = Money::FromDollars(200);
+  config.economy.regret_fraction_a = 0.02;
+  config.economy.model_build_latency = false;
+  EconScheme econ(&catalog, &prices, indexes, std::move(config));
+
+  for (Scheme* scheme :
+       std::initializer_list<Scheme*>{&bypass, &econ}) {
+    double total_response = 0;
+    uint64_t hits = 0;
+    for (const Query& query : *replay) {
+      const ServedQuery served = scheme->OnQuery(query, query.arrival_time);
+      total_response += served.execution.time_seconds;
+      hits += served.spec.access != PlanSpec::Access::kBackend;
+    }
+    std::printf("%-10s mean response %.3fs, cache hits %llu/%zu\n",
+                scheme->name().c_str(),
+                total_response / static_cast<double>(replay->size()),
+                static_cast<unsigned long long>(hits), replay->size());
+  }
+  return 0;
+}

@@ -1,0 +1,167 @@
+#include "src/baseline/scheme.h"
+
+#include <algorithm>
+
+#include "src/baseline/bypass_yield.h"
+#include "src/util/logging.h"
+
+namespace cloudcache {
+
+std::unique_ptr<BudgetFunction> BudgetModel::Make(Money reference_price,
+                                                  double reference_seconds,
+                                                  Rng& rng) const {
+  const double jitter =
+      rng.NextUniform(-options_.jitter, options_.jitter);
+  const double multiplier =
+      std::max(0.0, options_.price_multiplier + jitter);
+  const Money amount = reference_price * multiplier;
+  const double t_max =
+      std::max(1e-6, reference_seconds * options_.tmax_multiplier);
+  switch (options_.shape) {
+    case BudgetModelOptions::Shape::kStep:
+      return std::make_unique<StepBudget>(amount, t_max);
+    case BudgetModelOptions::Shape::kLinear:
+      return std::make_unique<LinearBudget>(amount, t_max);
+    case BudgetModelOptions::Shape::kConvex:
+      return std::make_unique<ConvexBudget>(amount, t_max);
+    case BudgetModelOptions::Shape::kConcave:
+      return std::make_unique<ConcaveBudget>(amount, t_max);
+  }
+  return std::make_unique<StepBudget>(amount, t_max);
+}
+
+const char* SchemeKindToString(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kBypassYield:
+      return "bypass";
+    case SchemeKind::kEconCol:
+      return "econ-col";
+    case SchemeKind::kEconCheap:
+      return "econ-cheap";
+    case SchemeKind::kEconFast:
+      return "econ-fast";
+  }
+  return "?";
+}
+
+EconScheme::Config EconScheme::EconColConfig() {
+  Config config;
+  config.name = "econ-col";
+  config.enumerator.allow_indexes = false;
+  config.enumerator.allow_parallel = false;
+  config.enumerator.node_options = {1};
+  config.economy.selection = PlanSelection::kCheapest;
+  return config;
+}
+
+EconScheme::Config EconScheme::EconCheapConfig() {
+  Config config;
+  config.name = "econ-cheap";
+  config.economy.selection = PlanSelection::kCheapest;
+  return config;
+}
+
+EconScheme::Config EconScheme::EconFastConfig() {
+  Config config;
+  config.name = "econ-fast";
+  config.economy.selection = PlanSelection::kFastest;
+  return config;
+}
+
+EconScheme::EconScheme(const Catalog* catalog,
+                       const PriceList* decision_prices,
+                       const std::vector<StructureKey>& index_candidates,
+                       Config config)
+    : config_(std::move(config)),
+      registry_(catalog),
+      model_(catalog, decision_prices),
+      budget_model_(config_.budget),
+      rng_(config_.seed) {
+  engine_ = std::make_unique<EconomyEngine>(
+      catalog, &registry_, &model_, config_.enumerator, config_.economy);
+  if (config_.enumerator.allow_indexes) {
+    engine_->SetIndexCandidates(index_candidates);
+  }
+}
+
+ServedQuery EconScheme::OnQuery(const Query& query, SimTime now) {
+  // Quote the back-end plan; the synthetic user anchors her budget to it.
+  PlanSpec backend;
+  backend.access = PlanSpec::Access::kBackend;
+  const ExecutionEstimate backend_est =
+      model_.EstimateExecution(query, backend);
+  const std::unique_ptr<BudgetFunction> budget = budget_model_.Make(
+      backend_est.cost, backend_est.time_seconds, rng_);
+
+  // Snapshot residency before the engine invests, so the reported build
+  // usage reflects what actually had to be transferred.
+  const std::vector<bool> residency_before =
+      engine_->cache().column_residency();
+
+  const QueryOutcome outcome = engine_->OnQuery(query, *budget, now);
+
+  ServedQuery out;
+  out.served = outcome.served;
+  if (outcome.served) {
+    out.spec = outcome.chosen.spec;
+    out.execution = outcome.chosen.execution;
+    out.payment = outcome.payment;
+    out.profit = outcome.profit;
+  }
+  out.budget_case = outcome.budget_case;
+  out.has_budget_case = true;
+  out.investments = static_cast<uint32_t>(outcome.investments.size());
+  out.evictions = static_cast<uint32_t>(outcome.evictions.size());
+  std::vector<bool> residency = residency_before;
+  for (StructureId id : outcome.investments) {
+    const StructureKey& key = registry_.key(id);
+    out.build_usage += model_.EstimateBuildUsage(key, residency);
+    // Columns shipped by this build are present for subsequent builds.
+    if (key.type == StructureType::kColumn) {
+      residency[key.columns.front()] = true;
+    } else if (key.type == StructureType::kIndex) {
+      for (ColumnId col : key.columns) residency[col] = true;
+    }
+  }
+  return out;
+}
+
+void EconScheme::ChargeExpenditure(Money amount, SimTime now) {
+  engine_->OnTick(now);
+  // The metered bill lands on the cloud account: the economy's revenue
+  // must actually cover it for CR to grow.
+  engine_->mutable_account().ChargeExpenditure(amount, now);
+}
+
+std::unique_ptr<Scheme> MakeScheme(SchemeKind kind, const Catalog* catalog,
+                                   const PriceList* decision_prices,
+                                   const std::vector<StructureKey>& indexes,
+                                   uint64_t seed) {
+  switch (kind) {
+    case SchemeKind::kBypassYield: {
+      BypassYieldScheme::Options options;
+      return std::make_unique<BypassYieldScheme>(catalog, options);
+    }
+    case SchemeKind::kEconCol: {
+      EconScheme::Config config = EconScheme::EconColConfig();
+      config.seed = seed;
+      return std::make_unique<EconScheme>(catalog, decision_prices, indexes,
+                                          std::move(config));
+    }
+    case SchemeKind::kEconCheap: {
+      EconScheme::Config config = EconScheme::EconCheapConfig();
+      config.seed = seed;
+      return std::make_unique<EconScheme>(catalog, decision_prices, indexes,
+                                          std::move(config));
+    }
+    case SchemeKind::kEconFast: {
+      EconScheme::Config config = EconScheme::EconFastConfig();
+      config.seed = seed;
+      return std::make_unique<EconScheme>(catalog, decision_prices, indexes,
+                                          std::move(config));
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace cloudcache

@@ -1,0 +1,165 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cache/cache_state.h"
+#include "src/cost/cost_model.h"
+#include "src/econ/budget.h"
+#include "src/econ/economy.h"
+#include "src/query/query.h"
+#include "src/query/templates.h"
+#include "src/structure/structure.h"
+#include "src/util/money.h"
+#include "src/util/rng.h"
+
+namespace cloudcache {
+
+/// How a user's budget function is synthesized per query in simulation.
+///
+/// The paper's experiments have "the user define a step preference
+/// function B_Q and accept query execution in the back-end": we anchor the
+/// budget to the quoted back-end plan (the service every user can always
+/// buy) and scale it.
+struct BudgetModelOptions {
+  enum class Shape { kStep, kLinear, kConvex, kConcave };
+  Shape shape = Shape::kStep;
+  /// Budget amount = multiplier x the back-end plan's price. Centered at
+  /// 1.05 so the jitter makes budgets straddle the quoted back-end price:
+  /// queries above it land in cases B/C (profit, Eq. 2 regret toward
+  /// faster service), queries below land in case A (Eq. 1 regret toward
+  /// cheaper service) — the user still "accepts query execution in the
+  /// back-end" as in Section VII-A.
+  double price_multiplier = 1.05;
+  /// t_max = multiplier x the back-end plan's response time.
+  double tmax_multiplier = 2.5;
+  /// Uniform +/- jitter applied to price_multiplier per query (users are
+  /// not identical).
+  double jitter = 0.25;
+};
+
+/// Synthesizes per-query budget functions from a reference quote.
+class BudgetModel {
+ public:
+  explicit BudgetModel(BudgetModelOptions options) : options_(options) {}
+
+  /// Builds the budget for a query whose back-end quote is
+  /// (reference_price, reference_seconds).
+  std::unique_ptr<BudgetFunction> Make(Money reference_price,
+                                       double reference_seconds,
+                                       Rng& rng) const;
+
+  const BudgetModelOptions& options() const { return options_; }
+
+ private:
+  BudgetModelOptions options_;
+};
+
+/// What a scheme reports back to the simulator for one query. All resource
+/// quantities are *raw* (seconds, bytes, ops); the simulator prices them
+/// at the metered rates, so a scheme cannot hide spending by pricing it at
+/// zero internally.
+struct ServedQuery {
+  bool served = false;
+  /// Physical shape of the executed plan.
+  PlanSpec spec;
+  /// Execution estimate of the executed plan (times are price-independent).
+  ExecutionEstimate execution;
+  /// Raw resources consumed by structures built while handling this query.
+  BuildUsage build_usage;
+  /// Number of structures built / evicted.
+  uint32_t investments = 0;
+  uint32_t evictions = 0;
+  /// Economy-only: what the user paid and the cloud's margin.
+  Money payment;
+  Money profit;
+  /// Economy-only: which budget case the query fell into.
+  BudgetCase budget_case = BudgetCase::kCaseB;
+  bool has_budget_case = false;
+};
+
+/// A caching scheme the simulator can drive: the four contenders of
+/// Section VII-A all implement this.
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Serves one query arriving at `now` (non-decreasing across calls).
+  virtual ServedQuery OnQuery(const Query& query, SimTime now) = 0;
+
+  /// Cache contents (for disk-rent metering and reporting).
+  virtual const CacheState& cache() const = 0;
+
+  /// Cloud credit CR, if the scheme runs an economy.
+  virtual Money credit() const { return Money(); }
+
+  /// Books a metered infrastructure bill against the scheme's account (a
+  /// no-op for schemes without an account).
+  virtual void ChargeExpenditure(Money amount, SimTime now) {
+    (void)amount;
+    (void)now;
+  }
+};
+
+/// The four schemes of the paper's evaluation (Section VII-A).
+enum class SchemeKind {
+  kBypassYield,  // "net-only": bypass-yield caching [14].
+  kEconCol,      // Economy, columns only (no indexes, no parallelism).
+  kEconCheap,    // Economy, full structure set, cheapest-plan selection.
+  kEconFast,     // Economy, full structure set, fastest-plan selection.
+};
+
+const char* SchemeKindToString(SchemeKind kind);
+
+/// Wraps an EconomyEngine as a Scheme: synthesizes the user budget per
+/// query from the back-end quote, forwards to the engine, and reports raw
+/// resource usage of investments.
+class EconScheme : public Scheme {
+ public:
+  struct Config {
+    std::string name = "econ-cheap";
+    EnumeratorOptions enumerator;
+    EconomyOptions economy;
+    BudgetModelOptions budget;
+    uint64_t seed = 7;
+  };
+
+  /// Presets matching the paper's variants.
+  static Config EconColConfig();
+  static Config EconCheapConfig();
+  static Config EconFastConfig();
+
+  EconScheme(const Catalog* catalog, const PriceList* decision_prices,
+             const std::vector<StructureKey>& index_candidates,
+             Config config);
+
+  const std::string& name() const override { return config_.name; }
+  ServedQuery OnQuery(const Query& query, SimTime now) override;
+  const CacheState& cache() const override { return engine_->cache(); }
+  Money credit() const override { return engine_->account().credit(); }
+  void ChargeExpenditure(Money amount, SimTime now) override;
+
+  EconomyEngine& engine() { return *engine_; }
+  const EconomyEngine& engine() const { return *engine_; }
+
+ private:
+  Config config_;
+  StructureRegistry registry_;
+  CostModel model_;
+  std::unique_ptr<EconomyEngine> engine_;
+  BudgetModel budget_model_;
+  Rng rng_;
+};
+
+/// Builds the scheme `kind` with the paper's configuration: the economy
+/// variants decide at full EC2 prices; bypass-yield decides at
+/// network-only prices with a cache capped at 30% of the database.
+std::unique_ptr<Scheme> MakeScheme(SchemeKind kind, const Catalog* catalog,
+                                   const PriceList* decision_prices,
+                                   const std::vector<StructureKey>& indexes,
+                                   uint64_t seed);
+
+}  // namespace cloudcache

@@ -1,0 +1,89 @@
+#include "src/cache/cache_state.h"
+
+#include "src/util/logging.h"
+
+namespace cloudcache {
+
+CacheState::CacheState(StructureRegistry* registry) : registry_(registry) {
+  column_resident_.assign(registry->catalog().num_columns(), false);
+}
+
+void CacheState::EnsureSize(StructureId id) {
+  if (id >= resident_.size()) {
+    resident_.resize(id + 1, false);
+    last_used_.resize(id + 1, 0);
+  }
+}
+
+bool CacheState::IsResident(StructureId id) const {
+  return id < resident_.size() && resident_[id];
+}
+
+Status CacheState::Add(StructureId id, SimTime now) {
+  CLOUDCACHE_CHECK_LT(id, registry_->size());
+  EnsureSize(id);
+  if (resident_[id]) {
+    return Status::AlreadyExists(
+        registry_->key(id).ToString(registry_->catalog()));
+  }
+  resident_[id] = true;
+  last_used_[id] = now;
+  const StructureKey& key = registry_->key(id);
+  resident_bytes_ += registry_->bytes(id);
+  if (key.type == StructureType::kColumn) {
+    column_resident_[key.columns.front()] = true;
+  } else if (key.type == StructureType::kCpuNode) {
+    ++extra_cpu_nodes_;
+  }
+  return Status::OK();
+}
+
+Status CacheState::Remove(StructureId id) {
+  if (!IsResident(id)) {
+    return Status::NotFound("structure id " + std::to_string(id) +
+                            " is not resident");
+  }
+  resident_[id] = false;
+  const StructureKey& key = registry_->key(id);
+  resident_bytes_ -= registry_->bytes(id);
+  if (key.type == StructureType::kColumn) {
+    column_resident_[key.columns.front()] = false;
+  } else if (key.type == StructureType::kCpuNode) {
+    CLOUDCACHE_CHECK_GT(extra_cpu_nodes_, 0u);
+    --extra_cpu_nodes_;
+  }
+  return Status::OK();
+}
+
+void CacheState::Touch(StructureId id, SimTime now) {
+  CLOUDCACHE_CHECK(IsResident(id));
+  last_used_[id] = now;
+}
+
+SimTime CacheState::LastUsed(StructureId id) const {
+  return id < last_used_.size() ? last_used_[id] : 0;
+}
+
+bool CacheState::ColumnResident(ColumnId column) const {
+  CLOUDCACHE_CHECK_LT(column, column_resident_.size());
+  return column_resident_[column];
+}
+
+std::vector<StructureId> CacheState::Residents() const {
+  std::vector<StructureId> out;
+  for (StructureId id = 0; id < resident_.size(); ++id) {
+    if (resident_[id]) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<StructureId> CacheState::ResidentsOfType(
+    StructureType type) const {
+  std::vector<StructureId> out;
+  for (StructureId id = 0; id < resident_.size(); ++id) {
+    if (resident_[id] && registry_->key(id).type == type) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace cloudcache

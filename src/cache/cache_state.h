@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/structure/structure.h"
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace cloudcache {
+
+/// The materialized contents of the cloud cache: which structures (columns,
+/// indexes, extra CPU nodes) are currently built, how big they are, and
+/// when each was last used by a selected plan.
+///
+/// Pure bookkeeping — all *decisions* (what to build, what to evict) live
+/// in the economy and the baseline schemes; keeping the state dumb lets the
+/// very different policies share it.
+class CacheState {
+ public:
+  explicit CacheState(StructureRegistry* registry);
+
+  /// True if `id` is built and usable.
+  bool IsResident(StructureId id) const;
+
+  /// Marks `id` resident. Fails with AlreadyExists if it already is.
+  Status Add(StructureId id, SimTime now);
+
+  /// Removes `id`. Fails with NotFound if not resident.
+  Status Remove(StructureId id);
+
+  /// Records that a selected plan used `id` at time `now` (LRU clock).
+  void Touch(StructureId id, SimTime now);
+
+  /// Time `id` was last touched (or added); meaningful only if resident.
+  SimTime LastUsed(StructureId id) const;
+
+  /// Fast path for the plan enumerator: is this catalog column cached?
+  bool ColumnResident(ColumnId column) const;
+  /// Residency bitmap over all catalog columns (input to Eq. 14).
+  const std::vector<bool>& column_residency() const {
+    return column_resident_;
+  }
+
+  /// Number of extra CPU nodes currently booted (beyond the always-on
+  /// coordinator node).
+  uint32_t extra_cpu_nodes() const { return extra_cpu_nodes_; }
+
+  /// Total disk bytes occupied by resident columns and indexes.
+  uint64_t resident_bytes() const { return resident_bytes_; }
+
+  /// All resident structure ids, ascending.
+  std::vector<StructureId> Residents() const;
+
+  /// Resident ids of one type, ascending.
+  std::vector<StructureId> ResidentsOfType(StructureType type) const;
+
+  /// The structure registry this state indexes into.
+  const StructureRegistry& registry() const { return *registry_; }
+
+ private:
+  void EnsureSize(StructureId id);
+
+  StructureRegistry* registry_;
+  std::vector<bool> resident_;
+  std::vector<SimTime> last_used_;
+  std::vector<bool> column_resident_;
+  uint64_t resident_bytes_ = 0;
+  uint32_t extra_cpu_nodes_ = 0;
+};
+
+}  // namespace cloudcache

@@ -1,0 +1,47 @@
+#include "src/cache/candidate_pool.h"
+
+#include "src/util/logging.h"
+
+namespace cloudcache {
+
+CandidatePool::CandidatePool(size_t capacity) : capacity_(capacity) {
+  CLOUDCACHE_CHECK_GE(capacity, 1u);
+}
+
+std::vector<StructureId> CandidatePool::Touch(StructureId id, SimTime now) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    it->second->last_touch = now;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return {};
+  }
+  entries_.push_front(Entry{id, now});
+  index_[id] = entries_.begin();
+  std::vector<StructureId> evicted;
+  while (entries_.size() > capacity_) {
+    evicted.push_back(entries_.back().id);
+    index_.erase(entries_.back().id);
+    entries_.pop_back();
+  }
+  return evicted;
+}
+
+void CandidatePool::Erase(StructureId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  entries_.erase(it->second);
+  index_.erase(it);
+}
+
+bool CandidatePool::Contains(StructureId id) const {
+  return index_.count(id) > 0;
+}
+
+std::vector<StructureId> CandidatePool::MruOrder() const {
+  std::vector<StructureId> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.id);
+  return out;
+}
+
+}  // namespace cloudcache

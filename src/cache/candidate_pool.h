@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/structure/structure.h"
+#include "src/util/units.h"
+
+namespace cloudcache {
+
+/// LRU pool of *candidate* structures.
+///
+/// "The cloud maintains a pool of structures relevant to the queries in the
+/// recent past. … These structures are garbage collected using LRU policy,
+/// so that the structure cache can be searched and processed efficiently
+/// for each incoming query plan." (Section IV-B)
+///
+/// The pool bounds how many hypothetical structures the economy tracks
+/// regret for; when a candidate falls off the cold end, its accumulated
+/// regret is forfeited (the eviction callback in the economy clears the
+/// ledger entry). Resident structures are tracked by CacheState, not here.
+class CandidatePool {
+ public:
+  /// `capacity` = maximum number of candidates tracked; must be >= 1.
+  explicit CandidatePool(size_t capacity);
+
+  /// Marks `id` as recently relevant, inserting it if new. Returns the
+  /// candidates evicted to make room (possibly empty).
+  std::vector<StructureId> Touch(StructureId id, SimTime now);
+
+  /// Removes `id` from the pool (e.g. because it was just built).
+  void Erase(StructureId id);
+
+  bool Contains(StructureId id) const;
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Pool contents, most recently used first.
+  std::vector<StructureId> MruOrder() const;
+
+ private:
+  struct Entry {
+    StructureId id;
+    SimTime last_touch;
+  };
+
+  size_t capacity_;
+  std::list<Entry> entries_;  // Front = most recently used.
+  std::unordered_map<StructureId, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace cloudcache

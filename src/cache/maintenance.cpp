@@ -1,0 +1,59 @@
+#include "src/cache/maintenance.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace cloudcache {
+
+void MaintenanceLedger::Register(StructureId id, const StructureKey& key,
+                                 SimTime now, Money build_cost) {
+  CLOUDCACHE_CHECK(!IsTracked(id));
+  clocks_[id] = Clock{key, now, build_cost};
+}
+
+Money MaintenanceLedger::BuildCostOf(StructureId id) const {
+  auto it = clocks_.find(id);
+  CLOUDCACHE_CHECK(it != clocks_.end());
+  return it->second.build_cost;
+}
+
+Money MaintenanceLedger::Unregister(StructureId id, SimTime now) {
+  auto it = clocks_.find(id);
+  CLOUDCACHE_CHECK(it != clocks_.end());
+  const Money written_off =
+      model_->MaintenanceCost(it->second.key,
+                              std::max(0.0, now - it->second.paid_until));
+  clocks_.erase(it);
+  return written_off;
+}
+
+Money MaintenanceLedger::Owed(StructureId id, SimTime now) const {
+  auto it = clocks_.find(id);
+  CLOUDCACHE_CHECK(it != clocks_.end());
+  return model_->MaintenanceCost(it->second.key,
+                                 std::max(0.0, now - it->second.paid_until));
+}
+
+Money MaintenanceLedger::OwedCapped(StructureId id, SimTime now,
+                                    double cap_seconds) const {
+  auto it = clocks_.find(id);
+  CLOUDCACHE_CHECK(it != clocks_.end());
+  const double gap = std::max(0.0, now - it->second.paid_until);
+  return model_->MaintenanceCost(it->second.key,
+                                 std::min(gap, cap_seconds));
+}
+
+Money MaintenanceLedger::Pay(StructureId id, SimTime now,
+                             double cap_seconds) {
+  auto it = clocks_.find(id);
+  CLOUDCACHE_CHECK(it != clocks_.end());
+  const double gap = std::max(0.0, now - it->second.paid_until);
+  const double covered = std::min(gap, cap_seconds);
+  const Money collected =
+      model_->MaintenanceCost(it->second.key, covered);
+  it->second.paid_until += covered;
+  return collected;
+}
+
+}  // namespace cloudcache

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "src/cost/cost_model.h"
+#include "src/structure/structure.h"
+#include "src/util/money.h"
+#include "src/util/units.h"
+
+namespace cloudcache {
+
+/// Per-structure maintenance accrual and repayment clock (footnote 3 of
+/// the paper):
+///
+///   "As soon as a structure is built in the cache, the query plans that
+///    are selected for execution and employ this structure, pay also for
+///    its maintenance cost. Each newly selected query plan pays for the
+///    accumulated maintenance cost from the time point of the previous
+///    query plan that payed off the previously accumulated maintenance
+///    cost. Excessive maintenance cost of a structure due to non-usage …
+///    can be the reason of structure failure."
+///
+/// The ledger tracks, for every built structure, the time up to which its
+/// maintenance has been repaid by user charges. `Owed()` prices the gap at
+/// the decision cost model's rates; `Pay()` advances the clock. The
+/// economy evicts structures whose owed rent exceeds a failure threshold.
+class MaintenanceLedger {
+ public:
+  explicit MaintenanceLedger(const CostModel* model) : model_(model) {}
+
+  /// Starts the clock for a freshly built structure. `build_cost` is
+  /// retained as the reference for the failure threshold (a structure
+  /// fails when unpaid rent reaches a fraction of what it cost to build).
+  void Register(StructureId id, const StructureKey& key, SimTime now,
+                Money build_cost);
+
+  /// The build cost recorded at Register time.
+  Money BuildCostOf(StructureId id) const;
+
+  /// Stops tracking an evicted structure. Returns the rent that was never
+  /// repaid (the cloud's write-off).
+  Money Unregister(StructureId id, SimTime now);
+
+  /// Rent accrued since the last payment, priced by the decision model.
+  Money Owed(StructureId id, SimTime now) const;
+
+  /// Rent owed, capped at `cap_seconds` worth of rent. This is what one
+  /// selected plan is surcharged: recovering an arbitrarily long idle
+  /// backlog from a single query would price the structure out of the
+  /// market forever (and the cloud would still owe the rent) — the
+  /// backlog is instead recovered a capped slice per use, and a structure
+  /// whose backlog keeps growing anyway fails per footnote 3.
+  Money OwedCapped(StructureId id, SimTime now, double cap_seconds) const;
+
+  /// Collects up to `cap_seconds` worth of owed rent and advances the
+  /// paid-until clock by the covered duration. Returns the collection.
+  Money Pay(StructureId id, SimTime now,
+            double cap_seconds = kNoCapSeconds);
+
+  static constexpr double kNoCapSeconds = 1e300;
+
+  bool IsTracked(StructureId id) const { return clocks_.count(id) > 0; }
+
+ private:
+  struct Clock {
+    StructureKey key;
+    SimTime paid_until = 0;
+    Money build_cost;
+  };
+
+  const CostModel* model_;
+  std::unordered_map<StructureId, Clock> clocks_;
+};
+
+}  // namespace cloudcache

@@ -1,0 +1,119 @@
+#include "src/catalog/sdss.h"
+
+#include "src/util/logging.h"
+
+namespace cloudcache {
+
+namespace {
+Column Col(const char* name, DataType type, double distinct_fraction = 1.0,
+           uint32_t width = 0) {
+  Column col;
+  col.name = name;
+  col.type = type;
+  col.width_bytes = width ? width : DefaultWidth(type);
+  col.distinct_fraction = distinct_fraction;
+  return col;
+}
+}  // namespace
+
+Catalog MakeSdssCatalog(uint64_t object_count) {
+  CLOUDCACHE_CHECK_GE(object_count, 1u);
+  Catalog catalog;
+  const auto objects = static_cast<double>(object_count);
+
+  {
+    // Wide photometric fact table: five-band magnitudes/errors plus
+    // astrometry. Column-at-a-time access over a few of ~30 columns is the
+    // canonical SDSS pattern, which is why column caching pays off.
+    Table photoobj;
+    photoobj.name = "photoobj";
+    photoobj.row_count = object_count;
+    photoobj.columns = {
+        Col("objid", DataType::kInt64, 1.0),
+        Col("ra", DataType::kFloat64, 1.0),
+        Col("dec", DataType::kFloat64, 1.0),
+        Col("run", DataType::kInt32, 1e5 / objects),
+        Col("rerun", DataType::kInt32, 1e2 / objects),
+        Col("camcol", DataType::kInt32, 6.0 / objects),
+        Col("field", DataType::kInt32, 1e6 / objects),
+        Col("obj_type", DataType::kInt32, 10.0 / objects),
+        Col("mode", DataType::kInt32, 4.0 / objects),
+        Col("flags", DataType::kInt64, 0.01),
+        Col("psfmag_u", DataType::kFloat64, 0.8),
+        Col("psfmag_g", DataType::kFloat64, 0.8),
+        Col("psfmag_r", DataType::kFloat64, 0.8),
+        Col("psfmag_i", DataType::kFloat64, 0.8),
+        Col("psfmag_z", DataType::kFloat64, 0.8),
+        Col("psfmagerr_u", DataType::kFloat64, 0.8),
+        Col("psfmagerr_g", DataType::kFloat64, 0.8),
+        Col("psfmagerr_r", DataType::kFloat64, 0.8),
+        Col("psfmagerr_i", DataType::kFloat64, 0.8),
+        Col("psfmagerr_z", DataType::kFloat64, 0.8),
+        Col("petrorad_r", DataType::kFloat64, 0.7),
+        Col("petror50_r", DataType::kFloat64, 0.7),
+        Col("petror90_r", DataType::kFloat64, 0.7),
+        Col("extinction_r", DataType::kFloat64, 0.5),
+        Col("rowc", DataType::kFloat64, 0.9),
+        Col("colc", DataType::kFloat64, 0.9),
+        Col("htmid", DataType::kInt64, 0.99),
+        Col("zoospec_class", DataType::kInt32, 3.0 / objects),
+        Col("clean", DataType::kInt32, 2.0 / objects),
+        Col("score", DataType::kFloat64, 0.6),
+    };
+    CLOUDCACHE_CHECK(catalog.AddTable(std::move(photoobj)).ok());
+  }
+  {
+    // Spectroscopic table: roughly 1 spectrum per 200 photometric objects.
+    Table specobj;
+    specobj.name = "specobj";
+    specobj.row_count = object_count / 200 + 1;
+    const auto spectra = static_cast<double>(specobj.row_count);
+    specobj.columns = {
+        Col("specobjid", DataType::kInt64, 1.0),
+        Col("bestobjid", DataType::kInt64, 1.0),
+        Col("plate", DataType::kInt32, 3e3 / spectra),
+        Col("mjd", DataType::kInt32, 2e3 / spectra),
+        Col("fiberid", DataType::kInt32, 640.0 / spectra),
+        Col("z", DataType::kFloat64, 0.9),
+        Col("zerr", DataType::kFloat64, 0.9),
+        Col("zwarning", DataType::kInt32, 32.0 / spectra),
+        Col("spec_class", DataType::kInt32, 6.0 / spectra),
+        Col("velocity_disp", DataType::kFloat64, 0.8),
+        Col("sn_median", DataType::kFloat64, 0.8),
+    };
+    CLOUDCACHE_CHECK(catalog.AddTable(std::move(specobj)).ok());
+  }
+  {
+    Table field;
+    field.name = "field";
+    field.row_count = object_count / 350 + 1;
+    field.columns = {
+        Col("fieldid", DataType::kInt64, 1.0),
+        Col("run", DataType::kInt32, 0.1),
+        Col("camcol", DataType::kInt32, 6.0 / static_cast<double>(
+                                                  object_count / 350 + 1)),
+        Col("field_num", DataType::kInt32, 0.5),
+        Col("quality", DataType::kInt32, 0.01),
+        Col("mjd_r", DataType::kFloat64, 0.9),
+        Col("seeing_r", DataType::kFloat64, 0.9),
+        Col("sky_r", DataType::kFloat64, 0.9),
+    };
+    CLOUDCACHE_CHECK(catalog.AddTable(std::move(field)).ok());
+  }
+  {
+    Table run;
+    run.name = "run";
+    run.row_count = 100'000;
+    run.columns = {
+        Col("runid", DataType::kInt32, 1.0),
+        Col("mjd_start", DataType::kFloat64, 0.99),
+        Col("stripe", DataType::kInt32, 0.001),
+        Col("strip", DataType::kChar, 2.0 / 100'000, 1),
+        Col("comments", DataType::kVarchar, 1.0, 40),
+    };
+    CLOUDCACHE_CHECK(catalog.AddTable(std::move(run)).ok());
+  }
+  return catalog;
+}
+
+}  // namespace cloudcache

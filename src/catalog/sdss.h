@@ -1,0 +1,22 @@
+#pragma once
+
+#include "src/catalog/schema.h"
+
+namespace cloudcache {
+
+/// Builds an SDSS SkyServer-like astronomy schema.
+///
+/// The paper motivates the system with massive scientific archives such as
+/// SDSS [9]; its evaluation approximates SDSS with TPC-H templates. This
+/// catalog gives the examples a genuinely scientific-looking schema: a wide
+/// `photoobj` photometric-object fact table, a `specobj` spectroscopic
+/// table, and small `field`/`run` dimension tables.
+///
+/// `object_count` is the number of photometric objects (SDSS DR7 carried
+/// ~3.5e8); all other tables scale from it. The default yields ~73 GB of
+/// raw column data (the real PhotoObjAll is wider; this subset keeps the
+/// hot columns the example workloads touch). Raise object_count for
+/// TB-scale experiments.
+Catalog MakeSdssCatalog(uint64_t object_count = 350'000'000ull);
+
+}  // namespace cloudcache

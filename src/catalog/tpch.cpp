@@ -1,0 +1,174 @@
+#include "src/catalog/tpch.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+#include "src/util/units.h"
+
+namespace cloudcache {
+
+namespace {
+
+Column Col(const char* name, DataType type, double distinct_fraction = 1.0,
+           uint32_t width = 0) {
+  Column col;
+  col.name = name;
+  col.type = type;
+  col.width_bytes = width ? width : DefaultWidth(type);
+  col.distinct_fraction = distinct_fraction;
+  return col;
+}
+
+uint64_t Rows(double base, double scale_factor) {
+  const double rows = base * scale_factor;
+  return rows < 1.0 ? 1 : static_cast<uint64_t>(std::llround(rows));
+}
+
+}  // namespace
+
+Catalog MakeTpchCatalog(double scale_factor) {
+  CLOUDCACHE_CHECK_GT(scale_factor, 0.0);
+  Catalog catalog;
+
+  // Fixed-size dimension tables (independent of SF, per the spec).
+  {
+    Table region;
+    region.name = "region";
+    region.row_count = 5;
+    region.columns = {
+        Col("r_regionkey", DataType::kInt32, 1.0),
+        Col("r_name", DataType::kChar, 1.0, 25),
+        Col("r_comment", DataType::kVarchar, 1.0, 80),
+    };
+    CLOUDCACHE_CHECK(catalog.AddTable(std::move(region)).ok());
+  }
+  {
+    Table nation;
+    nation.name = "nation";
+    nation.row_count = 25;
+    nation.columns = {
+        Col("n_nationkey", DataType::kInt32, 1.0),
+        Col("n_name", DataType::kChar, 1.0, 25),
+        Col("n_regionkey", DataType::kInt32, 0.2),
+        Col("n_comment", DataType::kVarchar, 1.0, 80),
+    };
+    CLOUDCACHE_CHECK(catalog.AddTable(std::move(nation)).ok());
+  }
+  {
+    Table supplier;
+    supplier.name = "supplier";
+    supplier.row_count = Rows(10'000, scale_factor);
+    supplier.columns = {
+        Col("s_suppkey", DataType::kInt64, 1.0),
+        Col("s_name", DataType::kChar, 1.0, 25),
+        Col("s_address", DataType::kVarchar, 1.0, 25),
+        Col("s_nationkey", DataType::kInt32, 25.0 / 10'000),
+        Col("s_phone", DataType::kChar, 1.0, 15),
+        Col("s_acctbal", DataType::kDecimal, 0.9),
+        Col("s_comment", DataType::kVarchar, 1.0, 63),
+    };
+    CLOUDCACHE_CHECK(catalog.AddTable(std::move(supplier)).ok());
+  }
+  {
+    Table customer;
+    customer.name = "customer";
+    customer.row_count = Rows(150'000, scale_factor);
+    customer.columns = {
+        Col("c_custkey", DataType::kInt64, 1.0),
+        Col("c_name", DataType::kVarchar, 1.0, 18),
+        Col("c_address", DataType::kVarchar, 1.0, 25),
+        Col("c_nationkey", DataType::kInt32, 25.0 / 150'000),
+        Col("c_phone", DataType::kChar, 1.0, 15),
+        Col("c_acctbal", DataType::kDecimal, 0.9),
+        Col("c_mktsegment", DataType::kChar, 5.0 / 150'000, 10),
+        Col("c_comment", DataType::kVarchar, 1.0, 73),
+    };
+    CLOUDCACHE_CHECK(catalog.AddTable(std::move(customer)).ok());
+  }
+  {
+    Table part;
+    part.name = "part";
+    part.row_count = Rows(200'000, scale_factor);
+    part.columns = {
+        Col("p_partkey", DataType::kInt64, 1.0),
+        Col("p_name", DataType::kVarchar, 1.0, 33),
+        Col("p_mfgr", DataType::kChar, 5.0 / 200'000, 25),
+        Col("p_brand", DataType::kChar, 25.0 / 200'000, 10),
+        Col("p_type", DataType::kVarchar, 150.0 / 200'000, 21),
+        Col("p_size", DataType::kInt32, 50.0 / 200'000),
+        Col("p_container", DataType::kChar, 40.0 / 200'000, 10),
+        Col("p_retailprice", DataType::kDecimal, 0.1),
+        Col("p_comment", DataType::kVarchar, 1.0, 14),
+    };
+    CLOUDCACHE_CHECK(catalog.AddTable(std::move(part)).ok());
+  }
+  {
+    Table partsupp;
+    partsupp.name = "partsupp";
+    partsupp.row_count = Rows(800'000, scale_factor);
+    partsupp.columns = {
+        Col("ps_partkey", DataType::kInt64, 0.25),
+        Col("ps_suppkey", DataType::kInt64, 0.0125),
+        Col("ps_availqty", DataType::kInt32, 10'000.0 / 800'000),
+        Col("ps_supplycost", DataType::kDecimal, 0.1),
+        Col("ps_comment", DataType::kVarchar, 1.0, 124),
+    };
+    CLOUDCACHE_CHECK(catalog.AddTable(std::move(partsupp)).ok());
+  }
+  {
+    Table orders;
+    orders.name = "orders";
+    orders.row_count = Rows(1'500'000, scale_factor);
+    orders.columns = {
+        Col("o_orderkey", DataType::kInt64, 1.0),
+        Col("o_custkey", DataType::kInt64, 0.1),
+        Col("o_orderstatus", DataType::kChar, 3.0 / 1'500'000, 1),
+        Col("o_totalprice", DataType::kDecimal, 0.9),
+        Col("o_orderdate", DataType::kDate, 2'406.0 / 1'500'000),
+        Col("o_orderpriority", DataType::kChar, 5.0 / 1'500'000, 15),
+        Col("o_clerk", DataType::kChar, 0.00067, 15),
+        Col("o_shippriority", DataType::kInt32, 1.0 / 1'500'000),
+        Col("o_comment", DataType::kVarchar, 1.0, 49),
+    };
+    CLOUDCACHE_CHECK(catalog.AddTable(std::move(orders)).ok());
+  }
+  {
+    Table lineitem;
+    lineitem.name = "lineitem";
+    lineitem.row_count = Rows(6'000'000, scale_factor);
+    lineitem.columns = {
+        Col("l_orderkey", DataType::kInt64, 0.25),
+        Col("l_partkey", DataType::kInt64, 200'000.0 / 6'000'000),
+        Col("l_suppkey", DataType::kInt64, 10'000.0 / 6'000'000),
+        Col("l_linenumber", DataType::kInt32, 7.0 / 6'000'000),
+        Col("l_quantity", DataType::kDecimal, 50.0 / 6'000'000),
+        Col("l_extendedprice", DataType::kDecimal, 0.5),
+        Col("l_discount", DataType::kDecimal, 11.0 / 6'000'000),
+        Col("l_tax", DataType::kDecimal, 9.0 / 6'000'000),
+        Col("l_returnflag", DataType::kChar, 3.0 / 6'000'000, 1),
+        Col("l_linestatus", DataType::kChar, 2.0 / 6'000'000, 1),
+        Col("l_shipdate", DataType::kDate, 2'526.0 / 6'000'000),
+        Col("l_commitdate", DataType::kDate, 2'466.0 / 6'000'000),
+        Col("l_receiptdate", DataType::kDate, 2'554.0 / 6'000'000),
+        Col("l_shipinstruct", DataType::kChar, 4.0 / 6'000'000, 25),
+        Col("l_shipmode", DataType::kChar, 7.0 / 6'000'000, 10),
+        Col("l_comment", DataType::kVarchar, 1.0, 27),
+    };
+    CLOUDCACHE_CHECK(catalog.AddTable(std::move(lineitem)).ok());
+  }
+  return catalog;
+}
+
+double TpchScaleForBytes(uint64_t target_bytes) {
+  // The schema is linear in SF apart from the two fixed dimension tables,
+  // which are negligible; one probe at SF=1 gives the slope.
+  const uint64_t bytes_at_sf1 = MakeTpchCatalog(1.0).TotalBytes();
+  return static_cast<double>(target_bytes) /
+         static_cast<double>(bytes_at_sf1);
+}
+
+Catalog MakePaperTpchCatalog() {
+  return MakeTpchCatalog(TpchScaleForBytes(uint64_t{25} * kTB / 10));
+}
+
+}  // namespace cloudcache

@@ -1,0 +1,38 @@
+#include "src/cost/price_list.h"
+
+#include <cstdio>
+
+namespace cloudcache {
+
+PriceList PriceList::AmazonEc2_2009() { return PriceList{}; }
+
+PriceList PriceList::GoGrid2009() {
+  PriceList prices;
+  prices.network_byte_dollars = 0.0;
+  prices.cpu_second_dollars = 0.19 / 3600.0;   // GoGrid RAM-hour pricing.
+  prices.disk_byte_second_dollars = 0.15 / (1e9 * kMonth);
+  return prices;
+}
+
+PriceList PriceList::NetworkOnly() {
+  PriceList prices;
+  prices.cpu_second_dollars = 0.0;
+  prices.disk_byte_second_dollars = 0.0;
+  prices.io_op_dollars = 0.0;
+  prices.cpu_reserve_fraction = 0.0;
+  return prices;
+}
+
+std::string ToString(const PriceList& prices) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "cpu=$%.4f/h net=$%.4f/GB disk=$%.4f/GB-mo io=$%.4f/Mops "
+                "wan=%.1fMbps fcpu=%.4f",
+                prices.cpu_second_dollars * 3600.0,
+                prices.network_byte_dollars * 1e9,
+                prices.disk_byte_second_dollars * 1e9 * kMonth,
+                prices.io_op_dollars * 1e6, prices.wan_mbps, prices.fcpu);
+  return buf;
+}
+
+}  // namespace cloudcache

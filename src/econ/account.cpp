@@ -1,0 +1,34 @@
+#include "src/econ/account.h"
+
+#include "src/util/logging.h"
+
+namespace cloudcache {
+
+void CloudAccount::DepositRevenue(Money amount, SimTime now) {
+  CLOUDCACHE_CHECK_GE(amount.micros(), 0);
+  credit_ += amount;
+  revenue_ += amount;
+  Record(now);
+}
+
+void CloudAccount::ChargeExpenditure(Money amount, SimTime now) {
+  CLOUDCACHE_CHECK_GE(amount.micros(), 0);
+  credit_ -= amount;
+  expenditure_ += amount;
+  Record(now);
+}
+
+Status CloudAccount::WithdrawInvestment(Money amount, SimTime now) {
+  CLOUDCACHE_CHECK_GE(amount.micros(), 0);
+  if (amount > credit_) {
+    return Status::ResourceExhausted(
+        "investment " + amount.ToString() + " exceeds credit " +
+        credit_.ToString());
+  }
+  credit_ -= amount;
+  investment_ += amount;
+  Record(now);
+  return Status::OK();
+}
+
+}  // namespace cloudcache

@@ -1,0 +1,52 @@
+#include "src/econ/amortizer.h"
+
+#include "src/util/logging.h"
+
+namespace cloudcache {
+
+Amortizer::Amortizer(int64_t horizon) : horizon_(horizon) {
+  CLOUDCACHE_CHECK_GE(horizon, 1);
+}
+
+void Amortizer::RegisterBuild(StructureId id, Money build_cost) {
+  CLOUDCACHE_CHECK_GE(build_cost.micros(), 0);
+  schedules_[id] = Schedule{build_cost, 0};
+}
+
+Money Amortizer::PendingShare(StructureId id) const {
+  auto it = schedules_.find(id);
+  if (it == schedules_.end()) return Money();
+  const Schedule& s = it->second;
+  if (s.shares_charged >= horizon_) return Money();
+  return EvenShare(s.build_cost, horizon_, s.shares_charged);
+}
+
+Money Amortizer::ChargeShare(StructureId id) {
+  auto it = schedules_.find(id);
+  if (it == schedules_.end()) return Money();
+  Schedule& s = it->second;
+  if (s.shares_charged >= horizon_) return Money();
+  const Money share = EvenShare(s.build_cost, horizon_, s.shares_charged);
+  ++s.shares_charged;
+  if (s.shares_charged >= horizon_) schedules_.erase(it);
+  return share;
+}
+
+Money Amortizer::Unamortized(StructureId id) const {
+  auto it = schedules_.find(id);
+  if (it == schedules_.end()) return Money();
+  const Schedule& s = it->second;
+  Money remaining;
+  for (int64_t i = s.shares_charged; i < horizon_; ++i) {
+    remaining += EvenShare(s.build_cost, horizon_, i);
+  }
+  return remaining;
+}
+
+Money Amortizer::Cancel(StructureId id) {
+  const Money remaining = Unamortized(id);
+  schedules_.erase(id);
+  return remaining;
+}
+
+}  // namespace cloudcache

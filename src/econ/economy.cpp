@@ -1,0 +1,418 @@
+#include "src/econ/economy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/plan/skyline.h"
+#include "src/util/logging.h"
+
+namespace cloudcache {
+
+const char* BudgetCaseToString(BudgetCase c) {
+  switch (c) {
+    case BudgetCase::kCaseA:
+      return "A";
+    case BudgetCase::kCaseB:
+      return "B";
+    case BudgetCase::kCaseC:
+      return "C";
+  }
+  return "?";
+}
+
+const char* PlanSelectionToString(PlanSelection s) {
+  switch (s) {
+    case PlanSelection::kMinProfit:
+      return "min-profit";
+    case PlanSelection::kCheapest:
+      return "cheapest";
+    case PlanSelection::kFastest:
+      return "fastest";
+  }
+  return "?";
+}
+
+EconomyEngine::EconomyEngine(const Catalog* catalog,
+                             StructureRegistry* registry,
+                             const CostModel* decision_model,
+                             EnumeratorOptions enumerator_options,
+                             EconomyOptions options)
+    : catalog_(catalog),
+      registry_(registry),
+      model_(decision_model),
+      options_(options),
+      enumerator_(decision_model, registry, std::move(enumerator_options)),
+      cache_(registry),
+      pool_(options.candidate_pool_capacity),
+      maintenance_(decision_model),
+      account_(options.initial_credit),
+      amortizer_(options.amortization_horizon) {
+  CLOUDCACHE_CHECK_GT(options_.regret_fraction_a, 0.0);
+  CLOUDCACHE_CHECK_LT(options_.regret_fraction_a, 1.0);
+}
+
+void EconomyEngine::SetIndexCandidates(
+    const std::vector<StructureKey>& candidates) {
+  enumerator_.SetIndexCandidates(candidates);
+}
+
+void EconomyEngine::ActivatePending(SimTime now) {
+  for (size_t i = 0; i < pending_.size();) {
+    if (pending_[i].ready_at <= now) {
+      const StructureId id = pending_[i].id;
+      CLOUDCACHE_CHECK(cache_.Add(id, now).ok());
+      pending_flag_[id] = false;
+      pending_[i] = pending_.back();
+      pending_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+Money EconomyEngine::BuildCostNow(StructureId id) const {
+  return model_->BuildCost(registry_->key(id), cache_.column_residency());
+}
+
+void EconomyEngine::PriceCarriedCharges(PlanSet* set, SimTime now) const {
+  for (QueryPlan& plan : set->plans) {
+    Money carried;
+    for (StructureId id : plan.structures) {
+      if (cache_.IsResident(id)) {
+        // Eq. 5-7 share plus the rent owed since the last payer
+        // (footnote 3), capped per use.
+        carried += amortizer_.PendingShare(id);
+        carried += maintenance_.OwedCapped(
+            id, now, options_.maintenance_recovery_cap_seconds);
+      } else {
+        // Hypothetical structure: advertise the share its build cost
+        // would contribute to this plan's price if it existed.
+        carried += EvenShare(BuildCostNow(id),
+                             options_.amortization_horizon, 0);
+      }
+    }
+    plan.carried_charges = carried;
+  }
+}
+
+bool EconomyEngine::Affordable(const QueryPlan& plan,
+                               const BudgetFunction& budget) const {
+  const double t = plan.TimeSeconds();
+  if (t > budget.t_max()) return false;
+  return budget.At(t) >= plan.Price();
+}
+
+size_t EconomyEngine::SelectPlan(const std::vector<QueryPlan>& plans,
+                                 const std::vector<size_t>& candidates,
+                                 const BudgetFunction& budget) const {
+  CLOUDCACHE_CHECK(!candidates.empty());
+  auto better = [&](size_t a, size_t b) {
+    const QueryPlan& pa = plans[a];
+    const QueryPlan& pb = plans[b];
+    switch (options_.selection) {
+      case PlanSelection::kMinProfit: {
+        const Money gain_a = budget.At(pa.TimeSeconds()) - pa.Price();
+        const Money gain_b = budget.At(pb.TimeSeconds()) - pb.Price();
+        if (gain_a != gain_b) return gain_a < gain_b;
+        break;
+      }
+      case PlanSelection::kCheapest:
+        if (pa.Price() != pb.Price()) return pa.Price() < pb.Price();
+        break;
+      case PlanSelection::kFastest:
+        if (pa.TimeSeconds() != pb.TimeSeconds()) {
+          return pa.TimeSeconds() < pb.TimeSeconds();
+        }
+        break;
+    }
+    if (pa.TimeSeconds() != pb.TimeSeconds()) {
+      return pa.TimeSeconds() < pb.TimeSeconds();
+    }
+    if (pa.Price() != pb.Price()) return pa.Price() < pb.Price();
+    return a < b;
+  };
+  size_t best = candidates.front();
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (better(candidates[i], best)) best = candidates[i];
+  }
+  return best;
+}
+
+void EconomyEngine::AccumulateRegret(const PlanSet& set, size_t chosen_index,
+                                     BudgetCase budget_case,
+                                     const BudgetFunction& budget,
+                                     SimTime /*now*/) {
+  // Reference price: the executed plan's, or — when nothing was served —
+  // the cheapest executable plan the user was quoted.
+  Money reference;
+  bool have_reference = false;
+  if (chosen_index != std::numeric_limits<size_t>::max()) {
+    reference = set.plans[chosen_index].Price();
+    have_reference = true;
+  } else {
+    for (const QueryPlan& plan : set.plans) {
+      if (!plan.IsExisting()) continue;
+      if (!have_reference || plan.Price() < reference) {
+        reference = plan.Price();
+        have_reference = true;
+      }
+    }
+  }
+  if (!have_reference) return;
+
+  for (size_t j = 0; j < set.plans.size(); ++j) {
+    if (j == chosen_index) continue;
+    const QueryPlan& plan = set.plans[j];
+    if (plan.IsExisting()) continue;  // Regret targets PQpos only.
+    Money amount;
+    switch (budget_case) {
+      case BudgetCase::kCaseA:
+        // Eq. 1: missed chance to serve more cheaply.
+        if (plan.Price() <= reference) amount = reference - plan.Price();
+        break;
+      case BudgetCase::kCaseB:
+      case BudgetCase::kCaseC:
+        // Eq. 2: missed profit, for the plans at least as expensive as the
+        // chosen one (case C restricts to the affordable subset).
+        if (budget_case == BudgetCase::kCaseC &&
+            !Affordable(plan, budget)) {
+          break;
+        }
+        if (plan.Price() >= reference) {
+          amount = Money::Max(Money(),
+                              budget.At(plan.TimeSeconds()) - plan.Price());
+        }
+        break;
+    }
+    if (!amount.IsZero()) regret_.Distribute(plan.structures, amount);
+  }
+}
+
+void EconomyEngine::SettleExecution(const Query&, const QueryPlan& plan,
+                                    Money payment, SimTime now,
+                                    QueryOutcome* outcome) {
+  for (StructureId id : plan.structures) {
+    CLOUDCACHE_CHECK(cache_.IsResident(id));
+    cache_.Touch(id, now);
+    outcome->maintenance_collected += maintenance_.Pay(
+        id, now, options_.maintenance_recovery_cap_seconds);
+    outcome->amortization_collected += amortizer_.ChargeShare(id);
+  }
+  account_.DepositRevenue(payment, now);
+  outcome->payment = payment;
+  outcome->profit = payment - plan.Price();
+  CLOUDCACHE_CHECK_GE(outcome->profit.micros(), 0);
+  outcome->served = true;
+  outcome->chosen = plan;
+}
+
+void EconomyEngine::MaybeInvest(SimTime now, QueryOutcome* outcome) {
+  const Money credit = account_.credit();
+  if (!credit.IsPositive()) return;
+
+  for (const auto& [id, regret_value] : regret_.NonZeroDescending()) {
+    if (cache_.IsResident(id)) continue;
+    if (id < pending_flag_.size() && pending_flag_[id]) continue;
+
+    const StructureKey& key = registry_->key(id);
+    if (key.type == StructureType::kCpuNode) {
+      if (key.ordinal >= options_.max_extra_nodes) continue;
+      // Boot nodes in ordinal order so multi-node plans become executable.
+      if (key.ordinal > cache_.extra_cpu_nodes()) continue;
+    }
+
+    // Eq. 3: InvestIn(S) = round(regret_S / (a * CR)) >= 1.
+    const Money current_credit = account_.credit();
+    if (!current_credit.IsPositive()) break;
+    const double invest_in =
+        regret_value.Ratio(current_credit * options_.regret_fraction_a);
+    if (std::llround(invest_in) < 1) continue;
+
+    const Money build_cost = BuildCostNow(id);
+    if (options_.conservative_provider && current_credit < build_cost) {
+      continue;  // Never gamble credit the cloud does not have.
+    }
+    if (!account_.WithdrawInvestment(build_cost, now).ok()) continue;
+
+    // Building an index also ships its absent key columns into the cache
+    // (their BuildT is inside Eq. 14), so they materialize alongside it.
+    std::vector<StructureId> built = {id};
+    if (key.type == StructureType::kIndex) {
+      for (ColumnId col : key.columns) {
+        if (!cache_.ColumnResident(col)) {
+          const StructureId col_id =
+              registry_->Intern(ColumnKey(*catalog_, col));
+          if (!cache_.IsResident(col_id) &&
+              !(col_id < pending_flag_.size() && pending_flag_[col_id])) {
+            built.push_back(col_id);
+          }
+        }
+      }
+    }
+
+    const double ready_at =
+        options_.model_build_latency
+            ? now + model_->BuildSeconds(key, cache_.column_residency())
+            : now;
+    for (StructureId built_id : built) {
+      const Money recorded_cost =
+          built_id == id ? build_cost : Money();  // Columns ride the index.
+      if (options_.model_build_latency) {
+        if (built_id >= pending_flag_.size()) {
+          pending_flag_.resize(built_id + 1, false);
+        }
+        pending_flag_[built_id] = true;
+        pending_.push_back(PendingBuild{ready_at, built_id});
+      } else {
+        CLOUDCACHE_CHECK(cache_.Add(built_id, now).ok());
+      }
+      maintenance_.Register(built_id, registry_->key(built_id),
+                            ready_at, recorded_cost);
+      regret_.Clear(built_id);
+      pool_.Erase(built_id);
+    }
+    amortizer_.RegisterBuild(id, build_cost);
+    outcome->investments.push_back(id);
+  }
+}
+
+void EconomyEngine::EvictFailedStructures(SimTime now,
+                                          QueryOutcome* outcome) {
+  for (StructureId id : cache_.Residents()) {
+    const Money owed = maintenance_.Owed(id, now);
+    if (owed.IsZero()) continue;
+    Money build_cost = maintenance_.BuildCostOf(id);
+    if (build_cost.IsZero()) {
+      // Column shipped as part of an index build: judge it by what it
+      // would cost to rebuild on its own.
+      build_cost = BuildCostNow(id);
+    }
+    const Money threshold =
+        build_cost * options_.maintenance_failure_fraction;
+    if (owed > threshold) {
+      CLOUDCACHE_CHECK(cache_.Remove(id).ok());
+      maintenance_.Unregister(id, now);
+      amortizer_.Cancel(id);
+      if (options_.clear_regret_on_failure) regret_.Clear(id);
+      if (outcome != nullptr) {
+        outcome->evictions.push_back(id);
+      } else {
+        tick_evictions_.push_back(id);
+      }
+    }
+  }
+}
+
+void EconomyEngine::OnTick(SimTime now) {
+  ActivatePending(now);
+  EvictFailedStructures(now, nullptr);
+}
+
+Status EconomyEngine::ForceBuild(const StructureKey& key, SimTime now) {
+  const StructureId id = registry_->Intern(key);
+  if (cache_.IsResident(id)) {
+    return Status::AlreadyExists(key.ToString(*catalog_));
+  }
+  const Money build_cost = BuildCostNow(id);
+  CLOUDCACHE_RETURN_IF_ERROR(account_.WithdrawInvestment(build_cost, now));
+  std::vector<StructureId> built = {id};
+  if (key.type == StructureType::kIndex) {
+    for (ColumnId col : key.columns) {
+      if (!cache_.ColumnResident(col)) {
+        built.push_back(registry_->Intern(ColumnKey(*catalog_, col)));
+      }
+    }
+  }
+  for (StructureId built_id : built) {
+    if (cache_.IsResident(built_id)) continue;
+    CLOUDCACHE_RETURN_IF_ERROR(cache_.Add(built_id, now));
+    maintenance_.Register(built_id, registry_->key(built_id), now,
+                          built_id == id ? build_cost : Money());
+  }
+  amortizer_.RegisterBuild(id, build_cost);
+  regret_.Clear(id);
+  pool_.Erase(id);
+  return Status::OK();
+}
+
+QueryOutcome EconomyEngine::OnQuery(const Query& query,
+                                    const BudgetFunction& budget,
+                                    SimTime now) {
+  QueryOutcome outcome;
+  outcome.evictions = std::move(tick_evictions_);
+  tick_evictions_.clear();
+  ActivatePending(now);
+  EvictFailedStructures(now, &outcome);
+
+  PlanSet set = enumerator_.Enumerate(query, cache_);
+  PriceCarriedCharges(&set, now);
+  set = SkylineFilter(std::move(set));
+  outcome.num_plans = static_cast<uint32_t>(set.plans.size());
+
+  // Keep the candidate pool's LRU clock fresh for every hypothetical
+  // structure that appeared in a plan; candidates that fall off the cold
+  // end forfeit their regret (Section IV-B).
+  for (const QueryPlan& plan : set.plans) {
+    for (StructureId id : plan.missing) {
+      for (StructureId evicted : pool_.Touch(id, now)) {
+        regret_.Clear(evicted);
+      }
+    }
+  }
+
+  const std::vector<size_t> existing = set.ExistingIndices();
+  outcome.num_existing = static_cast<uint32_t>(existing.size());
+  CLOUDCACHE_CHECK(!existing.empty());  // The backend plan always exists.
+
+  // Classify the relationship between B_Q and B_PQ (Fig. 2). Case A is
+  // the paper's "Q cannot be served according to the user's defined
+  // budget": no *executable* plan is affordable (a hypothetical plan that
+  // would be affordable if built cannot serve the query today, and its
+  // missed cheapness is exactly what Eq. 1's regret records).
+  size_t affordable_count = 0;
+  for (const QueryPlan& plan : set.plans) {
+    if (Affordable(plan, budget)) ++affordable_count;
+  }
+  std::vector<size_t> affordable_existing;
+  for (size_t idx : existing) {
+    if (Affordable(set.plans[idx], budget)) {
+      affordable_existing.push_back(idx);
+    }
+  }
+  if (affordable_existing.empty()) {
+    outcome.budget_case = BudgetCase::kCaseA;
+  } else if (affordable_count == set.plans.size()) {
+    outcome.budget_case = BudgetCase::kCaseB;
+  } else {
+    outcome.budget_case = BudgetCase::kCaseC;
+  }
+
+  size_t chosen = std::numeric_limits<size_t>::max();
+  if (!affordable_existing.empty()) {
+    // Cases B and C: pick per the policy and collect B_Q(t_i).
+    chosen = SelectPlan(set.plans, affordable_existing, budget);
+    const Money payment =
+        budget.At(set.plans[chosen].TimeSeconds());
+    SettleExecution(query, set.plans[chosen], payment, now, &outcome);
+  } else if (options_.user_accepts_above_budget) {
+    // Case A (or C with no affordable executable plan): the user is shown
+    // the menu and — per the paper's experimental setup — accepts the
+    // cheapest executable offer at its quoted price. No profit.
+    size_t cheapest = existing.front();
+    for (size_t idx : existing) {
+      if (set.plans[idx].Price() < set.plans[cheapest].Price()) {
+        cheapest = idx;
+      }
+    }
+    chosen = cheapest;
+    SettleExecution(query, set.plans[chosen], set.plans[chosen].Price(),
+                    now, &outcome);
+  }
+
+  AccumulateRegret(set, chosen, outcome.budget_case, budget, now);
+  MaybeInvest(now, &outcome);
+  return outcome;
+}
+
+}  // namespace cloudcache

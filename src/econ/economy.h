@@ -1,0 +1,206 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cache/cache_state.h"
+#include "src/cache/candidate_pool.h"
+#include "src/cache/maintenance.h"
+#include "src/cost/cost_model.h"
+#include "src/econ/account.h"
+#include "src/econ/amortizer.h"
+#include "src/econ/budget.h"
+#include "src/econ/regret.h"
+#include "src/plan/enumerator.h"
+#include "src/plan/plan.h"
+#include "src/query/query.h"
+#include "src/util/money.h"
+
+namespace cloudcache {
+
+/// How the cloud picks among the affordable executable plans.
+enum class PlanSelection {
+  /// Section IV-C, cases B/C: minimize the cloud's gain
+  /// B_Q(t_i) - B_PQ(t_i) — the altruistic default.
+  kMinProfit,
+  /// Section VII-A econ-cheap: "the plan with the least cost is chosen".
+  kCheapest,
+  /// Section VII-A econ-fast: "selects the query plan with the fastest
+  /// response time".
+  kFastest,
+};
+
+/// Which of the paper's three budget relationships a query fell into
+/// (Fig. 2).
+enum class BudgetCase { kCaseA, kCaseB, kCaseC };
+
+const char* BudgetCaseToString(BudgetCase c);
+const char* PlanSelectionToString(PlanSelection s);
+
+/// Policy knobs of the economy.
+struct EconomyOptions {
+  /// a of Eq. 3: regret must reach this fraction of CR (after rounding)
+  /// before the cloud invests; 0 < a < 1.
+  double regret_fraction_a = 0.10;
+  /// n of Eq. 7: queries a build cost is amortized over. Calibrated to the
+  /// paper's million-SDSS-query workload: a column transfer is worth
+  /// roughly 5,000-20,000 result shipments, so the amortized share only
+  /// undercuts the back-end price at horizons of this order (the paper
+  /// defers choosing n to future work; ablation A2 sweeps it).
+  int64_t amortization_horizon = 50'000;
+  /// "The cache provider is conservative and builds structures only when
+  /// her profit exceeds the cost of building them" (Section VII-A): an
+  /// investment requires the accumulated credit CR to fully cover the
+  /// build cost (the account refuses overdrafts regardless; this guard
+  /// refuses to spend credit the cloud does not have *now*).
+  bool conservative_provider = true;
+  /// A structure fails (is evicted) when its unpaid maintenance exceeds
+  /// this fraction of its build cost (footnote 3's "structure failure").
+  double maintenance_failure_fraction = 0.25;
+  /// At most this many seconds of rent backlog is surcharged onto (and
+  /// collected from) a single selected plan; see
+  /// MaintenanceLedger::OwedCapped for why unbounded recovery would
+  /// poison idle structures forever. Calibrated near the workload's
+  /// inter-use gaps: large enough to recover steady-state rent, small
+  /// enough that one surcharge never exceeds a query's cache savings.
+  double maintenance_recovery_cap_seconds = 60.0;
+  /// Capacity of the LRU candidate pool (Section IV-B).
+  size_t candidate_pool_capacity = 512;
+  /// Selection criterion among affordable executable plans.
+  PlanSelection selection = PlanSelection::kCheapest;
+  /// Seed credit so the very first investments are possible.
+  Money initial_credit = Money::FromDollars(10.0);
+  /// If true, a structure becomes usable only after its build latency
+  /// (WAN transfer / sort / boot) has elapsed; if false, builds are
+  /// instantaneous (the paper's economy does not model build latency).
+  bool model_build_latency = true;
+  /// Upper bound on extra CPU nodes the cloud will ever keep.
+  uint32_t max_extra_nodes = 8;
+  /// A structure that fails maintenance just proved it cannot repay its
+  /// rent under the current workload; forfeiting its accumulated regret
+  /// prevents an immediate, equally doomed rebuild. Disable to study the
+  /// churn the paper's letter would produce.
+  bool clear_regret_on_failure = true;
+  /// If false, a query whose budget covers no plan (case A, user declines)
+  /// is rejected instead of falling back to the cheapest executable plan.
+  /// The paper's experiments have the user "accept query execution in the
+  /// back-end", i.e. true.
+  bool user_accepts_above_budget = true;
+};
+
+/// Everything that happened while serving (or declining) one query.
+struct QueryOutcome {
+  bool served = false;
+  BudgetCase budget_case = BudgetCase::kCaseB;
+  /// The executed plan (meaningful only if served).
+  QueryPlan chosen;
+  /// What the user paid: B_Q(t_i) in cases B/C, the plan price in case A.
+  Money payment;
+  /// payment - price of the chosen plan (non-negative).
+  Money profit;
+  /// Portions of the payment that repaid maintenance and amortized build
+  /// cost of the structures the chosen plan employed.
+  Money maintenance_collected;
+  Money amortization_collected;
+  /// Structures built, and structures evicted for maintenance failure,
+  /// while handling this query.
+  std::vector<StructureId> investments;
+  std::vector<StructureId> evictions;
+  /// Plan-space statistics (after skyline filtering).
+  uint32_t num_plans = 0;
+  uint32_t num_existing = 0;
+};
+
+/// The self-tuned economy of Section IV: prices plans, resolves the
+/// budget-vs-cost cases, accumulates regret, and invests the cloud's
+/// credit into new cache structures.
+///
+/// One engine instance owns the cache state, the accounts, and the ledgers
+/// of a single cloud; drive it by calling OnQuery for every arriving query
+/// in non-decreasing time order.
+class EconomyEngine {
+ public:
+  EconomyEngine(const Catalog* catalog, StructureRegistry* registry,
+                const CostModel* decision_model,
+                EnumeratorOptions enumerator_options,
+                EconomyOptions options);
+
+  /// Registers the index advisor's candidate pool.
+  void SetIndexCandidates(const std::vector<StructureKey>& candidates);
+
+  /// Serves one query with the user's budget function attached.
+  QueryOutcome OnQuery(const Query& query, const BudgetFunction& budget,
+                       SimTime now);
+
+  /// Advances time-dependent state (build completions, maintenance
+  /// failures) without serving a query.
+  void OnTick(SimTime now);
+
+  const CacheState& cache() const { return cache_; }
+  CacheState& cache() { return cache_; }
+  const CloudAccount& account() const { return account_; }
+  CloudAccount& mutable_account() { return account_; }
+  const RegretLedger& regret() const { return regret_; }
+  const Amortizer& amortizer() const { return amortizer_; }
+  const EconomyOptions& options() const { return options_; }
+  const PlanEnumerator& enumerator() const { return enumerator_; }
+  const CostModel& decision_model() const { return *model_; }
+
+  /// Structures currently under construction (build latency modeling).
+  size_t pending_builds() const { return pending_.size(); }
+
+  /// Directly builds a structure, bypassing the investment policy (used
+  /// by tests and by warm-start experiment setups). Charges the account.
+  Status ForceBuild(const StructureKey& key, SimTime now);
+
+ private:
+  struct PendingBuild {
+    SimTime ready_at;
+    StructureId id;
+  };
+
+  /// Moves finished pending builds into the cache.
+  void ActivatePending(SimTime now);
+  /// Computes carried charges (Ca + owed maintenance) for each plan.
+  void PriceCarriedCharges(PlanSet* set, SimTime now) const;
+  /// True if the plan is affordable under `budget`.
+  bool Affordable(const QueryPlan& plan, const BudgetFunction& budget) const;
+  /// Selects among `candidates` (indices into plans) per the policy.
+  size_t SelectPlan(const std::vector<QueryPlan>& plans,
+                    const std::vector<size_t>& candidates,
+                    const BudgetFunction& budget) const;
+  /// Regret accounting for the rejected hypothetical plans (Eq. 1/2).
+  void AccumulateRegret(const PlanSet& set, size_t chosen_index,
+                        BudgetCase budget_case, const BudgetFunction& budget,
+                        SimTime now);
+  /// Checks Eq. 3 over all candidates and builds what qualifies.
+  void MaybeInvest(SimTime now, QueryOutcome* outcome);
+  /// Evicts structures whose unpaid maintenance exceeds the failure
+  /// threshold.
+  void EvictFailedStructures(SimTime now, QueryOutcome* outcome);
+  /// Build-cost of `id` given current column residency.
+  Money BuildCostNow(StructureId id) const;
+  /// Executes `plan` bookkeeping: payments, touches, maintenance shares.
+  void SettleExecution(const Query& query, const QueryPlan& plan,
+                       Money payment, SimTime now, QueryOutcome* outcome);
+
+  const Catalog* catalog_;
+  StructureRegistry* registry_;
+  const CostModel* model_;
+  EconomyOptions options_;
+  PlanEnumerator enumerator_;
+  CacheState cache_;
+  CandidatePool pool_;
+  MaintenanceLedger maintenance_;
+  CloudAccount account_;
+  RegretLedger regret_;
+  Amortizer amortizer_;
+  std::vector<PendingBuild> pending_;
+  std::vector<bool> pending_flag_;  // Indexed by StructureId.
+  /// Failure evictions that happened in OnTick (no outcome to report
+  /// through); drained into the next OnQuery's outcome so metrics see
+  /// every eviction.
+  std::vector<StructureId> tick_evictions_;
+};
+
+}  // namespace cloudcache

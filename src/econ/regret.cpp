@@ -1,0 +1,57 @@
+#include "src/econ/regret.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace cloudcache {
+
+void RegretLedger::Add(StructureId id, Money amount) {
+  CLOUDCACHE_CHECK_GE(amount.micros(), 0);
+  if (amount.IsZero()) return;
+  regret_[id] += amount;
+}
+
+void RegretLedger::Distribute(const std::vector<StructureId>& structures,
+                              Money total) {
+  if (structures.empty() || total.IsZero()) return;
+  const auto count = static_cast<int64_t>(structures.size());
+  for (int64_t i = 0; i < count; ++i) {
+    Add(structures[static_cast<size_t>(i)], EvenShare(total, count, i));
+  }
+}
+
+Money RegretLedger::Get(StructureId id) const {
+  auto it = regret_.find(id);
+  return it == regret_.end() ? Money() : it->second;
+}
+
+Money RegretLedger::Clear(StructureId id) {
+  auto it = regret_.find(id);
+  if (it == regret_.end()) return Money();
+  const Money forfeited = it->second;
+  regret_.erase(it);
+  return forfeited;
+}
+
+Money RegretLedger::Total() const {
+  Money total;
+  for (const auto& [id, amount] : regret_) total += amount;
+  return total;
+}
+
+std::vector<std::pair<StructureId, Money>>
+RegretLedger::NonZeroDescending() const {
+  std::vector<std::pair<StructureId, Money>> out;
+  out.reserve(regret_.size());
+  for (const auto& entry : regret_) {
+    if (!entry.second.IsZero()) out.push_back(entry);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace cloudcache

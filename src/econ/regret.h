@@ -1,0 +1,49 @@
+#pragma once
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/structure/structure.h"
+#include "src/util/money.h"
+
+namespace cloudcache {
+
+/// The array `regretS` of Section IV-C: accumulated regret value per
+/// physical structure.
+///
+/// "The regret for a non-chosen query plan PQ is added to the positions in
+/// regretS that correspond to the S that are employed by PQ. The
+/// accumulated regret value for each S shows the overall regret of the
+/// cloud for not employing it in executed query plans."
+///
+/// Amounts are exact Money; a plan's regret is split over its structures
+/// with EvenShare so no micro-dollar is lost or invented.
+class RegretLedger {
+ public:
+  /// Adds regret to one structure. Negative additions are a bug.
+  void Add(StructureId id, Money amount);
+
+  /// Splits `total` evenly over `structures` (EvenShare distribution).
+  void Distribute(const std::vector<StructureId>& structures, Money total);
+
+  /// Accumulated regret of `id` (zero if never touched).
+  Money Get(StructureId id) const;
+
+  /// Forgets `id` (invested in, or garbage-collected from the candidate
+  /// pool). Returns the forfeited amount.
+  Money Clear(StructureId id);
+
+  /// Sum over all structures.
+  Money Total() const;
+
+  /// All entries with non-zero regret, descending by amount (ties by id).
+  std::vector<std::pair<StructureId, Money>> NonZeroDescending() const;
+
+  size_t size() const { return regret_.size(); }
+
+ private:
+  std::unordered_map<StructureId, Money> regret_;
+};
+
+}  // namespace cloudcache

@@ -1,0 +1,135 @@
+#include "src/plan/enumerator.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace cloudcache {
+
+PlanEnumerator::PlanEnumerator(const CostModel* model,
+                               StructureRegistry* registry,
+                               EnumeratorOptions options)
+    : model_(model), registry_(registry), options_(std::move(options)) {
+  CLOUDCACHE_CHECK(std::find(options_.node_options.begin(),
+                             options_.node_options.end(),
+                             1u) != options_.node_options.end());
+  std::sort(options_.node_options.begin(), options_.node_options.end());
+  options_.node_options.erase(std::unique(options_.node_options.begin(),
+                                          options_.node_options.end()),
+                              options_.node_options.end());
+}
+
+void PlanEnumerator::SetIndexCandidates(
+    const std::vector<StructureKey>& candidates) {
+  index_candidates_.clear();
+  index_candidates_.reserve(candidates.size());
+  for (const StructureKey& key : candidates) {
+    CLOUDCACHE_CHECK(key.type == StructureType::kIndex);
+    index_candidates_.push_back(registry_->Intern(key));
+  }
+}
+
+void PlanEnumerator::EmitNodeVariants(const Query& query,
+                                      const CacheState& cache, PlanSpec spec,
+                                      std::vector<StructureId> structures,
+                                      PlanSet* set) const {
+  std::sort(structures.begin(), structures.end());
+  structures.erase(std::unique(structures.begin(), structures.end()),
+                   structures.end());
+  for (uint32_t nodes : options_.node_options) {
+    if (nodes > 1 && !options_.allow_parallel) break;
+    QueryPlan plan;
+    plan.spec = spec;
+    plan.spec.cpu_nodes = nodes;
+    plan.structures = structures;
+    // Extra nodes beyond the always-on one are structures in their own
+    // right (BuildN/MaintN apply to them).
+    for (uint32_t extra = 0; extra + 1 < nodes; ++extra) {
+      plan.structures.push_back(registry_->Intern(CpuNodeKey(extra)));
+    }
+    for (StructureId id : plan.structures) {
+      if (!cache.IsResident(id)) plan.missing.push_back(id);
+    }
+    if (!plan.missing.empty() && !options_.include_hypothetical) continue;
+    plan.execution = model_->EstimateExecution(query, plan.spec);
+    set->plans.push_back(std::move(plan));
+  }
+}
+
+PlanSet PlanEnumerator::Enumerate(const Query& query,
+                                  const CacheState& cache) const {
+  PlanSet set;
+
+  // 1. The back-end plan: always available, employs no cache structures.
+  {
+    QueryPlan plan;
+    plan.spec.access = PlanSpec::Access::kBackend;
+    plan.spec.cpu_nodes = 1;
+    plan.execution = model_->EstimateExecution(query, plan.spec);
+    set.plans.push_back(std::move(plan));
+  }
+
+  const std::vector<ColumnId> accessed = query.AccessedColumns();
+  const Catalog& catalog = registry_->catalog();
+
+  // 2. Column-scan plan over the accessed columns.
+  {
+    PlanSpec spec;
+    spec.access = PlanSpec::Access::kCacheScan;
+    std::vector<StructureId> structures;
+    structures.reserve(accessed.size());
+    for (ColumnId col : accessed) {
+      structures.push_back(registry_->Intern(ColumnKey(catalog, col)));
+    }
+    EmitNodeVariants(query, cache, spec, std::move(structures), &set);
+  }
+
+  // 3. Index plans from the candidate pool.
+  if (options_.allow_indexes) {
+    for (StructureId index_id : index_candidates_) {
+      const StructureKey& key = registry_->key(index_id);
+      if (key.table != query.table) continue;
+
+      // The probe covers the maximal prefix of key columns that carry
+      // predicates of this query; an index whose leading column has no
+      // predicate cannot be probed.
+      PlanSpec spec;
+      spec.access = PlanSpec::Access::kCacheIndex;
+      for (ColumnId key_col : key.columns) {
+        bool found = false;
+        for (size_t pos = 0; pos < query.predicates.size(); ++pos) {
+          if (query.predicates[pos].column == key_col) {
+            spec.covered_predicates.push_back(pos);
+            found = true;
+            break;
+          }
+        }
+        if (!found) break;
+      }
+      if (spec.covered_predicates.empty()) continue;
+
+      spec.covering = std::all_of(
+          accessed.begin(), accessed.end(), [&](ColumnId col) {
+            return std::find(key.columns.begin(), key.columns.end(), col) !=
+                   key.columns.end();
+          });
+
+      std::vector<StructureId> structures = {index_id};
+      if (!spec.covering) {
+        // Row fetches read every accessed column absent from the index
+        // key from the cached base columns.
+        for (ColumnId col : accessed) {
+          if (std::find(key.columns.begin(), key.columns.end(), col) ==
+              key.columns.end()) {
+            structures.push_back(
+                registry_->Intern(ColumnKey(catalog, col)));
+          }
+        }
+      }
+      EmitNodeVariants(query, cache, spec, std::move(structures), &set);
+    }
+  }
+  return set;
+}
+
+}  // namespace cloudcache

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "src/cache/cache_state.h"
+#include "src/cost/cost_model.h"
+#include "src/plan/plan.h"
+#include "src/query/query.h"
+#include "src/structure/structure.h"
+
+namespace cloudcache {
+
+/// Knobs restricting the plan space; the scheme variants of Section VII-A
+/// are expressed through these (econ-col disables indexes and parallelism).
+struct EnumeratorOptions {
+  bool allow_indexes = true;
+  bool allow_parallel = true;
+  /// Node counts tried for cache plans; must contain 1.
+  std::vector<uint32_t> node_options = {1, 2, 3, 4};
+  /// Whether to emit hypothetical (PQpos) plans at all; the bypass-yield
+  /// baseline has no regret machinery and turns this off.
+  bool include_hypothetical = true;
+};
+
+/// Enumerates the candidate plan set PQ for a query (Section IV-B):
+///
+///  * the back-end plan (always exists, uses no cache structures),
+///  * a cache column-scan plan over the accessed columns,
+///  * one cache index plan per applicable candidate index (an index
+///    applies when its leading key column carries one of the query's
+///    predicates; the probe covers the maximal key prefix of predicate
+///    columns, and the plan is covering if the key contains every accessed
+///    column),
+///  * each of the above at every allowed CPU-node count.
+///
+/// Structures already resident make a plan executable (PQexist); plans
+/// referencing unbuilt structures are emitted as hypothetical (PQpos) when
+/// include_hypothetical is set. The returned set is NOT skyline-filtered:
+/// the economy first adds carried charges (Ca, owed maintenance), then
+/// applies SkylineFilter.
+class PlanEnumerator {
+ public:
+  PlanEnumerator(const CostModel* model, StructureRegistry* registry,
+                 EnumeratorOptions options);
+
+  /// Registers the advisor's index candidate pool (interning the keys).
+  void SetIndexCandidates(const std::vector<StructureKey>& candidates);
+
+  /// The interned candidate index ids.
+  const std::vector<StructureId>& index_candidates() const {
+    return index_candidates_;
+  }
+
+  /// Enumerates plans for `query` against the current cache contents.
+  PlanSet Enumerate(const Query& query, const CacheState& cache) const;
+
+  const EnumeratorOptions& options() const { return options_; }
+
+ private:
+  /// Adds per-node-count variants of a cache plan to `set`.
+  void EmitNodeVariants(const Query& query, const CacheState& cache,
+                        PlanSpec spec, std::vector<StructureId> structures,
+                        PlanSet* set) const;
+
+  const CostModel* model_;
+  StructureRegistry* registry_;
+  EnumeratorOptions options_;
+  std::vector<StructureId> index_candidates_;
+};
+
+}  // namespace cloudcache

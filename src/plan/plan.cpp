@@ -1,0 +1,49 @@
+#include "src/plan/plan.h"
+
+#include <cstdio>
+
+namespace cloudcache {
+
+namespace {
+const char* AccessName(PlanSpec::Access access) {
+  switch (access) {
+    case PlanSpec::Access::kBackend:
+      return "backend";
+    case PlanSpec::Access::kCacheScan:
+      return "cache-scan";
+    case PlanSpec::Access::kCacheIndex:
+      return "cache-index";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string QueryPlan::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s[%un] t=%.3fs price=%s%s",
+                AccessName(spec.access), spec.cpu_nodes,
+                execution.time_seconds, Price().ToString().c_str(),
+                missing.empty()
+                    ? ""
+                    : (" (+" + std::to_string(missing.size()) + " missing)")
+                          .c_str());
+  return buf;
+}
+
+std::vector<size_t> PlanSet::ExistingIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (plans[i].IsExisting()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> PlanSet::PossibleIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (!plans[i].IsExisting()) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace cloudcache

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/cost/cost_model.h"
+#include "src/structure/structure.h"
+#include "src/util/money.h"
+
+namespace cloudcache {
+
+/// A candidate query plan as the economy sees it: the physical shape, the
+/// structures it employs, which of them do not exist yet, and its priced
+/// execution estimate.
+///
+/// Plans with an empty `missing` set form PQexist (executable right now);
+/// plans employing at least one unbuilt structure form PQpos, considered
+/// only for regret accounting and investment (Section IV-B).
+struct QueryPlan {
+  PlanSpec spec;
+  /// Every structure the plan employs — resident or hypothetical. The
+  /// regret of a rejected plan is distributed uniformly over this set.
+  std::vector<StructureId> structures;
+  /// Subset of `structures` not currently resident; empty <=> PQexist.
+  std::vector<StructureId> missing;
+  /// Execution estimate at the deciding scheme's price list.
+  ExecutionEstimate execution;
+  /// Amortized-cost component Ca (Eq. 5-7) plus owed maintenance of the
+  /// plan's structures (footnote 3); filled by the economy after
+  /// enumeration, zero until then.
+  Money carried_charges;
+
+  /// True if every employed structure exists (the plan is executable).
+  bool IsExisting() const { return missing.empty(); }
+
+  /// C(PQ) = Ce(PQ) + Ca(PQ): the plan's advertised price (Eq. 4).
+  Money Price() const { return execution.cost + carried_charges; }
+
+  /// Response time the plan guarantees.
+  double TimeSeconds() const { return execution.time_seconds; }
+
+  /// Debug form, e.g. "cache-index[3n] t=1.20s price=$0.004 (+2 missing)".
+  std::string ToString() const;
+};
+
+/// The plan set for one query, split per Section IV-B.
+struct PlanSet {
+  std::vector<QueryPlan> plans;
+
+  /// Indices of existing (executable) plans.
+  std::vector<size_t> ExistingIndices() const;
+  /// Indices of hypothetical plans (at least one missing structure).
+  std::vector<size_t> PossibleIndices() const;
+};
+
+}  // namespace cloudcache

@@ -1,0 +1,60 @@
+#include "src/plan/skyline.h"
+
+#include <algorithm>
+
+namespace cloudcache {
+
+std::vector<size_t> SkylineIndices(const std::vector<QueryPlan>& plans) {
+  std::vector<size_t> order(plans.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Sort by (time asc, price asc, original index asc). A stable scan then
+  // keeps a plan iff its price is strictly below every faster plan's.
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (plans[a].TimeSeconds() != plans[b].TimeSeconds()) {
+      return plans[a].TimeSeconds() < plans[b].TimeSeconds();
+    }
+    if (plans[a].Price() != plans[b].Price()) {
+      return plans[a].Price() < plans[b].Price();
+    }
+    return a < b;
+  });
+  std::vector<size_t> skyline;
+  bool have_best = false;
+  Money best_price;
+  double last_time = 0;
+  for (size_t idx : order) {
+    const double time = plans[idx].TimeSeconds();
+    const Money price = plans[idx].Price();
+    if (!have_best) {
+      skyline.push_back(idx);
+      best_price = price;
+      last_time = time;
+      have_best = true;
+      continue;
+    }
+    if (time == last_time) continue;  // Same time: cheaper one already kept.
+    if (price < best_price) {
+      skyline.push_back(idx);
+      best_price = price;
+      last_time = time;
+    }
+  }
+  return skyline;
+}
+
+PlanSet SkylineFilter(PlanSet set) {
+  std::vector<QueryPlan> existing, possible;
+  for (QueryPlan& plan : set.plans) {
+    (plan.IsExisting() ? existing : possible).push_back(std::move(plan));
+  }
+  PlanSet out;
+  for (size_t idx : SkylineIndices(existing)) {
+    out.plans.push_back(std::move(existing[idx]));
+  }
+  for (size_t idx : SkylineIndices(possible)) {
+    out.plans.push_back(std::move(possible[idx]));
+  }
+  return out;
+}
+
+}  // namespace cloudcache

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/plan/plan.h"
+
+namespace cloudcache {
+
+/// Pareto skyline over (execution time, price), per footnote 2 of the
+/// paper: "PQ holds only the skyline query plans (w.r.t. execution time and
+/// overall cost); i.e. if there are two plans with the same execution time,
+/// only the cheapest one is encompassed."
+///
+/// A plan is dominated if another plan is no slower AND no more expensive
+/// (and strictly better on at least one axis). Ties on both axes keep the
+/// first plan (stable). Returns the surviving indices in ascending-time
+/// order.
+std::vector<size_t> SkylineIndices(const std::vector<QueryPlan>& plans);
+
+/// Applies SkylineIndices to each partition of the plan set separately:
+/// existing and possible plans are skylined independently, because PQexist
+/// must retain an executable frontier even when hypothetical plans
+/// dominate it. Returns the filtered set (relative order by time).
+PlanSet SkylineFilter(PlanSet set);
+
+}  // namespace cloudcache

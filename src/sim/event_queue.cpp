@@ -1,0 +1,23 @@
+#include "src/sim/event_queue.h"
+
+#include "src/util/logging.h"
+
+namespace cloudcache {
+
+void EventQueue::Push(SimEvent event) {
+  heap_.push(Entry{event, next_seq_++});
+}
+
+const SimEvent& EventQueue::Top() const {
+  CLOUDCACHE_CHECK(!heap_.empty());
+  return heap_.top().event;
+}
+
+SimEvent EventQueue::Pop() {
+  CLOUDCACHE_CHECK(!heap_.empty());
+  SimEvent event = heap_.top().event;
+  heap_.pop();
+  return event;
+}
+
+}  // namespace cloudcache

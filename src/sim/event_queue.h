@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace cloudcache {
+
+/// A timestamped simulation event. Kind is interpreted by the simulator;
+/// `payload` is an opaque 64-bit tag (query index, structure id, ...).
+struct SimEvent {
+  SimTime time = 0;
+  enum class Kind { kArrival, kMeterTick, kCustom } kind = Kind::kArrival;
+  uint64_t payload = 0;
+};
+
+/// Deterministic min-heap event queue: ties on time break by insertion
+/// sequence, so two runs with the same schedule pop identically.
+class EventQueue {
+ public:
+  void Push(SimEvent event);
+
+  bool Empty() const { return heap_.empty(); }
+  size_t Size() const { return heap_.size(); }
+
+  /// Earliest event without removing it; queue must be non-empty.
+  const SimEvent& Top() const;
+
+  /// Removes and returns the earliest event; queue must be non-empty.
+  SimEvent Pop();
+
+ private:
+  struct Entry {
+    SimEvent event;
+    uint64_t seq;
+    bool operator>(const Entry& other) const {
+      if (event.time != other.event.time) {
+        return event.time > other.event.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace cloudcache

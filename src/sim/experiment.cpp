@@ -1,0 +1,65 @@
+#include "src/sim/experiment.h"
+
+#include "src/structure/index_advisor.h"
+#include "src/util/logging.h"
+
+namespace cloudcache {
+
+SimMetrics RunExperiment(const Catalog& catalog,
+                         const std::vector<QueryTemplate>& templates,
+                         const ExperimentConfig& config) {
+  Result<std::vector<ResolvedTemplate>> resolved =
+      ResolveTemplates(catalog, templates);
+  CLOUDCACHE_CHECK(resolved.ok());
+
+  const std::vector<StructureKey> indexes =
+      RecommendIndexes(catalog, *resolved, config.index_candidates);
+
+  std::unique_ptr<Scheme> scheme;
+  if (config.scheme == SchemeKind::kBypassYield) {
+    BypassYieldScheme::Options options;
+    if (config.customize_bypass) config.customize_bypass(options);
+    scheme = std::make_unique<BypassYieldScheme>(&catalog, options);
+  } else {
+    EconScheme::Config econ_config;
+    switch (config.scheme) {
+      case SchemeKind::kEconCol:
+        econ_config = EconScheme::EconColConfig();
+        break;
+      case SchemeKind::kEconFast:
+        econ_config = EconScheme::EconFastConfig();
+        break;
+      default:
+        econ_config = EconScheme::EconCheapConfig();
+        break;
+    }
+    econ_config.seed = config.seed;
+    if (config.customize_econ) config.customize_econ(econ_config);
+    scheme = std::make_unique<EconScheme>(&catalog, &config.decision_prices,
+                                          indexes, std::move(econ_config));
+  }
+
+  WorkloadGenerator workload(&catalog, *resolved, config.workload);
+  Simulator simulator(&catalog, scheme.get(), &workload, config.sim);
+  return simulator.Run();
+}
+
+std::vector<SimMetrics> RunAllSchemes(
+    const Catalog& catalog, const std::vector<QueryTemplate>& templates,
+    ExperimentConfig config) {
+  std::vector<SimMetrics> results;
+  for (SchemeKind kind : PaperSchemes()) {
+    config.scheme = kind;
+    results.push_back(RunExperiment(catalog, templates, config));
+  }
+  return results;
+}
+
+std::vector<double> PaperInterarrivals() { return {1.0, 10.0, 30.0, 60.0}; }
+
+std::vector<SchemeKind> PaperSchemes() {
+  return {SchemeKind::kBypassYield, SchemeKind::kEconCol,
+          SchemeKind::kEconCheap, SchemeKind::kEconFast};
+}
+
+}  // namespace cloudcache

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/baseline/bypass_yield.h"
+#include "src/baseline/scheme.h"
+#include "src/catalog/schema.h"
+#include "src/query/templates.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/workload/generator.h"
+
+namespace cloudcache {
+
+/// A full experiment: one scheme driven by one workload configuration.
+struct ExperimentConfig {
+  SchemeKind scheme = SchemeKind::kEconCheap;
+  WorkloadOptions workload;
+  SimulatorOptions sim;
+  /// Decision prices for the economy schemes (bypass-yield always decides
+  /// at network-only prices regardless).
+  PriceList decision_prices = PriceList::AmazonEc2_2009();
+  /// Advisor pool size ("65 potentially useful indexes", Section VII-A).
+  size_t index_candidates = 65;
+  /// Ablation hooks: mutate the scheme configuration before construction.
+  /// Applied only when the experiment's scheme is of the matching kind.
+  std::function<void(EconScheme::Config&)> customize_econ;
+  std::function<void(BypassYieldScheme::Options&)> customize_bypass;
+  uint64_t seed = 7;
+};
+
+/// Runs one experiment end to end: resolve templates, recommend indexes,
+/// build the scheme, generate the workload, simulate, return metrics.
+SimMetrics RunExperiment(const Catalog& catalog,
+                         const std::vector<QueryTemplate>& templates,
+                         const ExperimentConfig& config);
+
+/// Runs the same workload against all four schemes of Section VII-A.
+std::vector<SimMetrics> RunAllSchemes(
+    const Catalog& catalog, const std::vector<QueryTemplate>& templates,
+    ExperimentConfig config);
+
+/// The four inter-arrival intervals of Figs. 4 and 5.
+std::vector<double> PaperInterarrivals();
+
+/// The four schemes in the paper's legend order.
+std::vector<SchemeKind> PaperSchemes();
+
+}  // namespace cloudcache

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/money.h"
+#include "src/util/stats.h"
+
+namespace cloudcache {
+
+/// Metered operating cost decomposed by resource — the quantities behind
+/// Fig. 4. All values in dollars at the metered (real) price list.
+struct ResourceBreakdown {
+  double cpu_dollars = 0;
+  double network_dollars = 0;
+  double disk_dollars = 0;
+  double io_dollars = 0;
+
+  double Total() const {
+    return cpu_dollars + network_dollars + disk_dollars + io_dollars;
+  }
+
+  ResourceBreakdown& operator+=(const ResourceBreakdown& other) {
+    cpu_dollars += other.cpu_dollars;
+    network_dollars += other.network_dollars;
+    disk_dollars += other.disk_dollars;
+    io_dollars += other.io_dollars;
+    return *this;
+  }
+};
+
+/// Everything one simulation run measures.
+struct SimMetrics {
+  std::string scheme_name;
+
+  // --- Fig. 5: response time over served queries.
+  RunningStats response_seconds;
+  QuantileSketch response_sketch;
+
+  // --- Fig. 4: metered operating cost.
+  ResourceBreakdown operating_cost;
+
+  // --- Economy health.
+  Money revenue;
+  Money profit;
+  Money final_credit;
+
+  // --- Traffic mix.
+  uint64_t queries = 0;
+  uint64_t served = 0;
+  uint64_t served_in_cache = 0;
+  uint64_t served_in_backend = 0;
+  uint64_t wan_bytes = 0;
+
+  // --- Adaptation activity.
+  uint64_t investments = 0;
+  uint64_t evictions = 0;
+
+  // --- Budget case mix (economy schemes only).
+  uint64_t case_a = 0;
+  uint64_t case_b = 0;
+  uint64_t case_c = 0;
+
+  // --- Final cache shape.
+  uint64_t final_resident_bytes = 0;
+  uint32_t final_extra_nodes = 0;
+
+  // --- Timelines (downsampled on report).
+  TimeSeries cost_over_time;    // Cumulative operating dollars.
+  TimeSeries credit_over_time;  // CR in dollars.
+
+  /// Mean response time in seconds (0 if nothing served).
+  double MeanResponse() const { return response_seconds.mean(); }
+  /// Fraction of served queries answered from the cache.
+  double CacheHitRate() const {
+    return served == 0 ? 0.0
+                       : static_cast<double>(served_in_cache) /
+                             static_cast<double>(served);
+  }
+};
+
+}  // namespace cloudcache

@@ -1,0 +1,103 @@
+#include "src/sim/report.h"
+
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace cloudcache {
+
+std::string FormatRunDetail(const SimMetrics& m) {
+  std::ostringstream out;
+  out << "scheme " << m.scheme_name << ": " << m.queries << " queries, "
+      << m.served << " served (" << m.served_in_cache << " cache / "
+      << m.served_in_backend << " backend)\n";
+  out << "  response: mean " << FormatDouble(m.MeanResponse(), 3)
+      << "s  p50 " << FormatDouble(m.response_sketch.Quantile(0.5), 3)
+      << "s  p95 " << FormatDouble(m.response_sketch.Quantile(0.95), 3)
+      << "s  max " << FormatDouble(m.response_sketch.Quantile(1.0), 3)
+      << "s\n";
+  out << "  operating cost: $" << FormatDouble(m.operating_cost.Total(), 2)
+      << "  (cpu $" << FormatDouble(m.operating_cost.cpu_dollars, 2)
+      << ", net $" << FormatDouble(m.operating_cost.network_dollars, 2)
+      << ", disk $" << FormatDouble(m.operating_cost.disk_dollars, 2)
+      << ", io $" << FormatDouble(m.operating_cost.io_dollars, 2) << ")\n";
+  out << "  economy: revenue " << m.revenue.ToString() << ", profit "
+      << m.profit.ToString() << ", final credit "
+      << m.final_credit.ToString() << "\n";
+  out << "  adaptation: " << m.investments << " investments, "
+      << m.evictions << " evictions; cases A/B/C = " << m.case_a << "/"
+      << m.case_b << "/" << m.case_c << "\n";
+  out << "  cache: " << FormatDouble(
+             static_cast<double>(m.final_resident_bytes) / 1e9, 1)
+      << " GB resident, " << m.final_extra_nodes << " extra nodes\n";
+  return out.str();
+}
+
+namespace {
+
+TableWriter MakeSweepTable(
+    const std::vector<double>& intervals,
+    const std::vector<std::vector<SimMetrics>>& rows,
+    const char* value_header, double (*extract)(const SimMetrics&),
+    int precision) {
+  CLOUDCACHE_CHECK_EQ(intervals.size(), rows.size());
+  std::vector<std::string> headers = {
+      std::string("interarrival_s [") + value_header + "]"};
+  if (!rows.empty()) {
+    for (const SimMetrics& m : rows.front()) {
+      headers.push_back(m.scheme_name);
+    }
+  }
+  TableWriter table(std::move(headers));
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    std::vector<std::string> cells = {FormatDouble(intervals[i], 0)};
+    for (const SimMetrics& m : rows[i]) {
+      cells.push_back(FormatDouble(extract(m), precision));
+    }
+    CLOUDCACHE_CHECK(table.AddRow(std::move(cells)).ok());
+  }
+  return table;
+}
+
+}  // namespace
+
+TableWriter MakeOperatingCostTable(
+    const std::vector<double>& intervals,
+    const std::vector<std::vector<SimMetrics>>& rows) {
+  return MakeSweepTable(
+      intervals, rows, "operating cost $",
+      [](const SimMetrics& m) { return m.operating_cost.Total(); }, 2);
+}
+
+TableWriter MakeResponseTimeTable(
+    const std::vector<double>& intervals,
+    const std::vector<std::vector<SimMetrics>>& rows) {
+  return MakeSweepTable(
+      intervals, rows, "mean response s",
+      [](const SimMetrics& m) { return m.MeanResponse(); }, 3);
+}
+
+TableWriter MakeSchemeSummaryTable(const std::vector<SimMetrics>& runs) {
+  TableWriter table({"scheme", "mean_resp_s", "p95_resp_s", "op_cost_$",
+                     "cpu_$", "net_$", "disk_$", "io_$", "hit_rate",
+                     "invest", "evict", "credit_$"});
+  for (const SimMetrics& m : runs) {
+    CLOUDCACHE_CHECK(
+        table
+            .AddRow({m.scheme_name, FormatDouble(m.MeanResponse(), 3),
+                     FormatDouble(m.response_sketch.Quantile(0.95), 3),
+                     FormatDouble(m.operating_cost.Total(), 2),
+                     FormatDouble(m.operating_cost.cpu_dollars, 2),
+                     FormatDouble(m.operating_cost.network_dollars, 2),
+                     FormatDouble(m.operating_cost.disk_dollars, 2),
+                     FormatDouble(m.operating_cost.io_dollars, 2),
+                     FormatDouble(m.CacheHitRate(), 3),
+                     std::to_string(m.investments),
+                     std::to_string(m.evictions),
+                     FormatDouble(m.final_credit.ToDollars(), 2)})
+            .ok());
+  }
+  return table;
+}
+
+}  // namespace cloudcache

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sim/metrics.h"
+#include "src/util/table_writer.h"
+
+namespace cloudcache {
+
+/// Formatting of simulation results into the shapes the paper reports.
+
+/// One detail block per run: scheme, responses, cost breakdown, economy
+/// health, cache shape.
+std::string FormatRunDetail(const SimMetrics& metrics);
+
+/// Fig. 4-shaped table: rows = inter-arrival seconds, one column of
+/// operating dollars per scheme. `rows[i][j]` is the metrics of scheme j
+/// at interval `intervals[i]`.
+TableWriter MakeOperatingCostTable(
+    const std::vector<double>& intervals,
+    const std::vector<std::vector<SimMetrics>>& rows);
+
+/// Fig. 5-shaped table: rows = inter-arrival seconds, one column of mean
+/// response seconds per scheme.
+TableWriter MakeResponseTimeTable(
+    const std::vector<double>& intervals,
+    const std::vector<std::vector<SimMetrics>>& rows);
+
+/// Comparison summary over schemes at a single configuration.
+TableWriter MakeSchemeSummaryTable(const std::vector<SimMetrics>& runs);
+
+}  // namespace cloudcache

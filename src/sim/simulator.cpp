@@ -1,0 +1,142 @@
+#include "src/sim/simulator.h"
+
+#include "src/util/logging.h"
+
+namespace cloudcache {
+
+Simulator::Simulator(const Catalog* catalog, Scheme* scheme,
+                     WorkloadGenerator* workload, SimulatorOptions options)
+    : catalog_(catalog),
+      scheme_(scheme),
+      workload_(workload),
+      options_(options),
+      metered_model_(catalog, &options_.metered_prices) {}
+
+void Simulator::MeterRent(SimTime now, SimMetrics* metrics) {
+  const double dt = now - last_meter_time_;
+  if (dt <= 0) return;
+  last_meter_time_ = now;
+  const PriceList& p = options_.metered_prices;
+  const CacheState& cache = scheme_->cache();
+
+  // Rent is metered in double dollars: per-interval amounts on small
+  // configurations can be far below one micro-dollar, and rounding each
+  // interval through Money would silently zero them out.
+  const double disk_dollars = static_cast<double>(cache.resident_bytes()) *
+                              dt * p.disk_byte_second_dollars;
+  const double reservation_dollars =
+      static_cast<double>(cache.extra_cpu_nodes()) * dt *
+      p.cpu_second_dollars * p.cpu_reserve_fraction;
+  metrics->operating_cost.disk_dollars += disk_dollars;
+  metrics->operating_cost.cpu_dollars += reservation_dollars;
+  // The account charge accumulates fractional micro-dollars and releases
+  // them once they round to something chargeable.
+  pending_rent_dollars_ += disk_dollars + reservation_dollars;
+  const Money charge = Money::FromDollars(pending_rent_dollars_);
+  if (!charge.IsZero()) {
+    pending_rent_dollars_ -= charge.ToDollars();
+    scheme_->ChargeExpenditure(charge, now);
+  }
+}
+
+void Simulator::MeterQuery(const Query& query, const ServedQuery& served,
+                           SimTime now, SimMetrics* metrics) {
+  const PriceList& p = options_.metered_prices;
+  ResourceBreakdown bill;
+  Money charged;
+
+  if (served.served) {
+    // Re-price the executed plan's raw resource usage at metered rates.
+    // The estimate stored in `served` was computed under the scheme's own
+    // price list, but its physical quantities (seconds, ops, bytes) are
+    // price-independent.
+    const ExecutionEstimate metered =
+        metered_model_.EstimateExecution(query, served.spec);
+    bill.cpu_dollars += p.CpuCost(metered.cpu_seconds).ToDollars();
+    bill.io_dollars += p.IoCost(metered.io_ops).ToDollars();
+    bill.network_dollars += p.NetworkCost(metered.wan_bytes).ToDollars();
+    charged += p.CpuCost(metered.cpu_seconds) + p.IoCost(metered.io_ops) +
+               p.NetworkCost(metered.wan_bytes);
+    metrics->wan_bytes += metered.wan_bytes;
+  }
+
+  // Builds triggered by this query.
+  const BuildUsage& usage = served.build_usage;
+  if (usage.cpu_seconds > 0 || usage.wan_bytes > 0 || usage.io_ops > 0) {
+    bill.cpu_dollars += p.CpuCost(usage.cpu_seconds).ToDollars();
+    bill.network_dollars += p.NetworkCost(usage.wan_bytes).ToDollars();
+    bill.io_dollars += p.IoCost(usage.io_ops).ToDollars();
+    metrics->wan_bytes += usage.wan_bytes;
+    // Build spending was already withdrawn from the scheme's account as an
+    // investment (economy schemes), so it is not re-charged there; it is
+    // still part of the metered operating cost.
+  }
+  metrics->operating_cost += bill;
+  if (!charged.IsZero()) scheme_->ChargeExpenditure(charged, now);
+}
+
+SimMetrics Simulator::Run() {
+  SimMetrics metrics;
+  metrics.scheme_name = scheme_->name();
+  last_meter_time_ = workload_->PeekNextArrival();
+
+  EventQueue queue;
+  for (uint64_t i = 0; i < options_.num_queries; ++i) {
+    Query query = workload_->Next();
+    const SimTime now = query.arrival_time;
+    queue.Push(SimEvent{now, SimEvent::Kind::kArrival, query.id});
+
+    // Single-stream arrival processing (the paper serves queries one at a
+    // time at fixed inter-arrival spacing); the queue is drained
+    // immediately but keeps ordering disciplined if extended.
+    queue.Pop();
+
+    MeterRent(now, &metrics);
+    const ServedQuery served = scheme_->OnQuery(query, now);
+    MeterQuery(query, served, now, &metrics);
+
+    ++metrics.queries;
+    if (served.served) {
+      ++metrics.served;
+      metrics.response_seconds.Add(served.execution.time_seconds);
+      metrics.response_sketch.Add(served.execution.time_seconds);
+      if (served.spec.access == PlanSpec::Access::kBackend) {
+        ++metrics.served_in_backend;
+      } else {
+        ++metrics.served_in_cache;
+      }
+      metrics.revenue += served.payment;
+      metrics.profit += served.profit;
+    }
+    metrics.investments += served.investments;
+    metrics.evictions += served.evictions;
+    if (served.has_budget_case) {
+      switch (served.budget_case) {
+        case BudgetCase::kCaseA:
+          ++metrics.case_a;
+          break;
+        case BudgetCase::kCaseB:
+          ++metrics.case_b;
+          break;
+        case BudgetCase::kCaseC:
+          ++metrics.case_c;
+          break;
+      }
+    }
+
+    if (options_.timeline_stride != 0 &&
+        (i % options_.timeline_stride == 0 ||
+         i + 1 == options_.num_queries)) {
+      metrics.cost_over_time.Add(now, metrics.operating_cost.Total());
+      metrics.credit_over_time.Add(now,
+                                   scheme_->credit().ToDollars());
+    }
+  }
+
+  metrics.final_credit = scheme_->credit();
+  metrics.final_resident_bytes = scheme_->cache().resident_bytes();
+  metrics.final_extra_nodes = scheme_->cache().extra_cpu_nodes();
+  return metrics;
+}
+
+}  // namespace cloudcache

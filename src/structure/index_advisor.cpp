@@ -1,0 +1,79 @@
+#include "src/structure/index_advisor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace cloudcache {
+
+namespace {
+
+/// Appends `key` to `out` unless an identical candidate was seen already.
+void Emit(const StructureKey& key,
+          std::unordered_set<StructureKey, StructureKeyHash>* seen,
+          std::vector<StructureKey>* out) {
+  if (seen->insert(key).second) out->push_back(key);
+}
+
+}  // namespace
+
+std::vector<StructureKey> RecommendIndexes(
+    const Catalog& catalog, const std::vector<ResolvedTemplate>& templates,
+    size_t target_count, size_t max_index_width) {
+  std::vector<StructureKey> out;
+  std::unordered_set<StructureKey, StructureKeyHash> seen;
+
+  // Pass 1: single-column indexes on every predicate column, in template
+  // order. These are the cheapest useful candidates, listed first like an
+  // advisor's top recommendations.
+  for (const ResolvedTemplate& tmpl : templates) {
+    for (const auto& pred : tmpl.predicates) {
+      Emit(IndexKey(catalog, {pred.column}), &seen, &out);
+    }
+  }
+
+  // Pass 2: per-template composite over all predicate columns.
+  for (const ResolvedTemplate& tmpl : templates) {
+    if (tmpl.predicates.size() < 2) continue;
+    std::vector<ColumnId> cols;
+    for (const auto& pred : tmpl.predicates) cols.push_back(pred.column);
+    if (cols.size() > max_index_width) cols.resize(max_index_width);
+    Emit(IndexKey(catalog, std::move(cols)), &seen, &out);
+  }
+
+  // Pass 3: covering index per template: predicates then outputs.
+  for (const ResolvedTemplate& tmpl : templates) {
+    std::vector<ColumnId> cols;
+    for (const auto& pred : tmpl.predicates) cols.push_back(pred.column);
+    for (ColumnId col : tmpl.output_columns) {
+      if (std::find(cols.begin(), cols.end(), col) == cols.end()) {
+        cols.push_back(col);
+      }
+    }
+    if (cols.size() > max_index_width) cols.resize(max_index_width);
+    if (cols.size() < 2) continue;
+    Emit(IndexKey(catalog, std::move(cols)), &seen, &out);
+  }
+
+  // Pass 4: (predicate, output) pairs, round-robin over templates, until
+  // the pool reaches target_count or pairs are exhausted.
+  bool emitted = true;
+  for (size_t pred_i = 0; emitted && out.size() < target_count; ++pred_i) {
+    emitted = false;
+    for (const ResolvedTemplate& tmpl : templates) {
+      if (pred_i >= tmpl.predicates.size()) continue;
+      const ColumnId pred_col = tmpl.predicates[pred_i].column;
+      for (ColumnId out_col : tmpl.output_columns) {
+        if (out_col == pred_col) continue;
+        if (out.size() >= target_count) break;
+        Emit(IndexKey(catalog, {pred_col, out_col}), &seen, &out);
+        emitted = true;
+      }
+      if (out.size() >= target_count) break;
+    }
+  }
+
+  if (out.size() > target_count) out.resize(target_count);
+  return out;
+}
+
+}  // namespace cloudcache

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/catalog/schema.h"
+#include "src/query/templates.h"
+#include "src/structure/structure.h"
+
+namespace cloudcache {
+
+/// Deterministic index-candidate generator.
+///
+/// The paper uses "65 potentially useful indexes from DB2's 'recommend
+/// indexes' mode" (Section VII-A). We reproduce the candidate pool the way
+/// such advisors construct it — from the workload's templates:
+///
+///   1. a single-column index on every distinct predicate column,
+///   2. a composite index over each template's predicate columns (most
+///      selective first, i.e. template order, which lists the clustered
+///      locality predicate first),
+///   3. a covering index per template (predicates followed by outputs,
+///      truncated to `max_index_width` columns),
+///   4. two-column (predicate, output) pairings per template until the
+///      requested pool size is reached.
+///
+/// Candidates are deduplicated preserving first-seen order, so the pool is
+/// a deterministic function of the templates. If the templates cannot yield
+/// `target_count` distinct candidates the pool is simply smaller; no
+/// padding is invented.
+std::vector<StructureKey> RecommendIndexes(
+    const Catalog& catalog, const std::vector<ResolvedTemplate>& templates,
+    size_t target_count = 65, size_t max_index_width = 4);
+
+}  // namespace cloudcache

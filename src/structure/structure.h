@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/catalog/schema.h"
+#include "src/util/status.h"
+
+namespace cloudcache {
+
+/// The three kinds of cache structures the cloud can invest in
+/// (Section V-C): extra CPU nodes, cached table columns, and indexes built
+/// in the cache.
+enum class StructureType { kCpuNode, kColumn, kIndex };
+
+const char* StructureTypeToString(StructureType type);
+
+/// Dense identifier of an interned structure; key of the regret ledger and
+/// of every per-structure array in the cache.
+using StructureId = uint32_t;
+
+/// Value-identity of a structure.
+///
+/// * kCpuNode: `ordinal` = which extra node (0 = first node beyond the
+///   always-on coordinator); columns/table unused.
+/// * kColumn:  `columns` = {the cached column}; `table` = its table.
+/// * kIndex:   `columns` = ordered key columns; `table` = indexed table.
+struct StructureKey {
+  StructureType type = StructureType::kColumn;
+  TableId table = 0;
+  std::vector<ColumnId> columns;
+  uint32_t ordinal = 0;
+
+  bool operator==(const StructureKey& other) const = default;
+
+  /// Stable human-readable form, e.g. "column(lineitem.l_shipdate)",
+  /// "index(lineitem: l_shipdate,l_discount)", "cpu(2)".
+  std::string ToString(const Catalog& catalog) const;
+};
+
+/// Convenience constructors.
+StructureKey CpuNodeKey(uint32_t ordinal);
+StructureKey ColumnKey(const Catalog& catalog, ColumnId column);
+StructureKey IndexKey(const Catalog& catalog, std::vector<ColumnId> columns);
+
+struct StructureKeyHash {
+  size_t operator()(const StructureKey& key) const;
+};
+
+/// Disk footprint of a structure in bytes (0 for CPU nodes).
+///
+/// An index stores its key columns plus an 8-byte row locator per row,
+/// which is why indexes are bulkier than the columns they cover — the
+/// paper's 60-second runs evict them first for exactly this reason.
+uint64_t StructureBytes(const Catalog& catalog, const StructureKey& key);
+
+/// Interning table from StructureKey to dense StructureId.
+///
+/// The economy, cache, and regret ledger all address structures by dense id
+/// so their per-structure state is flat arrays. Registration is
+/// append-only: ids are never reused, matching the paper's monotone
+/// `regretS` array.
+class StructureRegistry {
+ public:
+  explicit StructureRegistry(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Returns the id of `key`, interning it on first sight.
+  StructureId Intern(const StructureKey& key);
+
+  /// Returns the id of `key` if already interned.
+  Result<StructureId> Find(const StructureKey& key) const;
+
+  const StructureKey& key(StructureId id) const { return keys_[id]; }
+  /// Cached disk footprint of the structure.
+  uint64_t bytes(StructureId id) const { return bytes_[id]; }
+
+  size_t size() const { return keys_.size(); }
+  const Catalog& catalog() const { return *catalog_; }
+
+  /// All interned ids of the given type, ascending.
+  std::vector<StructureId> IdsOfType(StructureType type) const;
+
+ private:
+  const Catalog* catalog_;
+  std::vector<StructureKey> keys_;
+  std::vector<uint64_t> bytes_;
+  std::unordered_map<StructureKey, StructureId, StructureKeyHash> index_;
+};
+
+}  // namespace cloudcache

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cloudcache {
+
+/// Log severity, ordered. The simulator defaults to kWarning so that large
+/// parameter sweeps stay quiet; examples raise it to kInfo.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity that will be emitted.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log line; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction (CHECK failures).
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define CLOUDCACHE_LOG(level)                                        \
+  ::cloudcache::internal::LogMessage(::cloudcache::LogLevel::level,  \
+                                     __FILE__, __LINE__)
+
+/// Invariant check, active in all build types. The economy's accounting
+/// invariants (credit conservation, non-negative regret) are cheap relative
+/// to simulation work, so they stay on in release builds.
+#define CLOUDCACHE_CHECK(condition)                                     \
+  if (condition) {                                                      \
+  } else /* NOLINT */                                                   \
+    ::cloudcache::internal::FatalMessage(__FILE__, __LINE__, #condition)
+
+#define CLOUDCACHE_CHECK_GE(a, b) CLOUDCACHE_CHECK((a) >= (b))
+#define CLOUDCACHE_CHECK_GT(a, b) CLOUDCACHE_CHECK((a) > (b))
+#define CLOUDCACHE_CHECK_LE(a, b) CLOUDCACHE_CHECK((a) <= (b))
+#define CLOUDCACHE_CHECK_LT(a, b) CLOUDCACHE_CHECK((a) < (b))
+#define CLOUDCACHE_CHECK_EQ(a, b) CLOUDCACHE_CHECK((a) == (b))
+#define CLOUDCACHE_CHECK_NE(a, b) CLOUDCACHE_CHECK((a) != (b))
+
+}  // namespace cloudcache

@@ -1,0 +1,124 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloudcache {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const int64_t total = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(total);
+  mean_ = (mean_ * static_cast<double>(count_) +
+           other.mean_ * static_cast<double>(other.count_)) /
+          static_cast<double>(total);
+  count_ = total;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+QuantileSketch::QuantileSketch() : bins_(kBins, 0) {}
+
+namespace {
+// Bin geometry: kBins log-spaced bins over [kLo, kHi).
+constexpr double kLo = 1e-9;
+constexpr double kHi = 1e9;
+const double kLogLo = std::log(kLo);
+const double kLogSpan = std::log(kHi) - std::log(kLo);
+}  // namespace
+
+size_t QuantileSketch::BinIndex(double x) const {
+  const double t = (std::log(x) - kLogLo) / kLogSpan;
+  const auto raw = static_cast<long>(t * static_cast<double>(kBins));
+  if (raw < 0) return 0;
+  if (raw >= static_cast<long>(kBins)) return kBins - 1;
+  return static_cast<size_t>(raw);
+}
+
+double QuantileSketch::BinMid(size_t index) const {
+  const double frac =
+      (static_cast<double>(index) + 0.5) / static_cast<double>(kBins);
+  return std::exp(kLogLo + frac * kLogSpan);
+}
+
+void QuantileSketch::Add(double x) {
+  if (x < 0) x = 0;
+  ++count_;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  if (x < kLo) {
+    ++underflow_;
+    return;
+  }
+  ++bins_[BinIndex(x)];
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  for (size_t i = 0; i < kBins; ++i) bins_[i] += other.bins_[i];
+  count_ += other.count_;
+  underflow_ += other.underflow_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double QuantileSketch::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  const double target = q * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return 0.0;
+  for (size_t i = 0; i < kBins; ++i) {
+    cum += static_cast<double>(bins_[i]);
+    if (cum >= target) return std::clamp(BinMid(i), min_, max_);
+  }
+  return max_;
+}
+
+void TimeSeries::Add(double time, double value) {
+  times_.push_back(time);
+  values_.push_back(value);
+}
+
+TimeSeries TimeSeries::Downsample(size_t max_points) const {
+  TimeSeries out;
+  const size_t n = times_.size();
+  if (n <= max_points || max_points < 2) {
+    out.times_ = times_;
+    out.values_ = values_;
+    return out;
+  }
+  for (size_t k = 0; k < max_points; ++k) {
+    const size_t i = k * (n - 1) / (max_points - 1);
+    out.Add(times_[i], values_[i]);
+  }
+  return out;
+}
+
+}  // namespace cloudcache

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cloudcache {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable over millions of samples; used for per-query response
+/// time and cost statistics in the simulator.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel sweeps).
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  /// Mean of the observations; 0 if empty.
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+  /// sqrt(variance()).
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-memory quantile sketch over non-negative values: log-spaced bins
+/// covering [1e-9, 1e9) with ~2.3% relative error, plus exact min/max.
+///
+/// Chosen over exact storage because a million-query simulation would
+/// otherwise hold a million doubles per metric, and over t-digest for
+/// simplicity — the relative error is far below the run-to-run noise of the
+/// simulated workloads.
+class QuantileSketch {
+ public:
+  QuantileSketch();
+
+  /// Adds one observation; negative values are clamped to zero.
+  void Add(double x);
+
+  /// Merges another sketch (must be default-layout, which all are).
+  void Merge(const QuantileSketch& other);
+
+  /// Value at quantile q in [0, 1]; 0 if empty. q=0 returns the exact min,
+  /// q=1 the exact max.
+  double Quantile(double q) const;
+
+  int64_t count() const { return count_; }
+
+ private:
+  size_t BinIndex(double x) const;
+  double BinMid(size_t index) const;
+
+  static constexpr size_t kBins = 1024;
+  std::vector<int64_t> bins_;
+  int64_t count_ = 0;
+  int64_t underflow_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Append-only (time, value) series with down-sampling for reports.
+class TimeSeries {
+ public:
+  /// Appends a point; times must be non-decreasing.
+  void Add(double time, double value);
+
+  size_t size() const { return times_.size(); }
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Last value, or 0 if empty.
+  double Last() const { return values_.empty() ? 0.0 : values_.back(); }
+
+  /// At most `max_points` evenly-spaced-by-index points, keeping first and
+  /// last. Returns the whole series if it is already small enough.
+  TimeSeries Downsample(size_t max_points) const;
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace cloudcache

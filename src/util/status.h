@@ -1,0 +1,124 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cloudcache {
+
+/// Machine-readable failure category, modeled after Arrow/Abseil status
+/// codes but restricted to what this library actually produces.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // Caller violated a documented precondition.
+  kNotFound,          // Named entity (table, column, structure) is unknown.
+  kAlreadyExists,     // Duplicate registration.
+  kOutOfRange,        // Index/time/budget outside its legal interval.
+  kFailedPrecondition,// Object is in the wrong state for the call.
+  kResourceExhausted, // Account/capacity cannot cover the request.
+  kIoError,           // Trace file read/write failed.
+  kInternal,          // Invariant violation: a bug in this library.
+};
+
+/// Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation that returns no value.
+///
+/// The library does not throw across public API boundaries; every operation
+/// that can fail for a reason the caller may want to handle returns Status
+/// or Result<T>. Statuses are cheap to copy in the OK case (empty message).
+class [[nodiscard]] Status {
+ public:
+  /// Default-constructed status is OK.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a programming error (asserted in debug builds).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit construction from a value (OK result).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// The value if OK, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define CLOUDCACHE_RETURN_IF_ERROR(expr)             \
+  do {                                               \
+    ::cloudcache::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+}  // namespace cloudcache

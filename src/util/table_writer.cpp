@@ -1,0 +1,99 @@
+#include "src/util/table_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cloudcache {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Status TableWriter::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    return Status::InvalidArgument("row has " + std::to_string(cells.size()) +
+                                   " cells, table has " +
+                                   std::to_string(headers_.size()) +
+                                   " columns");
+  }
+  rows_.push_back(std::move(cells));
+  return Status::OK();
+}
+
+Status TableWriter::AddNumericRow(const std::vector<double>& cells,
+                                  int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double c : cells) formatted.push_back(FormatDouble(c, precision));
+  return AddRow(std::move(formatted));
+}
+
+std::string TableWriter::ToAscii() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(headers_);
+  out << '|';
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+namespace {
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string TableWriter::ToCsv() const {
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << CsvEscape(row[c]);
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+Status TableWriter::WriteCsvFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file << ToCsv();
+  if (!file.good()) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace cloudcache

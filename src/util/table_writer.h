@@ -1,0 +1,46 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace cloudcache {
+
+/// Accumulates rows of string cells and renders them as an aligned ASCII
+/// table (for terminal reports) or CSV (for plotting). All bench binaries
+/// emit their figures through this writer so the output format is uniform.
+class TableWriter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  Status AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with `precision` digits.
+  Status AddNumericRow(const std::vector<double>& cells, int precision = 3);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return headers_.size(); }
+
+  /// Renders as an aligned ASCII table with a header rule.
+  std::string ToAscii() const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing comma/quote/newline are
+  /// quoted, quotes doubled).
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to `path`, overwriting.
+  Status WriteCsvFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for report code).
+std::string FormatDouble(double value, int precision);
+
+}  // namespace cloudcache

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+namespace cloudcache {
+
+/// Byte-size literals used throughout the catalog and cost model.
+inline constexpr uint64_t kKiB = 1024ull;
+inline constexpr uint64_t kMiB = 1024ull * kKiB;
+inline constexpr uint64_t kGiB = 1024ull * kMiB;
+inline constexpr uint64_t kTiB = 1024ull * kGiB;
+
+/// Decimal units (networks and cloud price sheets are decimal).
+inline constexpr uint64_t kKB = 1000ull;
+inline constexpr uint64_t kMB = 1000ull * kKB;
+inline constexpr uint64_t kGB = 1000ull * kMB;
+inline constexpr uint64_t kTB = 1000ull * kGB;
+
+/// Simulation time is a double count of seconds since simulation start.
+using SimTime = double;
+
+/// Durations share the representation of SimTime.
+using Duration = double;
+
+inline constexpr Duration kSecond = 1.0;
+inline constexpr Duration kMinute = 60.0;
+inline constexpr Duration kHour = 3600.0;
+inline constexpr Duration kDay = 86400.0;
+inline constexpr Duration kMonth = 30.0 * kDay;  // Cloud billing month.
+
+/// Converts a link rate in megabits per second to bytes per second.
+constexpr double MbpsToBytesPerSec(double mbps) { return mbps * 1e6 / 8.0; }
+
+/// Converts bytes to (decimal) gigabytes, for $/GB price sheets.
+constexpr double BytesToGB(uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kGB);
+}
+
+}  // namespace cloudcache

@@ -1,0 +1,65 @@
+#include "src/workload/generator.h"
+
+#include "src/util/logging.h"
+
+namespace cloudcache {
+
+WorkloadGenerator::WorkloadGenerator(
+    const Catalog* catalog, std::vector<ResolvedTemplate> templates,
+    WorkloadOptions options)
+    : catalog_(catalog),
+      templates_(std::move(templates)),
+      options_(options),
+      rng_(options.seed),
+      popularity_(templates_.size(), options.popularity_skew) {
+  CLOUDCACHE_CHECK(!templates_.empty());
+  CLOUDCACHE_CHECK_GT(options_.interarrival_seconds, 0.0);
+}
+
+size_t WorkloadGenerator::RankOf(size_t index, uint64_t phase) const {
+  // The ranking rotates one position per phase: the template that was
+  // hottest cools off and the next one heats up — a slow workload drift
+  // that forces the cache to adapt (and, at long inter-arrival times, to
+  // evict structures it already paid for, per Section VII-B).
+  return (index + phase) % templates_.size();
+}
+
+size_t WorkloadGenerator::DrawTemplate() {
+  if (have_previous_ &&
+      rng_.NextBernoulli(options_.repeat_probability)) {
+    return previous_template_;
+  }
+  const uint64_t phase = options_.drift_period == 0
+                             ? 0
+                             : next_id_ / options_.drift_period;
+  const uint64_t rank = popularity_.Sample(rng_);
+  // Find the template whose current rank equals the drawn rank.
+  for (size_t i = 0; i < templates_.size(); ++i) {
+    if (RankOf(i, phase) == rank) return i;
+  }
+  return 0;  // Unreachable: ranks are a permutation.
+}
+
+Query WorkloadGenerator::Next() {
+  const size_t tmpl = DrawTemplate();
+  previous_template_ = tmpl;
+  have_previous_ = true;
+
+  Query query = InstantiateQuery(templates_[tmpl], *catalog_, rng_,
+                                 static_cast<int>(tmpl), next_id_,
+                                 options_.selectivity_scale);
+  query.arrival_time = next_arrival_;
+
+  ++next_id_;
+  switch (options_.arrival) {
+    case WorkloadOptions::Arrival::kFixed:
+      next_arrival_ += options_.interarrival_seconds;
+      break;
+    case WorkloadOptions::Arrival::kPoisson:
+      next_arrival_ += rng_.NextExponential(options_.interarrival_seconds);
+      break;
+  }
+  return query;
+}
+
+}  // namespace cloudcache

@@ -1,0 +1,159 @@
+#include "src/workload/trace.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace cloudcache {
+
+namespace {
+
+constexpr char kHeader[] =
+    "id,template_id,table,arrival,cpu_multiplier,parallel_fraction,"
+    "result_rows,result_bytes,outputs,predicates";
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char ch : text) {
+    if (ch == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+Status ParseU64(const std::string& text, uint64_t* out) {
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::IoError("bad integer '" + text + "'");
+  }
+  return Status::OK();
+}
+
+Status ParseDouble(const std::string& text, double* out) {
+  try {
+    size_t consumed = 0;
+    *out = std::stod(text, &consumed);
+    if (consumed != text.size()) {
+      return Status::IoError("bad double '" + text + "'");
+    }
+  } catch (...) {
+    return Status::IoError("bad double '" + text + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string TraceWriter::ToCsv(const std::vector<Query>& queries) {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  for (const Query& q : queries) {
+    out << q.id << ',' << q.template_id << ',' << q.table << ','
+        << q.arrival_time << ',' << q.cpu_multiplier << ','
+        << q.parallel_fraction << ',' << q.result_rows << ','
+        << q.result_bytes << ',';
+    for (size_t i = 0; i < q.output_columns.size(); ++i) {
+      if (i) out << ';';
+      out << q.output_columns[i];
+    }
+    out << ',';
+    for (size_t i = 0; i < q.predicates.size(); ++i) {
+      if (i) out << ';';
+      const Predicate& p = q.predicates[i];
+      out << p.column << ':' << p.selectivity << ':' << (p.equality ? 1 : 0)
+          << ':' << (p.clustered ? 1 : 0);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status TraceWriter::Write(const std::string& path,
+                          const std::vector<Query>& queries) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::IoError("cannot open " + path);
+  file << ToCsv(queries);
+  if (!file.good()) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Query>> TraceReader::FromCsv(const std::string& csv,
+                                                const Catalog& catalog) {
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::IoError("missing or wrong trace header");
+  }
+  std::vector<Query> queries;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitOn(line, ',');
+    if (fields.size() != 10) {
+      return Status::IoError("line " + std::to_string(line_no) + ": want 10 fields, got " +
+                             std::to_string(fields.size()));
+    }
+    Query q;
+    uint64_t tmp = 0;
+    CLOUDCACHE_RETURN_IF_ERROR(ParseU64(fields[0], &q.id));
+    double template_id = 0;
+    CLOUDCACHE_RETURN_IF_ERROR(ParseDouble(fields[1], &template_id));
+    q.template_id = static_cast<int>(template_id);
+    CLOUDCACHE_RETURN_IF_ERROR(ParseU64(fields[2], &tmp));
+    q.table = static_cast<TableId>(tmp);
+    CLOUDCACHE_RETURN_IF_ERROR(ParseDouble(fields[3], &q.arrival_time));
+    CLOUDCACHE_RETURN_IF_ERROR(ParseDouble(fields[4], &q.cpu_multiplier));
+    CLOUDCACHE_RETURN_IF_ERROR(
+        ParseDouble(fields[5], &q.parallel_fraction));
+    CLOUDCACHE_RETURN_IF_ERROR(ParseU64(fields[6], &q.result_rows));
+    CLOUDCACHE_RETURN_IF_ERROR(ParseU64(fields[7], &q.result_bytes));
+    if (!fields[8].empty()) {
+      for (const std::string& part : SplitOn(fields[8], ';')) {
+        CLOUDCACHE_RETURN_IF_ERROR(ParseU64(part, &tmp));
+        q.output_columns.push_back(static_cast<ColumnId>(tmp));
+      }
+    }
+    if (!fields[9].empty()) {
+      for (const std::string& part : SplitOn(fields[9], ';')) {
+        const std::vector<std::string> tuple = SplitOn(part, ':');
+        if (tuple.size() != 4) {
+          return Status::IoError("line " + std::to_string(line_no) +
+                                 ": bad predicate '" + part + "'");
+        }
+        Predicate p;
+        CLOUDCACHE_RETURN_IF_ERROR(ParseU64(tuple[0], &tmp));
+        p.column = static_cast<ColumnId>(tmp);
+        CLOUDCACHE_RETURN_IF_ERROR(ParseDouble(tuple[1], &p.selectivity));
+        p.equality = tuple[2] == "1";
+        p.clustered = tuple[3] == "1";
+        q.predicates.push_back(p);
+      }
+    }
+    const Status valid = q.Validate(catalog);
+    if (!valid.ok()) {
+      return Status::IoError("line " + std::to_string(line_no) + ": " +
+                             valid.ToString());
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+Result<std::vector<Query>> TraceReader::Read(const std::string& path,
+                                             const Catalog& catalog) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return FromCsv(buffer.str(), catalog);
+}
+
+}  // namespace cloudcache

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/catalog/schema.h"
+#include "src/query/query.h"
+#include "src/util/status.h"
+
+namespace cloudcache {
+
+/// Serialization of a query stream to a CSV trace and back.
+///
+/// Traces decouple workload generation from simulation: a generated (or
+/// externally captured) stream can be written once and replayed against
+/// every scheme, guaranteeing all contenders see byte-identical input.
+/// Format (one query per line, header included):
+///
+///   id,template_id,table,arrival,cpu_multiplier,parallel_fraction,
+///   result_rows,result_bytes,outputs,predicates
+///
+/// where `outputs` is a ';'-separated list of column ids and `predicates`
+/// is a ';'-separated list of column:selectivity:eq:clustered tuples.
+class TraceWriter {
+ public:
+  /// Serializes `queries` to `path`, overwriting.
+  static Status Write(const std::string& path,
+                      const std::vector<Query>& queries);
+
+  /// Serializes to a string (for tests).
+  static std::string ToCsv(const std::vector<Query>& queries);
+};
+
+class TraceReader {
+ public:
+  /// Parses a trace file; validates every query against `catalog`.
+  static Result<std::vector<Query>> Read(const std::string& path,
+                                         const Catalog& catalog);
+
+  /// Parses from a string (for tests).
+  static Result<std::vector<Query>> FromCsv(const std::string& csv,
+                                            const Catalog& catalog);
+};
+
+}  // namespace cloudcache

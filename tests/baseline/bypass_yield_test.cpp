@@ -1,0 +1,146 @@
+#include "src/baseline/bypass_yield.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/fixtures.h"
+
+namespace cloudcache {
+namespace {
+
+class BypassYieldTest : public ::testing::Test {
+ protected:
+  BypassYieldTest() : catalog_(testing::MakeTinyCatalog()) {}
+
+  BypassYieldScheme::Options DefaultOptions() {
+    BypassYieldScheme::Options options;
+    options.cache_fraction = 0.30;
+    options.yield_threshold = 1.0;
+    return options;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BypassYieldTest, BudgetIsThirtyPercentOfDatabase) {
+  BypassYieldScheme scheme(&catalog_, DefaultOptions());
+  EXPECT_EQ(scheme.cache_budget_bytes(),
+            static_cast<uint64_t>(catalog_.TotalBytes() * 0.30));
+}
+
+TEST_F(BypassYieldTest, ColdCacheGoesToBackend) {
+  BypassYieldScheme scheme(&catalog_, DefaultOptions());
+  const Query q = testing::MakeTinyQuery(catalog_);
+  const ServedQuery served = scheme.OnQuery(q, 0.0);
+  EXPECT_TRUE(served.served);
+  EXPECT_EQ(served.spec.access, PlanSpec::Access::kBackend);
+  EXPECT_GT(served.execution.wan_bytes, 0u);
+}
+
+TEST_F(BypassYieldTest, AccruesSavableBytesOnMisses) {
+  BypassYieldScheme scheme(&catalog_, DefaultOptions());
+  const Query q = testing::MakeTinyQuery(catalog_);
+  scheme.OnQuery(q, 0.0);
+  for (ColumnId col : q.AccessedColumns()) {
+    EXPECT_EQ(scheme.AccruedBytes(col), q.result_bytes);
+  }
+}
+
+TEST_F(BypassYieldTest, LoadsColumnAtBreakEven) {
+  BypassYieldScheme scheme(&catalog_, DefaultOptions());
+  // Drive heavy queries until every accessed column pays for itself:
+  // accrued result bytes >= column size (8 MB each; results ~1.6 MB).
+  const Query q = testing::MakeTinyQuery(catalog_, 0.2);
+  bool loaded = false;
+  for (int i = 0; i < 50 && !loaded; ++i) {
+    const ServedQuery served = scheme.OnQuery(q, i);
+    loaded = served.investments > 0;
+  }
+  EXPECT_TRUE(loaded);
+}
+
+TEST_F(BypassYieldTest, ServesFromCacheOnceLoaded) {
+  BypassYieldScheme::Options options = DefaultOptions();
+  // The tiny catalog's 30% budget fits one 8 MB column; a cache *hit*
+  // needs all three accessed columns, so give this test room.
+  options.cache_fraction = 0.9;
+  BypassYieldScheme scheme(&catalog_, options);
+  const Query q = testing::MakeTinyQuery(catalog_, 0.2);
+  for (int i = 0; i < 50; ++i) scheme.OnQuery(q, i);
+  const ServedQuery served = scheme.OnQuery(q, 100.0);
+  EXPECT_EQ(served.spec.access, PlanSpec::Access::kCacheScan);
+  EXPECT_EQ(served.execution.wan_bytes, 0u);
+  EXPECT_EQ(served.spec.cpu_nodes, 1u);  // net-only never parallelizes.
+}
+
+TEST_F(BypassYieldTest, BuildUsageReportsTransfer) {
+  BypassYieldScheme scheme(&catalog_, DefaultOptions());
+  const Query q = testing::MakeTinyQuery(catalog_, 0.2);
+  BuildUsage total;
+  for (int i = 0; i < 50; ++i) {
+    total += scheme.OnQuery(q, i).build_usage;
+  }
+  // Loading the three accessed columns transferred their bytes.
+  EXPECT_EQ(total.wan_bytes, 3u * 8'000'000);
+}
+
+TEST_F(BypassYieldTest, NeverExceedsCacheBudget) {
+  BypassYieldScheme::Options options = DefaultOptions();
+  options.cache_fraction = 0.4;  // 12.8 MB + change: fits one column only.
+  // Budget = 0.4 * 32.012 MB ~ 12.8 MB; a fact column is 8 MB.
+  BypassYieldScheme scheme(&catalog_, options);
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const double sel = rng.NextUniform(0.05, 0.3);
+    scheme.OnQuery(testing::MakeTinyQuery(catalog_, sel, i), i);
+    EXPECT_LE(scheme.cache().resident_bytes(), scheme.cache_budget_bytes());
+  }
+}
+
+TEST_F(BypassYieldTest, HigherYieldDisplacesLower) {
+  BypassYieldScheme::Options options = DefaultOptions();
+  options.cache_fraction = 0.6;  // ~19 MB: two fact columns plus dims.
+  options.aging_interval = 1'000'000;  // No aging in this test.
+  BypassYieldScheme scheme(&catalog_, options);
+
+  // Query A touches f_key+f_value+f_date... all three share accrual; to
+  // create asymmetry, build one query on dim columns (small, loads fast)
+  // and then a heavy fact stream whose yield grows beyond it.
+  Query dim_query;
+  dim_query.table = *catalog_.FindTable("dim");
+  dim_query.output_columns = {*catalog_.FindColumn("dim.d_key"),
+                              *catalog_.FindColumn("dim.d_attr")};
+  dim_query.result_rows = 1000;
+  dim_query.result_bytes = 50'000;  // Accrues past 12 KB immediately.
+  for (int i = 0; i < 3; ++i) scheme.OnQuery(dim_query, i);
+  EXPECT_TRUE(
+      scheme.cache().ColumnResident(*catalog_.FindColumn("dim.d_key")));
+
+  // The dim columns are tiny; they do not block the fact column load.
+  const Query heavy = testing::MakeTinyQuery(catalog_, 0.2);
+  for (int i = 0; i < 60; ++i) scheme.OnQuery(heavy, 10 + i);
+  EXPECT_GT(scheme.cache().resident_bytes(), 8'000'000u);
+}
+
+TEST_F(BypassYieldTest, AgingHalvesAccruals) {
+  BypassYieldScheme::Options options = DefaultOptions();
+  options.aging_interval = 2;
+  BypassYieldScheme scheme(&catalog_, options);
+  const Query q = testing::MakeTinyQuery(catalog_, 0.01);
+  scheme.OnQuery(q, 0.0);  // Accrue once.
+  const uint64_t after_one = scheme.AccruedBytes(q.AccessedColumns()[0]);
+  scheme.OnQuery(q, 1.0);  // Second query triggers aging then accrues.
+  const uint64_t after_two = scheme.AccruedBytes(q.AccessedColumns()[0]);
+  EXPECT_LT(after_two, 2 * after_one);
+}
+
+TEST_F(BypassYieldTest, OversizedColumnNeverLoads) {
+  BypassYieldScheme::Options options = DefaultOptions();
+  options.cache_fraction = 0.1;  // ~3.2 MB < any 8 MB fact column.
+  BypassYieldScheme scheme(&catalog_, options);
+  const Query q = testing::MakeTinyQuery(catalog_, 0.2);
+  for (int i = 0; i < 100; ++i) scheme.OnQuery(q, i);
+  EXPECT_EQ(scheme.cache().resident_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace cloudcache

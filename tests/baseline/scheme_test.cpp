@@ -1,0 +1,164 @@
+#include "src/baseline/scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/bypass_yield.h"
+#include "tests/testing/fixtures.h"
+
+namespace cloudcache {
+namespace {
+
+class SchemeTest : public ::testing::Test {
+ protected:
+  SchemeTest()
+      : catalog_(testing::MakeTinyCatalog()),
+        prices_(testing::MakeRoundPrices()) {
+    const ColumnId date = *catalog_.FindColumn("fact.f_date");
+    const ColumnId value = *catalog_.FindColumn("fact.f_value");
+    indexes_ = {IndexKey(catalog_, {date}),
+                IndexKey(catalog_, {date, value})};
+  }
+
+  Catalog catalog_;
+  PriceList prices_;
+  std::vector<StructureKey> indexes_;
+};
+
+TEST_F(SchemeTest, FactoryProducesAllFourSchemes) {
+  for (SchemeKind kind :
+       {SchemeKind::kBypassYield, SchemeKind::kEconCol,
+        SchemeKind::kEconCheap, SchemeKind::kEconFast}) {
+    std::unique_ptr<Scheme> scheme =
+        MakeScheme(kind, &catalog_, &prices_, indexes_, 1);
+    ASSERT_NE(scheme, nullptr);
+    EXPECT_EQ(scheme->name(), SchemeKindToString(kind));
+  }
+}
+
+TEST_F(SchemeTest, EconColConfigDisablesIndexesAndParallelism) {
+  const EconScheme::Config config = EconScheme::EconColConfig();
+  EXPECT_FALSE(config.enumerator.allow_indexes);
+  EXPECT_FALSE(config.enumerator.allow_parallel);
+  EXPECT_EQ(config.economy.selection, PlanSelection::kCheapest);
+}
+
+TEST_F(SchemeTest, EconFastSelectsFastest) {
+  EXPECT_EQ(EconScheme::EconFastConfig().economy.selection,
+            PlanSelection::kFastest);
+  EXPECT_EQ(EconScheme::EconCheapConfig().economy.selection,
+            PlanSelection::kCheapest);
+}
+
+TEST_F(SchemeTest, EconSchemeServesQueries) {
+  EconScheme scheme(&catalog_, &prices_, indexes_,
+                    EconScheme::EconCheapConfig());
+  const Query q = testing::MakeTinyQuery(catalog_);
+  const ServedQuery served = scheme.OnQuery(q, 0.0);
+  EXPECT_TRUE(served.served);
+  EXPECT_TRUE(served.has_budget_case);
+  EXPECT_GT(served.execution.time_seconds, 0.0);
+  EXPECT_GT(served.payment.micros(), 0);
+}
+
+TEST_F(SchemeTest, EconSchemeCreditMovesWithPayments) {
+  EconScheme scheme(&catalog_, &prices_, indexes_,
+                    EconScheme::EconCheapConfig());
+  const Money before = scheme.credit();
+  scheme.OnQuery(testing::MakeTinyQuery(catalog_), 0.0);
+  EXPECT_GT(scheme.credit(), before);
+}
+
+TEST_F(SchemeTest, ChargeExpenditureDebitsAccount) {
+  EconScheme scheme(&catalog_, &prices_, indexes_,
+                    EconScheme::EconCheapConfig());
+  const Money before = scheme.credit();
+  scheme.ChargeExpenditure(Money::FromDollars(1), 1.0);
+  EXPECT_EQ(scheme.credit(), before - Money::FromDollars(1));
+}
+
+TEST_F(SchemeTest, BypassSchemeIgnoresExpenditure) {
+  BypassYieldScheme scheme(&catalog_, {});
+  scheme.ChargeExpenditure(Money::FromDollars(1), 1.0);  // No-op.
+  EXPECT_TRUE(scheme.credit().IsZero());
+}
+
+TEST_F(SchemeTest, DeterministicForFixedSeed) {
+  auto run = [&](uint64_t seed) {
+    EconScheme::Config config = EconScheme::EconCheapConfig();
+    config.seed = seed;
+    EconScheme scheme(&catalog_, &prices_, indexes_, std::move(config));
+    Money total;
+    for (int i = 0; i < 20; ++i) {
+      total +=
+          scheme.OnQuery(testing::MakeTinyQuery(catalog_, 0.05, i), i)
+              .payment;
+    }
+    return total;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // Budget jitter differs.
+}
+
+TEST_F(SchemeTest, BudgetModelShapes) {
+  Rng rng(1);
+  for (auto shape :
+       {BudgetModelOptions::Shape::kStep, BudgetModelOptions::Shape::kLinear,
+        BudgetModelOptions::Shape::kConvex,
+        BudgetModelOptions::Shape::kConcave}) {
+    BudgetModelOptions options;
+    options.shape = shape;
+    options.jitter = 0.0;
+    options.price_multiplier = 2.0;
+    options.tmax_multiplier = 3.0;
+    BudgetModel model(options);
+    const std::unique_ptr<BudgetFunction> budget =
+        model.Make(Money::FromDollars(10), 4.0, rng);
+    EXPECT_DOUBLE_EQ(budget->t_max(), 12.0);
+    // Non-increasing by construction.
+    EXPECT_TRUE(budget->ValidateMonotone().ok());
+    // Early values reflect the doubled reference price.
+    EXPECT_GT(budget->At(0.01), Money::FromDollars(19.9));
+  }
+}
+
+TEST_F(SchemeTest, BudgetJitterStraddlesReference) {
+  BudgetModelOptions options;
+  options.price_multiplier = 1.0;
+  options.jitter = 0.3;
+  BudgetModel model(options);
+  Rng rng(5);
+  int below = 0, above = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::unique_ptr<BudgetFunction> budget =
+        model.Make(Money::FromDollars(10), 1.0, rng);
+    (budget->At(0.5) < Money::FromDollars(10) ? below : above)++;
+  }
+  EXPECT_GT(below, 50);
+  EXPECT_GT(above, 50);
+}
+
+TEST_F(SchemeTest, SchemeKindNames) {
+  EXPECT_STREQ(SchemeKindToString(SchemeKind::kBypassYield), "bypass");
+  EXPECT_STREQ(SchemeKindToString(SchemeKind::kEconCol), "econ-col");
+  EXPECT_STREQ(SchemeKindToString(SchemeKind::kEconCheap), "econ-cheap");
+  EXPECT_STREQ(SchemeKindToString(SchemeKind::kEconFast), "econ-fast");
+}
+
+TEST_F(SchemeTest, EconColNeverUsesIndexesOrExtraNodes) {
+  EconScheme scheme(&catalog_, &prices_, indexes_,
+                    EconScheme::EconColConfig());
+  for (int i = 0; i < 50; ++i) {
+    const ServedQuery served =
+        scheme.OnQuery(testing::MakeTinyQuery(catalog_, 0.2, i), i);
+    if (served.served) {
+      EXPECT_NE(served.spec.access, PlanSpec::Access::kCacheIndex);
+      EXPECT_EQ(served.spec.cpu_nodes, 1u);
+    }
+  }
+  EXPECT_EQ(scheme.cache().extra_cpu_nodes(), 0u);
+  EXPECT_TRUE(
+      scheme.cache().ResidentsOfType(StructureType::kIndex).empty());
+}
+
+}  // namespace
+}  // namespace cloudcache

@@ -1,0 +1,118 @@
+#include "src/cache/cache_state.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/fixtures.h"
+
+namespace cloudcache {
+namespace {
+
+class CacheStateTest : public ::testing::Test {
+ protected:
+  CacheStateTest()
+      : catalog_(testing::MakeTinyCatalog()),
+        registry_(&catalog_),
+        cache_(&registry_) {}
+
+  StructureId InternColumn(const char* name) {
+    return registry_.Intern(
+        ColumnKey(catalog_, *catalog_.FindColumn(name)));
+  }
+
+  Catalog catalog_;
+  StructureRegistry registry_;
+  CacheState cache_;
+};
+
+TEST_F(CacheStateTest, StartsEmpty) {
+  EXPECT_EQ(cache_.resident_bytes(), 0u);
+  EXPECT_EQ(cache_.extra_cpu_nodes(), 0u);
+  EXPECT_TRUE(cache_.Residents().empty());
+  EXPECT_FALSE(cache_.IsResident(0));
+}
+
+TEST_F(CacheStateTest, AddTracksBytesAndResidency) {
+  const StructureId id = InternColumn("fact.f_key");
+  ASSERT_TRUE(cache_.Add(id, 1.0).ok());
+  EXPECT_TRUE(cache_.IsResident(id));
+  EXPECT_EQ(cache_.resident_bytes(), 8u * 1'000'000);
+  EXPECT_TRUE(cache_.ColumnResident(*catalog_.FindColumn("fact.f_key")));
+  EXPECT_FALSE(cache_.ColumnResident(*catalog_.FindColumn("fact.f_date")));
+}
+
+TEST_F(CacheStateTest, DoubleAddFails) {
+  const StructureId id = InternColumn("fact.f_key");
+  ASSERT_TRUE(cache_.Add(id, 0).ok());
+  EXPECT_EQ(cache_.Add(id, 1).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(CacheStateTest, RemoveRestoresState) {
+  const StructureId id = InternColumn("fact.f_key");
+  ASSERT_TRUE(cache_.Add(id, 0).ok());
+  ASSERT_TRUE(cache_.Remove(id).ok());
+  EXPECT_FALSE(cache_.IsResident(id));
+  EXPECT_EQ(cache_.resident_bytes(), 0u);
+  EXPECT_FALSE(cache_.ColumnResident(*catalog_.FindColumn("fact.f_key")));
+}
+
+TEST_F(CacheStateTest, RemoveMissingFails) {
+  EXPECT_EQ(cache_.Remove(InternColumn("fact.f_key")).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CacheStateTest, CpuNodesCounted) {
+  ASSERT_TRUE(cache_.Add(registry_.Intern(CpuNodeKey(0)), 0).ok());
+  ASSERT_TRUE(cache_.Add(registry_.Intern(CpuNodeKey(1)), 0).ok());
+  EXPECT_EQ(cache_.extra_cpu_nodes(), 2u);
+  EXPECT_EQ(cache_.resident_bytes(), 0u);  // Nodes occupy no disk.
+  ASSERT_TRUE(cache_.Remove(registry_.Intern(CpuNodeKey(0))).ok());
+  EXPECT_EQ(cache_.extra_cpu_nodes(), 1u);
+}
+
+TEST_F(CacheStateTest, TouchUpdatesLastUsed) {
+  const StructureId id = InternColumn("fact.f_value");
+  ASSERT_TRUE(cache_.Add(id, 5.0).ok());
+  EXPECT_EQ(cache_.LastUsed(id), 5.0);
+  cache_.Touch(id, 9.0);
+  EXPECT_EQ(cache_.LastUsed(id), 9.0);
+}
+
+TEST_F(CacheStateTest, ResidentsSortedAscending) {
+  const StructureId a = InternColumn("fact.f_key");
+  const StructureId b = InternColumn("fact.f_date");
+  ASSERT_TRUE(cache_.Add(b, 0).ok());
+  ASSERT_TRUE(cache_.Add(a, 0).ok());
+  const std::vector<StructureId> residents = cache_.Residents();
+  ASSERT_EQ(residents.size(), 2u);
+  EXPECT_LT(residents[0], residents[1]);
+}
+
+TEST_F(CacheStateTest, ResidentsOfTypeFilters) {
+  ASSERT_TRUE(cache_.Add(InternColumn("fact.f_key"), 0).ok());
+  ASSERT_TRUE(cache_.Add(registry_.Intern(CpuNodeKey(0)), 0).ok());
+  const ColumnId date = *catalog_.FindColumn("fact.f_date");
+  ASSERT_TRUE(
+      cache_.Add(registry_.Intern(IndexKey(catalog_, {date})), 0).ok());
+  EXPECT_EQ(cache_.ResidentsOfType(StructureType::kColumn).size(), 1u);
+  EXPECT_EQ(cache_.ResidentsOfType(StructureType::kCpuNode).size(), 1u);
+  EXPECT_EQ(cache_.ResidentsOfType(StructureType::kIndex).size(), 1u);
+}
+
+TEST_F(CacheStateTest, IndexResidencyDoesNotMarkColumns) {
+  const ColumnId date = *catalog_.FindColumn("fact.f_date");
+  ASSERT_TRUE(
+      cache_.Add(registry_.Intern(IndexKey(catalog_, {date})), 0).ok());
+  // An index over f_date does not make the base column readable.
+  EXPECT_FALSE(cache_.ColumnResident(date));
+}
+
+TEST_F(CacheStateTest, BytesAccumulateAcrossKinds) {
+  ASSERT_TRUE(cache_.Add(InternColumn("fact.f_key"), 0).ok());
+  const ColumnId date = *catalog_.FindColumn("fact.f_date");
+  ASSERT_TRUE(
+      cache_.Add(registry_.Intern(IndexKey(catalog_, {date})), 0).ok());
+  EXPECT_EQ(cache_.resident_bytes(), 8u * 1'000'000 + 16u * 1'000'000);
+}
+
+}  // namespace
+}  // namespace cloudcache

@@ -1,0 +1,74 @@
+#include "src/cache/candidate_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudcache {
+namespace {
+
+TEST(CandidatePoolTest, TouchInsertsNewCandidate) {
+  CandidatePool pool(4);
+  EXPECT_TRUE(pool.Touch(7, 0.0).empty());
+  EXPECT_TRUE(pool.Contains(7));
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(CandidatePoolTest, EvictsLruWhenFull) {
+  CandidatePool pool(2);
+  pool.Touch(1, 0.0);
+  pool.Touch(2, 1.0);
+  const std::vector<StructureId> evicted = pool.Touch(3, 2.0);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 1u);  // Oldest.
+  EXPECT_FALSE(pool.Contains(1));
+  EXPECT_TRUE(pool.Contains(2));
+  EXPECT_TRUE(pool.Contains(3));
+}
+
+TEST(CandidatePoolTest, TouchRefreshesRecency) {
+  CandidatePool pool(2);
+  pool.Touch(1, 0.0);
+  pool.Touch(2, 1.0);
+  pool.Touch(1, 2.0);  // 1 is now the most recent.
+  const std::vector<StructureId> evicted = pool.Touch(3, 3.0);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 2u);
+}
+
+TEST(CandidatePoolTest, EraseRemovesWithoutEviction) {
+  CandidatePool pool(2);
+  pool.Touch(1, 0.0);
+  pool.Erase(1);
+  EXPECT_FALSE(pool.Contains(1));
+  EXPECT_EQ(pool.size(), 0u);
+  pool.Erase(99);  // No-op.
+}
+
+TEST(CandidatePoolTest, MruOrder) {
+  CandidatePool pool(3);
+  pool.Touch(1, 0.0);
+  pool.Touch(2, 1.0);
+  pool.Touch(3, 2.0);
+  pool.Touch(1, 3.0);
+  EXPECT_EQ(pool.MruOrder(), (std::vector<StructureId>{1, 3, 2}));
+}
+
+TEST(CandidatePoolTest, CapacityOneKeepsOnlyNewest) {
+  CandidatePool pool(1);
+  pool.Touch(1, 0.0);
+  const auto evicted = pool.Touch(2, 1.0);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 1u);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(CandidatePoolTest, RepeatedTouchNeverEvicts) {
+  CandidatePool pool(2);
+  pool.Touch(5, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(pool.Touch(5, i).empty());
+  }
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cloudcache

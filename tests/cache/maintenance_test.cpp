@@ -1,0 +1,94 @@
+#include "src/cache/maintenance.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/fixtures.h"
+
+namespace cloudcache {
+namespace {
+
+class MaintenanceTest : public ::testing::Test {
+ protected:
+  MaintenanceTest()
+      : catalog_(testing::MakeTinyCatalog()),
+        prices_(testing::MakeRoundPrices()),
+        model_(&catalog_, &prices_),
+        ledger_(&model_) {}
+
+  StructureKey FactColumn() {
+    return ColumnKey(catalog_, *catalog_.FindColumn("fact.f_key"));
+  }
+
+  Catalog catalog_;
+  PriceList prices_;
+  CostModel model_;
+  MaintenanceLedger ledger_;
+};
+
+TEST_F(MaintenanceTest, FreshStructureOwesNothing) {
+  ledger_.Register(0, FactColumn(), 100.0, Money::FromDollars(1));
+  EXPECT_TRUE(ledger_.Owed(0, 100.0).IsZero());
+  EXPECT_TRUE(ledger_.IsTracked(0));
+}
+
+TEST_F(MaintenanceTest, OwedGrowsLinearly) {
+  ledger_.Register(0, FactColumn(), 0.0, Money());
+  const Money one_month = ledger_.Owed(0, kMonth);
+  // 8 MB at $0.10/GB-month.
+  EXPECT_EQ(one_month, Money::FromDollars(8e6 * 0.10 / 1e9));
+  EXPECT_EQ(ledger_.Owed(0, 2 * kMonth), one_month * 2);
+}
+
+TEST_F(MaintenanceTest, PayCollectsAndResets) {
+  ledger_.Register(0, FactColumn(), 0.0, Money());
+  const Money paid = ledger_.Pay(0, kMonth);
+  EXPECT_EQ(paid, Money::FromDollars(8e6 * 0.10 / 1e9));
+  EXPECT_TRUE(ledger_.Owed(0, kMonth).IsZero());
+  // Rent keeps accruing from the payment point (another full month).
+  EXPECT_FALSE(ledger_.Owed(0, 2 * kMonth).IsZero());
+}
+
+TEST_F(MaintenanceTest, FootnoteThreePaymentCoversSinceLastPayer) {
+  // Two payments at different times collect exactly the whole rent.
+  ledger_.Register(0, FactColumn(), 0.0, Money());
+  const Money p1 = ledger_.Pay(0, kMonth / 2);
+  const Money p2 = ledger_.Pay(0, kMonth);
+  EXPECT_EQ(p1 + p2, Money::FromDollars(8e6 * 0.10 / 1e9));
+}
+
+TEST_F(MaintenanceTest, UnregisterReturnsWriteOff) {
+  ledger_.Register(0, FactColumn(), 0.0, Money());
+  const Money writeoff = ledger_.Unregister(0, kMonth);
+  EXPECT_EQ(writeoff, Money::FromDollars(8e6 * 0.10 / 1e9));
+  EXPECT_FALSE(ledger_.IsTracked(0));
+}
+
+TEST_F(MaintenanceTest, BuildCostRetained) {
+  ledger_.Register(3, FactColumn(), 0.0, Money::FromDollars(42));
+  EXPECT_EQ(ledger_.BuildCostOf(3), Money::FromDollars(42));
+}
+
+TEST_F(MaintenanceTest, TimeNeverRunsBackwards) {
+  ledger_.Register(0, FactColumn(), 10.0, Money());
+  // Asking about a time before registration owes nothing.
+  EXPECT_TRUE(ledger_.Owed(0, 5.0).IsZero());
+  EXPECT_TRUE(ledger_.Pay(0, 5.0).IsZero());
+}
+
+TEST_F(MaintenanceTest, CpuNodeChargesReservationRate) {
+  ledger_.Register(1, CpuNodeKey(0), 0.0, Money());
+  const Money owed = ledger_.Owed(1, 1000.0);
+  EXPECT_EQ(owed, Money::FromDollars(1000.0 * 0.001 *
+                                     prices_.cpu_reserve_fraction));
+}
+
+TEST_F(MaintenanceTest, IndependentClocks) {
+  ledger_.Register(0, FactColumn(), 0.0, Money());
+  ledger_.Register(1, CpuNodeKey(0), 0.0, Money());
+  ledger_.Pay(0, 100.0);
+  EXPECT_TRUE(ledger_.Owed(0, 100.0).IsZero());
+  EXPECT_FALSE(ledger_.Owed(1, 100.0).IsZero());
+}
+
+}  // namespace
+}  // namespace cloudcache

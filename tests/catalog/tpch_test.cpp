@@ -1,0 +1,125 @@
+#include "src/catalog/tpch.h"
+
+#include <gtest/gtest.h>
+
+#include "src/catalog/sdss.h"
+#include "src/util/units.h"
+
+namespace cloudcache {
+namespace {
+
+TEST(TpchTest, HasEightTables) {
+  const Catalog catalog = MakeTpchCatalog(1.0);
+  EXPECT_EQ(catalog.num_tables(), 8u);
+  for (const char* name : {"region", "nation", "supplier", "customer",
+                           "part", "partsupp", "orders", "lineitem"}) {
+    EXPECT_TRUE(catalog.FindTable(name).ok()) << name;
+  }
+}
+
+TEST(TpchTest, SpecRowCountsAtSf1) {
+  const Catalog catalog = MakeTpchCatalog(1.0);
+  EXPECT_EQ(catalog.table(*catalog.FindTable("region")).row_count, 5u);
+  EXPECT_EQ(catalog.table(*catalog.FindTable("nation")).row_count, 25u);
+  EXPECT_EQ(catalog.table(*catalog.FindTable("supplier")).row_count,
+            10'000u);
+  EXPECT_EQ(catalog.table(*catalog.FindTable("customer")).row_count,
+            150'000u);
+  EXPECT_EQ(catalog.table(*catalog.FindTable("lineitem")).row_count,
+            6'000'000u);
+}
+
+TEST(TpchTest, RowCountsScaleLinearly) {
+  const Catalog sf1 = MakeTpchCatalog(1.0);
+  const Catalog sf10 = MakeTpchCatalog(10.0);
+  EXPECT_EQ(sf10.table(*sf10.FindTable("orders")).row_count,
+            10 * sf1.table(*sf1.FindTable("orders")).row_count);
+  // Dimension tables do not scale.
+  EXPECT_EQ(sf10.table(*sf10.FindTable("nation")).row_count, 25u);
+}
+
+TEST(TpchTest, Sf1IsAboutOneGigabyte) {
+  const Catalog catalog = MakeTpchCatalog(1.0);
+  EXPECT_GT(catalog.TotalBytes(), 600ull * kMB);
+  EXPECT_LT(catalog.TotalBytes(), 1600ull * kMB);
+}
+
+TEST(TpchTest, ScaleForBytesHitsTarget) {
+  const uint64_t target = 50ull * kGB;
+  const double sf = TpchScaleForBytes(target);
+  const Catalog catalog = MakeTpchCatalog(sf);
+  const double ratio =
+      static_cast<double>(catalog.TotalBytes()) / static_cast<double>(target);
+  EXPECT_NEAR(ratio, 1.0, 0.01);
+}
+
+TEST(TpchTest, PaperCatalogIsTwoPointFiveTerabytes) {
+  const Catalog catalog = MakePaperTpchCatalog();
+  const double tb = static_cast<double>(catalog.TotalBytes()) /
+                    static_cast<double>(kTB);
+  EXPECT_NEAR(tb, 2.5, 0.03);
+}
+
+TEST(TpchTest, KeyColumnsExist) {
+  const Catalog catalog = MakeTpchCatalog(1.0);
+  for (const char* column :
+       {"lineitem.l_shipdate", "lineitem.l_extendedprice",
+        "orders.o_orderdate", "customer.c_mktsegment", "part.p_partkey"}) {
+    EXPECT_TRUE(catalog.FindColumn(column).ok()) << column;
+  }
+}
+
+TEST(TpchTest, LineitemIsLargestTable) {
+  const Catalog catalog = MakeTpchCatalog(2.0);
+  const uint64_t lineitem_bytes =
+      catalog.table(*catalog.FindTable("lineitem")).TotalBytes();
+  for (const Table& table : catalog.tables()) {
+    EXPECT_LE(table.TotalBytes(), lineitem_bytes) << table.name;
+  }
+}
+
+TEST(TpchTest, DistinctFractionsValid) {
+  const Catalog catalog = MakeTpchCatalog(1.0);
+  for (ColumnId id = 0; id < catalog.num_columns(); ++id) {
+    const Column& col = catalog.column(id);
+    EXPECT_GT(col.distinct_fraction, 0.0) << col.name;
+    EXPECT_LE(col.distinct_fraction, 1.0) << col.name;
+  }
+}
+
+TEST(TpchTest, FractionalScaleFactorWorks) {
+  const Catalog catalog = MakeTpchCatalog(0.01);
+  EXPECT_EQ(catalog.table(*catalog.FindTable("lineitem")).row_count,
+            60'000u);
+}
+
+TEST(SdssTest, HasFourTables) {
+  const Catalog catalog = MakeSdssCatalog(1'000'000);
+  EXPECT_EQ(catalog.num_tables(), 4u);
+  for (const char* name : {"photoobj", "specobj", "field", "run"}) {
+    EXPECT_TRUE(catalog.FindTable(name).ok()) << name;
+  }
+}
+
+TEST(SdssTest, PhotoObjDominates) {
+  const Catalog catalog = MakeSdssCatalog(10'000'000);
+  const uint64_t photo =
+      catalog.table(*catalog.FindTable("photoobj")).TotalBytes();
+  EXPECT_GT(photo, catalog.TotalBytes() / 2);
+}
+
+TEST(SdssTest, DefaultIsTensOfGigabytes) {
+  const Catalog catalog = MakeSdssCatalog();
+  EXPECT_GT(catalog.TotalBytes(), 30ull * kGB);
+  EXPECT_LT(catalog.TotalBytes(), 200ull * kGB);
+}
+
+TEST(SdssTest, SpectraScaleWithObjects) {
+  const Catalog a = MakeSdssCatalog(2'000'000);
+  const Catalog b = MakeSdssCatalog(4'000'000);
+  EXPECT_GT(b.table(*b.FindTable("specobj")).row_count,
+            a.table(*a.FindTable("specobj")).row_count);
+}
+
+}  // namespace
+}  // namespace cloudcache

@@ -1,0 +1,75 @@
+#include "src/cost/price_list.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudcache {
+namespace {
+
+TEST(PriceListTest, Ec2DefaultsMatchPaperParameters) {
+  const PriceList p = PriceList::AmazonEc2_2009();
+  EXPECT_DOUBLE_EQ(p.lcpu, 1.0);    // "nodes are never overloaded"
+  EXPECT_DOUBLE_EQ(p.fn, 1.0);      // "CPU fully utilized during transfer"
+  EXPECT_DOUBLE_EQ(p.latency_seconds, 0.0);  // "no latency"
+  EXPECT_DOUBLE_EQ(p.wan_mbps, 25.0);        // SDSS max throughput [24]
+  EXPECT_DOUBLE_EQ(p.fcpu, 0.014);           // SDSS response calibration
+}
+
+TEST(PriceListTest, WanBytesPerSecond) {
+  PriceList p;
+  p.wan_mbps = 25.0;
+  EXPECT_DOUBLE_EQ(p.WanBytesPerSecond(), 25e6 / 8.0);
+}
+
+TEST(PriceListTest, WanSecondsIncludesLatency) {
+  PriceList p;
+  p.wan_mbps = 8.0;  // 1 MB/s.
+  p.latency_seconds = 0.5;
+  EXPECT_DOUBLE_EQ(p.WanSeconds(2'000'000), 0.5 + 2.0);
+}
+
+TEST(PriceListTest, CpuCostConversion) {
+  PriceList p;
+  p.cpu_second_dollars = 0.10 / 3600.0;
+  EXPECT_EQ(p.CpuCost(3600.0), Money::FromDollars(0.10));
+}
+
+TEST(PriceListTest, NetworkCostConversion) {
+  PriceList p;
+  p.network_byte_dollars = 0.17 / 1e9;
+  EXPECT_EQ(p.NetworkCost(1'000'000'000), Money::FromDollars(0.17));
+}
+
+TEST(PriceListTest, DiskCostConversion) {
+  PriceList p;
+  p.disk_byte_second_dollars = 0.15 / (1e9 * kMonth);
+  EXPECT_EQ(p.DiskCost(1'000'000'000, kMonth), Money::FromDollars(0.15));
+}
+
+TEST(PriceListTest, IoCostConversion) {
+  PriceList p;
+  p.io_op_dollars = 0.10 / 1e6;
+  EXPECT_EQ(p.IoCost(1'000'000), Money::FromDollars(0.10));
+}
+
+TEST(PriceListTest, NetworkOnlyZeroesEverythingButNetwork) {
+  const PriceList p = PriceList::NetworkOnly();
+  EXPECT_EQ(p.cpu_second_dollars, 0.0);
+  EXPECT_EQ(p.disk_byte_second_dollars, 0.0);
+  EXPECT_EQ(p.io_op_dollars, 0.0);
+  EXPECT_GT(p.network_byte_dollars, 0.0);
+}
+
+TEST(PriceListTest, GoGridGivesFreeBandwidth) {
+  const PriceList p = PriceList::GoGrid2009();
+  EXPECT_EQ(p.network_byte_dollars, 0.0);
+  EXPECT_GT(p.cpu_second_dollars, 0.0);
+}
+
+TEST(PriceListTest, ToStringMentionsRates) {
+  const std::string s = ToString(PriceList::AmazonEc2_2009());
+  EXPECT_NE(s.find("cpu="), std::string::npos);
+  EXPECT_NE(s.find("25.0Mbps"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudcache

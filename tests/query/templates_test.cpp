@@ -1,0 +1,164 @@
+#include "src/query/templates.h"
+
+#include <gtest/gtest.h>
+
+#include "src/catalog/sdss.h"
+#include "src/catalog/tpch.h"
+
+namespace cloudcache {
+namespace {
+
+class TpchTemplatesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = MakeTpchCatalog(1.0);
+    Result<std::vector<ResolvedTemplate>> resolved =
+        ResolveTemplates(catalog_, MakeTpchTemplates());
+    ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+    resolved_ = *resolved;
+  }
+
+  Catalog catalog_;
+  std::vector<ResolvedTemplate> resolved_;
+};
+
+TEST_F(TpchTemplatesTest, PaperHasSevenTemplates) {
+  EXPECT_EQ(MakeTpchTemplates().size(), 7u);
+  EXPECT_EQ(resolved_.size(), 7u);
+}
+
+TEST_F(TpchTemplatesTest, EveryTemplateResolves) {
+  for (const ResolvedTemplate& tmpl : resolved_) {
+    EXPECT_FALSE(tmpl.output_columns.empty()) << tmpl.name;
+    EXPECT_FALSE(tmpl.predicates.empty()) << tmpl.name;
+  }
+}
+
+TEST_F(TpchTemplatesTest, EachTemplateHasClusteredLocalityPredicate) {
+  for (const ResolvedTemplate& tmpl : resolved_) {
+    bool clustered = false;
+    for (const auto& pred : tmpl.predicates) clustered |= pred.clustered;
+    EXPECT_TRUE(clustered) << tmpl.name;
+  }
+}
+
+TEST_F(TpchTemplatesTest, InstantiationIsValidQuery) {
+  Rng rng(1);
+  for (size_t i = 0; i < resolved_.size(); ++i) {
+    const Query q = InstantiateQuery(resolved_[i], catalog_, rng,
+                                     static_cast<int>(i), 100 + i);
+    EXPECT_TRUE(q.Validate(catalog_).ok()) << resolved_[i].name;
+    EXPECT_EQ(q.template_id, static_cast<int>(i));
+    EXPECT_EQ(q.id, 100 + i);
+  }
+}
+
+TEST_F(TpchTemplatesTest, SelectivityStaysInRange) {
+  Rng rng(2);
+  for (int round = 0; round < 200; ++round) {
+    for (const ResolvedTemplate& tmpl : resolved_) {
+      const Query q = InstantiateQuery(tmpl, catalog_, rng, 0, round);
+      for (size_t p = 0; p < q.predicates.size(); ++p) {
+        EXPECT_GE(q.predicates[p].selectivity,
+                  tmpl.predicates[p].min_selectivity - 1e-12);
+        EXPECT_LE(q.predicates[p].selectivity,
+                  tmpl.predicates[p].max_selectivity + 1e-12);
+      }
+    }
+  }
+}
+
+TEST_F(TpchTemplatesTest, SelectivityScaleShrinksResults) {
+  Rng rng1(3), rng2(3);
+  const Query wide = InstantiateQuery(resolved_[1], catalog_, rng1, 1, 0,
+                                      /*selectivity_scale=*/1.0);
+  const Query narrow = InstantiateQuery(resolved_[1], catalog_, rng2, 1, 0,
+                                        /*selectivity_scale=*/0.1);
+  EXPECT_LT(narrow.CombinedSelectivity(), wide.CombinedSelectivity());
+}
+
+TEST_F(TpchTemplatesTest, ScaleClampsToLegalRange) {
+  Rng rng(4);
+  const Query q =
+      InstantiateQuery(resolved_[0], catalog_, rng, 0, 0, 1e12);
+  for (const Predicate& p : q.predicates) {
+    EXPECT_LE(p.selectivity, 1.0);
+    EXPECT_GT(p.selectivity, 0.0);
+  }
+}
+
+TEST_F(TpchTemplatesTest, DeterministicGivenSeed) {
+  Rng a(5), b(5);
+  const Query qa = InstantiateQuery(resolved_[2], catalog_, a, 2, 7);
+  const Query qb = InstantiateQuery(resolved_[2], catalog_, b, 2, 7);
+  EXPECT_EQ(qa.result_bytes, qb.result_bytes);
+  ASSERT_EQ(qa.predicates.size(), qb.predicates.size());
+  for (size_t i = 0; i < qa.predicates.size(); ++i) {
+    EXPECT_EQ(qa.predicates[i].selectivity, qb.predicates[i].selectivity);
+  }
+}
+
+TEST_F(TpchTemplatesTest, TemplatesCoverMultipleTables) {
+  std::set<TableId> tables;
+  for (const ResolvedTemplate& tmpl : resolved_) tables.insert(tmpl.table);
+  EXPECT_GE(tables.size(), 4u);  // lineitem, orders, customer, part.
+}
+
+TEST_F(TpchTemplatesTest, AggregationTemplatesHaveTinyResults) {
+  Rng rng(6);
+  const Query q = InstantiateQuery(resolved_[0], catalog_, rng, 0, 0);
+  // pricing_summary collapses to a handful of groups.
+  EXPECT_LT(q.result_rows, 1000u);
+}
+
+TEST_F(TpchTemplatesTest, ScanTemplatesAreResultHeavy) {
+  Rng rng(7);
+  const Query q = InstantiateQuery(resolved_[1], catalog_, rng, 1, 0);
+  EXPECT_GT(q.result_bytes, 10'000u);  // At SF1; scales with the catalog.
+}
+
+TEST(TemplatesResolveTest, MissingColumnFails) {
+  const Catalog catalog = MakeTpchCatalog(1.0);
+  std::vector<QueryTemplate> templates = MakeTpchTemplates();
+  templates[0].output_columns.push_back("no_such_column");
+  EXPECT_EQ(ResolveTemplates(catalog, templates).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TemplatesResolveTest, MissingTableFails) {
+  const Catalog catalog = MakeTpchCatalog(1.0);
+  std::vector<QueryTemplate> templates = MakeTpchTemplates();
+  templates[0].table = "no_such_table";
+  EXPECT_FALSE(ResolveTemplates(catalog, templates).ok());
+}
+
+TEST(TemplatesResolveTest, MalformedSelectivityRangeFails) {
+  const Catalog catalog = MakeTpchCatalog(1.0);
+  std::vector<QueryTemplate> templates = MakeTpchTemplates();
+  templates[0].predicates[0].min_selectivity = 0.5;
+  templates[0].predicates[0].max_selectivity = 0.1;
+  EXPECT_EQ(ResolveTemplates(catalog, templates).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SdssTemplatesTest, ResolveAgainstSdssCatalog) {
+  const Catalog catalog = MakeSdssCatalog(1'000'000);
+  Result<std::vector<ResolvedTemplate>> resolved =
+      ResolveTemplates(catalog, MakeSdssTemplates());
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  EXPECT_EQ(resolved->size(), 5u);
+  Rng rng(8);
+  for (size_t i = 0; i < resolved->size(); ++i) {
+    const Query q = InstantiateQuery((*resolved)[i], catalog, rng,
+                                     static_cast<int>(i), i);
+    EXPECT_TRUE(q.Validate(catalog).ok()) << (*resolved)[i].name;
+  }
+}
+
+TEST(SdssTemplatesTest, DoesNotResolveAgainstTpch) {
+  const Catalog catalog = MakeTpchCatalog(1.0);
+  EXPECT_FALSE(ResolveTemplates(catalog, MakeSdssTemplates()).ok());
+}
+
+}  // namespace
+}  // namespace cloudcache

@@ -1,0 +1,60 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudcache {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_EQ(queue.Size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  queue.Push({3.0, SimEvent::Kind::kArrival, 3});
+  queue.Push({1.0, SimEvent::Kind::kArrival, 1});
+  queue.Push({2.0, SimEvent::Kind::kArrival, 2});
+  EXPECT_EQ(queue.Pop().payload, 1u);
+  EXPECT_EQ(queue.Pop().payload, 2u);
+  EXPECT_EQ(queue.Pop().payload, 3u);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  for (uint64_t i = 0; i < 10; ++i) {
+    queue.Push({5.0, SimEvent::Kind::kCustom, i});
+  }
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(queue.Pop().payload, i);
+  }
+}
+
+TEST(EventQueueTest, TopDoesNotRemove) {
+  EventQueue queue;
+  queue.Push({1.0, SimEvent::Kind::kMeterTick, 42});
+  EXPECT_EQ(queue.Top().payload, 42u);
+  EXPECT_EQ(queue.Size(), 1u);
+  EXPECT_EQ(queue.Pop().payload, 42u);
+}
+
+TEST(EventQueueTest, InterleavedPushPop) {
+  EventQueue queue;
+  queue.Push({5.0, SimEvent::Kind::kArrival, 5});
+  queue.Push({1.0, SimEvent::Kind::kArrival, 1});
+  EXPECT_EQ(queue.Pop().payload, 1u);
+  queue.Push({2.0, SimEvent::Kind::kArrival, 2});
+  EXPECT_EQ(queue.Pop().payload, 2u);
+  EXPECT_EQ(queue.Pop().payload, 5u);
+}
+
+TEST(EventQueueTest, KindsPreserved) {
+  EventQueue queue;
+  queue.Push({1.0, SimEvent::Kind::kMeterTick, 0});
+  EXPECT_EQ(queue.Pop().kind, SimEvent::Kind::kMeterTick);
+}
+
+}  // namespace
+}  // namespace cloudcache

@@ -1,0 +1,172 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/bypass_yield.h"
+#include "tests/testing/fixtures.h"
+
+namespace cloudcache {
+namespace {
+
+/// One template over the tiny catalog's fact table: result-heavy clustered
+/// scan, so caching pays off quickly.
+std::vector<QueryTemplate> TinyTemplates() {
+  return {{
+      .name = "fact_scan",
+      .table = "fact",
+      .output_columns = {"f_key", "f_value"},
+      .predicates = {{"f_date", 0.1, 0.3, false, true},
+                     {"f_value", 0.4, 0.6, false, false}},
+      .row_limit_fraction = 1.0,
+      .cpu_multiplier = 1.0,
+      .parallel_fraction = 0.9,
+  }};
+}
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  SimulatorTest()
+      : catalog_(testing::MakeTinyCatalog()),
+        prices_(testing::MakeRoundPrices()) {
+    Result<std::vector<ResolvedTemplate>> resolved =
+        ResolveTemplates(catalog_, TinyTemplates());
+    CLOUDCACHE_CHECK(resolved.ok());
+    templates_ = *resolved;
+  }
+
+  WorkloadOptions DefaultWorkload() {
+    WorkloadOptions options;
+    options.interarrival_seconds = 10.0;
+    return options;
+  }
+
+  SimulatorOptions DefaultSim(uint64_t queries = 500) {
+    SimulatorOptions options;
+    options.num_queries = queries;
+    options.metered_prices = prices_;
+    return options;
+  }
+
+  Catalog catalog_;
+  PriceList prices_;
+  std::vector<ResolvedTemplate> templates_;
+};
+
+TEST_F(SimulatorTest, RunsRequestedQueryCount) {
+  BypassYieldScheme::Options bypass_options;
+    bypass_options.cache_fraction = 0.9;  // Fit all three hot columns.
+    BypassYieldScheme scheme(&catalog_, bypass_options);
+  WorkloadGenerator workload(&catalog_, templates_, DefaultWorkload());
+  Simulator sim(&catalog_, &scheme, &workload, DefaultSim(123));
+  const SimMetrics metrics = sim.Run();
+  EXPECT_EQ(metrics.queries, 123u);
+  EXPECT_EQ(metrics.served, 123u);  // Bypass serves everything.
+  EXPECT_EQ(metrics.scheme_name, "bypass");
+}
+
+TEST_F(SimulatorTest, BackendPlusCacheEqualsServed) {
+  BypassYieldScheme::Options bypass_options;
+    bypass_options.cache_fraction = 0.9;  // Fit all three hot columns.
+    BypassYieldScheme scheme(&catalog_, bypass_options);
+  WorkloadGenerator workload(&catalog_, templates_, DefaultWorkload());
+  Simulator sim(&catalog_, &scheme, &workload, DefaultSim());
+  const SimMetrics metrics = sim.Run();
+  EXPECT_EQ(metrics.served_in_backend + metrics.served_in_cache,
+            metrics.served);
+  EXPECT_GT(metrics.served_in_cache, 0u);  // The column loads eventually.
+}
+
+TEST_F(SimulatorTest, OperatingCostAccumulates) {
+  BypassYieldScheme::Options bypass_options;
+    bypass_options.cache_fraction = 0.9;  // Fit all three hot columns.
+    BypassYieldScheme scheme(&catalog_, bypass_options);
+  WorkloadGenerator workload(&catalog_, templates_, DefaultWorkload());
+  Simulator sim(&catalog_, &scheme, &workload, DefaultSim());
+  const SimMetrics metrics = sim.Run();
+  EXPECT_GT(metrics.operating_cost.Total(), 0.0);
+  EXPECT_GT(metrics.operating_cost.network_dollars, 0.0);
+  // Bypass caches columns -> disk rent is metered even though the scheme's
+  // own cost model prices disk at zero.
+  EXPECT_GT(metrics.operating_cost.disk_dollars, 0.0);
+}
+
+TEST_F(SimulatorTest, ResponseTimeStatsPopulated) {
+  BypassYieldScheme::Options bypass_options;
+    bypass_options.cache_fraction = 0.9;  // Fit all three hot columns.
+    BypassYieldScheme scheme(&catalog_, bypass_options);
+  WorkloadGenerator workload(&catalog_, templates_, DefaultWorkload());
+  Simulator sim(&catalog_, &scheme, &workload, DefaultSim());
+  const SimMetrics metrics = sim.Run();
+  EXPECT_GT(metrics.MeanResponse(), 0.0);
+  EXPECT_GE(metrics.response_sketch.Quantile(0.95),
+            metrics.response_sketch.Quantile(0.5));
+  EXPECT_EQ(metrics.response_seconds.count(),
+            static_cast<int64_t>(metrics.served));
+}
+
+TEST_F(SimulatorTest, TimelinesRecorded) {
+  BypassYieldScheme::Options bypass_options;
+    bypass_options.cache_fraction = 0.9;  // Fit all three hot columns.
+    BypassYieldScheme scheme(&catalog_, bypass_options);
+  WorkloadGenerator workload(&catalog_, templates_, DefaultWorkload());
+  SimulatorOptions options = DefaultSim();
+  options.timeline_stride = 100;
+  Simulator sim(&catalog_, &scheme, &workload, options);
+  const SimMetrics metrics = sim.Run();
+  EXPECT_GE(metrics.cost_over_time.size(), 5u);
+  // Cumulative cost is non-decreasing.
+  double last = -1;
+  for (double v : metrics.cost_over_time.values()) {
+    EXPECT_GE(v, last);
+    last = v;
+  }
+}
+
+TEST_F(SimulatorTest, EconSchemeMetricsComplete) {
+  EconScheme::Config config = EconScheme::EconCheapConfig();
+  config.economy.initial_credit = Money::FromDollars(5);
+  config.economy.conservative_provider = false;
+  config.economy.model_build_latency = false;
+  config.economy.amortization_horizon = 100;
+  config.economy.regret_fraction_a = 0.01;
+  EconScheme scheme(&catalog_, &prices_, {}, std::move(config));
+  WorkloadGenerator workload(&catalog_, templates_, DefaultWorkload());
+  Simulator sim(&catalog_, &scheme, &workload, DefaultSim(1000));
+  const SimMetrics metrics = sim.Run();
+  EXPECT_EQ(metrics.queries, 1000u);
+  EXPECT_GT(metrics.revenue.micros(), 0);
+  EXPECT_EQ(metrics.case_a + metrics.case_b + metrics.case_c, 1000u);
+  EXPECT_EQ(metrics.final_credit, scheme.credit());
+}
+
+TEST_F(SimulatorTest, DeterministicEndToEnd) {
+  auto run = [&]() {
+    BypassYieldScheme::Options bypass_options;
+    bypass_options.cache_fraction = 0.9;  // Fit all three hot columns.
+    BypassYieldScheme scheme(&catalog_, bypass_options);
+    WorkloadGenerator workload(&catalog_, templates_, DefaultWorkload());
+    Simulator sim(&catalog_, &scheme, &workload, DefaultSim());
+    const SimMetrics metrics = sim.Run();
+    return std::make_pair(metrics.operating_cost.Total(),
+                          metrics.MeanResponse());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_F(SimulatorTest, LongerIntervalsCostMoreDiskRent) {
+  auto disk_cost = [&](double interval) {
+    BypassYieldScheme::Options bypass_options;
+    bypass_options.cache_fraction = 0.9;  // Fit all three hot columns.
+    BypassYieldScheme scheme(&catalog_, bypass_options);
+    WorkloadOptions wl = DefaultWorkload();
+    wl.interarrival_seconds = interval;
+    WorkloadGenerator workload(&catalog_, templates_, wl);
+    Simulator sim(&catalog_, &scheme, &workload, DefaultSim());
+    return sim.Run().operating_cost.disk_dollars;
+  };
+  // Same query stream stretched over more wall-clock: strictly more rent.
+  EXPECT_GT(disk_cost(60.0), disk_cost(1.0));
+}
+
+}  // namespace
+}  // namespace cloudcache

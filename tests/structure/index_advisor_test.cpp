@@ -1,0 +1,116 @@
+#include "src/structure/index_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/catalog/tpch.h"
+#include "src/query/templates.h"
+
+namespace cloudcache {
+namespace {
+
+class IndexAdvisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = MakeTpchCatalog(1.0);
+    Result<std::vector<ResolvedTemplate>> resolved =
+        ResolveTemplates(catalog_, MakeTpchTemplates());
+    ASSERT_TRUE(resolved.ok());
+    templates_ = *resolved;
+  }
+
+  Catalog catalog_;
+  std::vector<ResolvedTemplate> templates_;
+};
+
+TEST_F(IndexAdvisorTest, ProducesPaperPoolSize) {
+  const auto pool = RecommendIndexes(catalog_, templates_, 65);
+  EXPECT_EQ(pool.size(), 65u);
+}
+
+TEST_F(IndexAdvisorTest, AllCandidatesAreIndexes) {
+  for (const StructureKey& key : RecommendIndexes(catalog_, templates_)) {
+    EXPECT_EQ(key.type, StructureType::kIndex);
+    EXPECT_FALSE(key.columns.empty());
+  }
+}
+
+TEST_F(IndexAdvisorTest, NoDuplicates) {
+  const auto pool = RecommendIndexes(catalog_, templates_, 65);
+  std::set<std::string> seen;
+  for (const StructureKey& key : pool) {
+    EXPECT_TRUE(seen.insert(key.ToString(catalog_)).second)
+        << key.ToString(catalog_);
+  }
+}
+
+TEST_F(IndexAdvisorTest, Deterministic) {
+  const auto a = RecommendIndexes(catalog_, templates_, 65);
+  const auto b = RecommendIndexes(catalog_, templates_, 65);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST_F(IndexAdvisorTest, SingleColumnCandidatesForEveryPredicate) {
+  const auto pool = RecommendIndexes(catalog_, templates_, 200);
+  std::set<std::string> singles;
+  for (const StructureKey& key : pool) {
+    if (key.columns.size() == 1) {
+      singles.insert(catalog_.column(key.columns.front()).name);
+    }
+  }
+  for (const ResolvedTemplate& tmpl : templates_) {
+    for (const auto& pred : tmpl.predicates) {
+      EXPECT_TRUE(singles.count(catalog_.column(pred.column).name))
+          << catalog_.column(pred.column).name;
+    }
+  }
+}
+
+TEST_F(IndexAdvisorTest, RespectsMaxWidth) {
+  for (const StructureKey& key :
+       RecommendIndexes(catalog_, templates_, 65, 3)) {
+    EXPECT_LE(key.columns.size(), 3u);
+  }
+}
+
+TEST_F(IndexAdvisorTest, IndexColumnsStayWithinOneTable) {
+  for (const StructureKey& key : RecommendIndexes(catalog_, templates_)) {
+    for (ColumnId col : key.columns) {
+      EXPECT_EQ(catalog_.column(col).table_id, key.table);
+    }
+  }
+}
+
+TEST_F(IndexAdvisorTest, SmallTargetTruncates) {
+  EXPECT_EQ(RecommendIndexes(catalog_, templates_, 5).size(), 5u);
+}
+
+TEST_F(IndexAdvisorTest, NoPaddingBeyondWhatTemplatesYield) {
+  const auto pool = RecommendIndexes(catalog_, templates_, 100'000);
+  // The pool is bounded by what 7 templates can generate, far below the
+  // requested count; nothing is invented to pad it.
+  EXPECT_LT(pool.size(), 1000u);
+  EXPECT_GE(pool.size(), 65u);
+}
+
+TEST_F(IndexAdvisorTest, LeadingColumnIsAlwaysAPredicate) {
+  std::set<ColumnId> predicate_columns;
+  for (const ResolvedTemplate& tmpl : templates_) {
+    for (const auto& pred : tmpl.predicates) {
+      predicate_columns.insert(pred.column);
+    }
+  }
+  for (const StructureKey& key : RecommendIndexes(catalog_, templates_)) {
+    EXPECT_TRUE(predicate_columns.count(key.columns.front()))
+        << key.ToString(catalog_);
+  }
+}
+
+TEST_F(IndexAdvisorTest, EmptyTemplatesYieldEmptyPool) {
+  EXPECT_TRUE(RecommendIndexes(catalog_, {}, 65).empty());
+}
+
+}  // namespace
+}  // namespace cloudcache

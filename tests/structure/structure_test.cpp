@@ -1,0 +1,123 @@
+#include "src/structure/structure.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/fixtures.h"
+
+namespace cloudcache {
+namespace {
+
+class StructureTest : public ::testing::Test {
+ protected:
+  StructureTest() : catalog_(testing::MakeTinyCatalog()) {}
+  Catalog catalog_;
+};
+
+TEST_F(StructureTest, ColumnKeyIdentity) {
+  const ColumnId col = *catalog_.FindColumn("fact.f_date");
+  const StructureKey a = ColumnKey(catalog_, col);
+  const StructureKey b = ColumnKey(catalog_, col);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.type, StructureType::kColumn);
+  EXPECT_EQ(a.table, 0u);
+}
+
+TEST_F(StructureTest, IndexKeyOrderMatters) {
+  const ColumnId c1 = *catalog_.FindColumn("fact.f_date");
+  const ColumnId c2 = *catalog_.FindColumn("fact.f_value");
+  const StructureKey ab = IndexKey(catalog_, {c1, c2});
+  const StructureKey ba = IndexKey(catalog_, {c2, c1});
+  EXPECT_FALSE(ab == ba);
+}
+
+TEST_F(StructureTest, CpuNodeKeysDistinctByOrdinal) {
+  EXPECT_FALSE(CpuNodeKey(0) == CpuNodeKey(1));
+  EXPECT_EQ(CpuNodeKey(2), CpuNodeKey(2));
+}
+
+TEST_F(StructureTest, ToStringIsReadable) {
+  const ColumnId col = *catalog_.FindColumn("fact.f_date");
+  EXPECT_EQ(ColumnKey(catalog_, col).ToString(catalog_),
+            "column(fact.f_date)");
+  EXPECT_EQ(CpuNodeKey(3).ToString(catalog_), "cpu(3)");
+  const ColumnId c2 = *catalog_.FindColumn("fact.f_value");
+  EXPECT_EQ(IndexKey(catalog_, {col, c2}).ToString(catalog_),
+            "index(fact: f_date,f_value)");
+}
+
+TEST_F(StructureTest, HashEqualForEqualKeys) {
+  const ColumnId col = *catalog_.FindColumn("fact.f_key");
+  StructureKeyHash hash;
+  EXPECT_EQ(hash(ColumnKey(catalog_, col)), hash(ColumnKey(catalog_, col)));
+}
+
+TEST_F(StructureTest, StructureBytesColumn) {
+  const ColumnId col = *catalog_.FindColumn("fact.f_key");
+  EXPECT_EQ(StructureBytes(catalog_, ColumnKey(catalog_, col)),
+            8u * 1'000'000);
+}
+
+TEST_F(StructureTest, StructureBytesIndexIncludesLocator) {
+  const ColumnId col = *catalog_.FindColumn("fact.f_date");
+  // Key column (8 B) + locator (8 B) per row.
+  EXPECT_EQ(StructureBytes(catalog_, IndexKey(catalog_, {col})),
+            16u * 1'000'000);
+}
+
+TEST_F(StructureTest, StructureBytesCpuNodeIsZero) {
+  EXPECT_EQ(StructureBytes(catalog_, CpuNodeKey(0)), 0u);
+}
+
+TEST_F(StructureTest, RegistryInternsOnce) {
+  StructureRegistry registry(&catalog_);
+  const ColumnId col = *catalog_.FindColumn("fact.f_date");
+  const StructureId a = registry.Intern(ColumnKey(catalog_, col));
+  const StructureId b = registry.Intern(ColumnKey(catalog_, col));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST_F(StructureTest, RegistryAssignsDenseIds) {
+  StructureRegistry registry(&catalog_);
+  const StructureId a = registry.Intern(CpuNodeKey(0));
+  const StructureId b = registry.Intern(CpuNodeKey(1));
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(registry.key(b).ordinal, 1u);
+}
+
+TEST_F(StructureTest, RegistryFind) {
+  StructureRegistry registry(&catalog_);
+  const ColumnId col = *catalog_.FindColumn("fact.f_flag");
+  EXPECT_FALSE(registry.Find(ColumnKey(catalog_, col)).ok());
+  const StructureId id = registry.Intern(ColumnKey(catalog_, col));
+  ASSERT_TRUE(registry.Find(ColumnKey(catalog_, col)).ok());
+  EXPECT_EQ(*registry.Find(ColumnKey(catalog_, col)), id);
+}
+
+TEST_F(StructureTest, RegistryCachesBytes) {
+  StructureRegistry registry(&catalog_);
+  const ColumnId col = *catalog_.FindColumn("fact.f_key");
+  const StructureId id = registry.Intern(ColumnKey(catalog_, col));
+  EXPECT_EQ(registry.bytes(id), 8u * 1'000'000);
+}
+
+TEST_F(StructureTest, IdsOfTypeFilters) {
+  StructureRegistry registry(&catalog_);
+  registry.Intern(CpuNodeKey(0));
+  const ColumnId col = *catalog_.FindColumn("fact.f_key");
+  registry.Intern(ColumnKey(catalog_, col));
+  registry.Intern(IndexKey(catalog_, {col}));
+  EXPECT_EQ(registry.IdsOfType(StructureType::kCpuNode).size(), 1u);
+  EXPECT_EQ(registry.IdsOfType(StructureType::kColumn).size(), 1u);
+  EXPECT_EQ(registry.IdsOfType(StructureType::kIndex).size(), 1u);
+}
+
+TEST_F(StructureTest, TypeNames) {
+  EXPECT_STREQ(StructureTypeToString(StructureType::kCpuNode), "cpu");
+  EXPECT_STREQ(StructureTypeToString(StructureType::kColumn), "column");
+  EXPECT_STREQ(StructureTypeToString(StructureType::kIndex), "index");
+}
+
+}  // namespace
+}  // namespace cloudcache

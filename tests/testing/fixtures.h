@@ -1,0 +1,94 @@
+#pragma once
+
+#include <vector>
+
+#include "src/catalog/schema.h"
+#include "src/cost/price_list.h"
+#include "src/query/query.h"
+#include "src/util/logging.h"
+
+namespace cloudcache::testing {
+
+/// A small, hand-computable catalog: one fact table of 1e6 rows with four
+/// 8-byte columns and one dimension table of 1e3 rows with two columns.
+/// Sizes: fact column = 8 MB, dim columns = 8 KB / 4 KB.
+inline Catalog MakeTinyCatalog() {
+  Catalog catalog;
+  Table fact;
+  fact.name = "fact";
+  fact.row_count = 1'000'000;
+  Column c;
+  c.type = DataType::kInt64;
+  c.width_bytes = 8;
+  c.distinct_fraction = 1.0;
+  c.name = "f_key";
+  fact.columns.push_back(c);
+  c.name = "f_date";
+  c.distinct_fraction = 0.001;
+  fact.columns.push_back(c);
+  c.name = "f_value";
+  c.distinct_fraction = 0.5;
+  fact.columns.push_back(c);
+  c.name = "f_flag";
+  c.distinct_fraction = 0.00001;
+  fact.columns.push_back(c);
+  CLOUDCACHE_CHECK(catalog.AddTable(std::move(fact)).ok());
+
+  Table dim;
+  dim.name = "dim";
+  dim.row_count = 1'000;
+  c.name = "d_key";
+  c.width_bytes = 8;
+  c.distinct_fraction = 1.0;
+  dim.columns.push_back(c);
+  c.name = "d_attr";
+  c.width_bytes = 4;
+  c.type = DataType::kInt32;
+  dim.columns.push_back(c);
+  CLOUDCACHE_CHECK(catalog.AddTable(std::move(dim)).ok());
+  return catalog;
+}
+
+/// A simple selection query on the tiny catalog's fact table: clustered
+/// date predicate (sel) + non-clustered value predicate (0.5), outputs
+/// f_key and f_value.
+inline Query MakeTinyQuery(const Catalog& catalog, double sel = 0.01,
+                           uint64_t id = 0) {
+  Query q;
+  q.id = id;
+  q.template_id = 0;
+  q.table = *catalog.FindTable("fact");
+  q.output_columns = {*catalog.FindColumn("fact.f_key"),
+                      *catalog.FindColumn("fact.f_value")};
+  Predicate date;
+  date.column = *catalog.FindColumn("fact.f_date");
+  date.selectivity = sel;
+  date.clustered = true;
+  q.predicates.push_back(date);
+  Predicate value;
+  value.column = *catalog.FindColumn("fact.f_value");
+  value.selectivity = 0.5;
+  q.predicates.push_back(value);
+  DeriveResultShape(catalog, 1.0, &q);
+  return q;
+}
+
+/// Price list with easy round numbers for hand computation:
+/// CPU $3.60/h = $0.001/s, net $0.10/GB, disk $0.10/GB-month,
+/// io $1 per million ops, 100 Mbps (12.5 MB/s), no latency.
+inline PriceList MakeRoundPrices() {
+  PriceList p;
+  p.cpu_second_dollars = 0.001;
+  p.network_byte_dollars = 0.10 / 1e9;
+  p.disk_byte_second_dollars = 0.10 / (1e9 * kMonth);
+  p.io_op_dollars = 1.0 / 1e6;
+  p.wan_mbps = 100.0;
+  p.latency_seconds = 0.0;
+  p.fcpu = 0.01;
+  p.boot_seconds = 100.0;
+  p.io_bytes_per_op = 8192.0;  // Page-granular ops keep hand-math simple.
+  p.io_seconds_per_op = 8e-6;
+  return p;
+}
+
+}  // namespace cloudcache::testing

@@ -1,0 +1,62 @@
+#include "src/util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudcache {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, DefaultSuppressesInfo) {
+  SetLogLevel(LogLevel::kWarning);
+  testing::internal::CaptureStderr();
+  CLOUDCACHE_LOG(kInfo) << "should not appear";
+  CLOUDCACHE_LOG(kWarning) << "should appear";
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+  EXPECT_NE(err.find("should appear"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MessageCarriesLevelAndLocation) {
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  CLOUDCACHE_LOG(kError) << "boom " << 42;
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[ERROR"), std::string::npos);
+  EXPECT_NE(err.find("logging_test.cpp"), std::string::npos);
+  EXPECT_NE(err.find("boom 42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ChecksPassSilently) {
+  testing::internal::CaptureStderr();
+  CLOUDCACHE_CHECK(1 + 1 == 2) << "never shown";
+  CLOUDCACHE_CHECK_GE(2, 1);
+  CLOUDCACHE_CHECK_LT(1, 2);
+  CLOUDCACHE_CHECK_EQ(3, 3);
+  CLOUDCACHE_CHECK_NE(3, 4);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, FailedCheckAborts) {
+  EXPECT_DEATH({ CLOUDCACHE_CHECK(false) << "fatal detail"; },
+               "Check failed: false");
+}
+
+TEST_F(LoggingTest, FailedComparisonCheckAborts) {
+  EXPECT_DEATH({ CLOUDCACHE_CHECK_EQ(1, 2); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace cloudcache

@@ -1,0 +1,141 @@
+#include "src/util/money.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace cloudcache {
+namespace {
+
+TEST(MoneyTest, DefaultIsZero) {
+  Money m;
+  EXPECT_TRUE(m.IsZero());
+  EXPECT_EQ(m.micros(), 0);
+  EXPECT_FALSE(m.IsPositive());
+  EXPECT_FALSE(m.IsNegative());
+}
+
+TEST(MoneyTest, FromMicrosRoundTrips) {
+  EXPECT_EQ(Money::FromMicros(123456789).micros(), 123456789);
+  EXPECT_EQ(Money::FromMicros(-5).micros(), -5);
+}
+
+TEST(MoneyTest, FromDollarsRoundsHalfAwayFromZero) {
+  EXPECT_EQ(Money::FromDollars(1.0).micros(), 1'000'000);
+  EXPECT_EQ(Money::FromDollars(0.0000005).micros(), 1);
+  EXPECT_EQ(Money::FromDollars(-0.0000005).micros(), -1);
+  EXPECT_EQ(Money::FromDollars(0.00000049).micros(), 0);
+}
+
+TEST(MoneyTest, FromCentsExact) {
+  EXPECT_EQ(Money::FromCents(12345).micros(), 123'450'000);
+}
+
+TEST(MoneyTest, ToDollarsInvertsFromDollars) {
+  EXPECT_DOUBLE_EQ(Money::FromDollars(17.25).ToDollars(), 17.25);
+}
+
+TEST(MoneyTest, ArithmeticIsExact) {
+  const Money a = Money::FromMicros(1);
+  Money sum;
+  for (int i = 0; i < 1'000'000; ++i) sum += a;
+  EXPECT_EQ(sum, Money::FromDollars(1.0));
+  sum -= Money::FromDollars(0.5);
+  EXPECT_EQ(sum.micros(), 500'000);
+}
+
+TEST(MoneyTest, Negation) {
+  EXPECT_EQ((-Money::FromDollars(2)).micros(), -2'000'000);
+}
+
+TEST(MoneyTest, IntegerScaling) {
+  EXPECT_EQ((Money::FromCents(7) * 3).micros(), 210'000);
+}
+
+TEST(MoneyTest, DoubleScalingRounds) {
+  EXPECT_EQ((Money::FromMicros(10) * 0.15).micros(), 2);  // 1.5 -> 2.
+  EXPECT_EQ((Money::FromMicros(10) * 0.14).micros(), 1);
+}
+
+TEST(MoneyTest, DivisionTruncatesTowardZero) {
+  EXPECT_EQ((Money::FromMicros(7) / 2).micros(), 3);
+  EXPECT_EQ((Money::FromMicros(-7) / 2).micros(), -3);
+}
+
+TEST(MoneyTest, RatioOfAmounts) {
+  EXPECT_DOUBLE_EQ(Money::FromDollars(1).Ratio(Money::FromDollars(4)), 0.25);
+}
+
+TEST(MoneyTest, Comparisons) {
+  EXPECT_LT(Money::FromDollars(1), Money::FromDollars(2));
+  EXPECT_GE(Money::FromDollars(2), Money::FromDollars(2));
+  EXPECT_EQ(Money::Max(Money::FromDollars(1), Money::FromDollars(2)),
+            Money::FromDollars(2));
+  EXPECT_EQ(Money::Min(Money::FromDollars(1), Money::FromDollars(2)),
+            Money::FromDollars(1));
+}
+
+TEST(MoneyTest, ToStringCents) {
+  EXPECT_EQ(Money::FromDollars(12.34).ToString(), "$12.34");
+  EXPECT_EQ(Money::FromDollars(-0.5).ToString(), "-$0.50");
+}
+
+TEST(MoneyTest, ToStringMicros) {
+  EXPECT_EQ(Money::FromMicros(1).ToString(), "$0.000001");
+  EXPECT_EQ(Money::FromMicros(-1234567).ToString(), "-$1.234567");
+}
+
+TEST(MoneyTest, StreamOperator) {
+  std::ostringstream os;
+  os << Money::FromCents(150);
+  EXPECT_EQ(os.str(), "$1.50");
+}
+
+TEST(EvenShareTest, SharesSumToTotalPositive) {
+  const Money total = Money::FromMicros(1003);
+  Money sum;
+  for (int64_t i = 0; i < 10; ++i) sum += EvenShare(total, 10, i);
+  EXPECT_EQ(sum, total);
+}
+
+TEST(EvenShareTest, SharesSumToTotalNegative) {
+  const Money total = Money::FromMicros(-1003);
+  Money sum;
+  for (int64_t i = 0; i < 10; ++i) sum += EvenShare(total, 10, i);
+  EXPECT_EQ(sum, total);
+}
+
+TEST(EvenShareTest, LeadingSharesCarryRemainder) {
+  const Money total = Money::FromMicros(7);
+  EXPECT_EQ(EvenShare(total, 3, 0).micros(), 3);
+  EXPECT_EQ(EvenShare(total, 3, 1).micros(), 2);
+  EXPECT_EQ(EvenShare(total, 3, 2).micros(), 2);
+}
+
+TEST(EvenShareTest, SingleShareIsTotal) {
+  EXPECT_EQ(EvenShare(Money::FromDollars(5), 1, 0), Money::FromDollars(5));
+}
+
+TEST(EvenShareTest, SharesNeverDifferByMoreThanOneMicro) {
+  const Money total = Money::FromMicros(999'999'937);
+  int64_t lo = EvenShare(total, 7, 6).micros();
+  int64_t hi = EvenShare(total, 7, 0).micros();
+  EXPECT_LE(hi - lo, 1);
+}
+
+class EvenShareSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(EvenShareSweep, ConservationHoldsForAnyCount) {
+  const int64_t count = GetParam();
+  const Money total = Money::FromMicros(123'456'789);
+  Money sum;
+  for (int64_t i = 0; i < count; ++i) sum += EvenShare(total, count, i);
+  EXPECT_EQ(sum, total) << "count=" << count;
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, EvenShareSweep,
+                         ::testing::Values(1, 2, 3, 7, 10, 97, 1000, 4096));
+
+}  // namespace
+}  // namespace cloudcache

@@ -1,0 +1,162 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace cloudcache {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // Unbiased.
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(3);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.NextGaussian() * 3 + 1;
+    whole.Add(x);
+    (i % 2 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  const double mean = a.mean();
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.mean(), mean);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_EQ(b.mean(), mean);
+}
+
+TEST(RunningStatsTest, StableOverManySamples) {
+  RunningStats s;
+  for (int i = 0; i < 1'000'000; ++i) s.Add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+TEST(QuantileSketchTest, EmptyReturnsZero) {
+  QuantileSketch sketch;
+  EXPECT_EQ(sketch.Quantile(0.5), 0.0);
+  EXPECT_EQ(sketch.count(), 0);
+}
+
+TEST(QuantileSketchTest, ExactMinAndMax) {
+  QuantileSketch sketch;
+  for (double x : {3.0, 1.0, 4.0, 1.5, 9.0}) sketch.Add(x);
+  EXPECT_EQ(sketch.Quantile(0.0), 1.0);
+  EXPECT_EQ(sketch.Quantile(1.0), 9.0);
+}
+
+TEST(QuantileSketchTest, MedianWithinRelativeError) {
+  QuantileSketch sketch;
+  Rng rng(5);
+  for (int i = 0; i < 100'000; ++i) {
+    sketch.Add(rng.NextUniform(0.0, 100.0));
+  }
+  EXPECT_NEAR(sketch.Quantile(0.5), 50.0, 3.0);
+  EXPECT_NEAR(sketch.Quantile(0.9), 90.0, 4.0);
+}
+
+TEST(QuantileSketchTest, NegativeClampsToZero) {
+  QuantileSketch sketch;
+  sketch.Add(-5.0);
+  EXPECT_EQ(sketch.Quantile(0.0), 0.0);
+  EXPECT_EQ(sketch.Quantile(1.0), 0.0);
+}
+
+TEST(QuantileSketchTest, MergeCombinesMass) {
+  QuantileSketch a, b;
+  for (int i = 0; i < 1000; ++i) a.Add(1.0);
+  for (int i = 0; i < 1000; ++i) b.Add(100.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2000);
+  EXPECT_NEAR(a.Quantile(0.25), 1.0, 0.05);
+  EXPECT_NEAR(a.Quantile(0.75), 100.0, 4.0);
+}
+
+TEST(QuantileSketchTest, QuantilesMonotone) {
+  QuantileSketch sketch;
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) sketch.Add(rng.NextExponential(2.0));
+  double prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = sketch.Quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(TimeSeriesTest, AppendsAndReads) {
+  TimeSeries ts;
+  ts.Add(0.0, 1.0);
+  ts.Add(1.0, 2.0);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.Last(), 2.0);
+  EXPECT_EQ(ts.times()[0], 0.0);
+  EXPECT_EQ(ts.values()[1], 2.0);
+}
+
+TEST(TimeSeriesTest, EmptyLastIsZero) {
+  TimeSeries ts;
+  EXPECT_EQ(ts.Last(), 0.0);
+}
+
+TEST(TimeSeriesTest, DownsampleKeepsEndpoints) {
+  TimeSeries ts;
+  for (int i = 0; i < 1000; ++i) ts.Add(i, i * 2.0);
+  TimeSeries down = ts.Downsample(10);
+  EXPECT_EQ(down.size(), 10u);
+  EXPECT_EQ(down.times().front(), 0.0);
+  EXPECT_EQ(down.times().back(), 999.0);
+  EXPECT_EQ(down.values().back(), 1998.0);
+}
+
+TEST(TimeSeriesTest, DownsampleNoOpWhenSmall) {
+  TimeSeries ts;
+  ts.Add(0, 1);
+  ts.Add(1, 2);
+  EXPECT_EQ(ts.Downsample(10).size(), 2u);
+}
+
+}  // namespace
+}  // namespace cloudcache

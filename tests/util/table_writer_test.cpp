@@ -1,0 +1,75 @@
+#include "src/util/table_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cloudcache {
+namespace {
+
+TEST(TableWriterTest, RejectsWrongArity) {
+  TableWriter table({"a", "b"});
+  EXPECT_FALSE(table.AddRow({"only-one"}).ok());
+  EXPECT_TRUE(table.AddRow({"x", "y"}).ok());
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.num_columns(), 2u);
+}
+
+TEST(TableWriterTest, AsciiAlignment) {
+  TableWriter table({"name", "v"});
+  ASSERT_TRUE(table.AddRow({"long-name", "1"}).ok());
+  ASSERT_TRUE(table.AddRow({"x", "22"}).ok());
+  const std::string ascii = table.ToAscii();
+  EXPECT_NE(ascii.find("| name      | v  |"), std::string::npos);
+  EXPECT_NE(ascii.find("| long-name | 1  |"), std::string::npos);
+  EXPECT_NE(ascii.find("| x         | 22 |"), std::string::npos);
+}
+
+TEST(TableWriterTest, CsvPlain) {
+  TableWriter table({"a", "b"});
+  ASSERT_TRUE(table.AddRow({"1", "2"}).ok());
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableWriterTest, CsvEscapesSpecials) {
+  TableWriter table({"a"});
+  ASSERT_TRUE(table.AddRow({"has,comma"}).ok());
+  ASSERT_TRUE(table.AddRow({"has\"quote"}).ok());
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TableWriterTest, DoubleRowFormatting) {
+  TableWriter table({"x", "y"});
+  ASSERT_TRUE(table.AddNumericRow({1.23456, 2.0}, 2).ok());
+  EXPECT_EQ(table.ToCsv(), "x,y\n1.23,2.00\n");
+}
+
+TEST(TableWriterTest, WriteCsvFileRoundTrips) {
+  TableWriter table({"k"});
+  ASSERT_TRUE(table.AddRow({"v"}).ok());
+  const std::string path = ::testing::TempDir() + "/table_writer_test.csv";
+  ASSERT_TRUE(table.WriteCsvFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "k\nv\n");
+  std::remove(path.c_str());
+}
+
+TEST(TableWriterTest, WriteCsvFileBadPathFails) {
+  TableWriter table({"k"});
+  EXPECT_FALSE(table.WriteCsvFile("/nonexistent-dir/x.csv").ok());
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace cloudcache

@@ -1,0 +1,182 @@
+#include "src/workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/catalog/tpch.h"
+
+namespace cloudcache {
+namespace {
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = MakeTpchCatalog(1.0);
+    Result<std::vector<ResolvedTemplate>> resolved =
+        ResolveTemplates(catalog_, MakeTpchTemplates());
+    ASSERT_TRUE(resolved.ok());
+    templates_ = *resolved;
+  }
+
+  Catalog catalog_;
+  std::vector<ResolvedTemplate> templates_;
+};
+
+TEST_F(GeneratorTest, IdsIncrementFromZero) {
+  WorkloadGenerator gen(&catalog_, templates_, {});
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(gen.Next().id, i);
+  }
+  EXPECT_EQ(gen.queries_generated(), 10u);
+}
+
+TEST_F(GeneratorTest, FixedArrivalsAreEvenlySpaced) {
+  WorkloadOptions options;
+  options.interarrival_seconds = 10.0;
+  options.arrival = WorkloadOptions::Arrival::kFixed;
+  WorkloadGenerator gen(&catalog_, templates_, options);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(gen.Next().arrival_time, 10.0 * i);
+  }
+}
+
+TEST_F(GeneratorTest, PoissonArrivalsHaveRequestedMean) {
+  WorkloadOptions options;
+  options.interarrival_seconds = 5.0;
+  options.arrival = WorkloadOptions::Arrival::kPoisson;
+  WorkloadGenerator gen(&catalog_, templates_, options);
+  Query last;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) last = gen.Next();
+  EXPECT_NEAR(last.arrival_time / n, 5.0, 0.2);
+}
+
+TEST_F(GeneratorTest, ArrivalsNonDecreasing) {
+  WorkloadOptions options;
+  options.arrival = WorkloadOptions::Arrival::kPoisson;
+  WorkloadGenerator gen(&catalog_, templates_, options);
+  double last = -1;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = gen.Next().arrival_time;
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+TEST_F(GeneratorTest, EveryQueryValidates) {
+  WorkloadGenerator gen(&catalog_, templates_, {});
+  for (int i = 0; i < 500; ++i) {
+    const Query q = gen.Next();
+    EXPECT_TRUE(q.Validate(catalog_).ok());
+    EXPECT_GE(q.template_id, 0);
+    EXPECT_LT(q.template_id, static_cast<int>(templates_.size()));
+  }
+}
+
+TEST_F(GeneratorTest, DeterministicForSeed) {
+  WorkloadOptions options;
+  options.seed = 99;
+  WorkloadGenerator a(&catalog_, templates_, options);
+  WorkloadGenerator b(&catalog_, templates_, options);
+  for (int i = 0; i < 200; ++i) {
+    const Query qa = a.Next();
+    const Query qb = b.Next();
+    EXPECT_EQ(qa.template_id, qb.template_id);
+    EXPECT_EQ(qa.result_bytes, qb.result_bytes);
+  }
+}
+
+TEST_F(GeneratorTest, SkewMakesPopularityUnequal) {
+  WorkloadOptions options;
+  options.popularity_skew = 1.5;
+  options.repeat_probability = 0.0;
+  options.drift_period = 0;  // Freeze the ranking.
+  WorkloadGenerator gen(&catalog_, templates_, options);
+  std::map<int, int> counts;
+  for (int i = 0; i < 20'000; ++i) ++counts[gen.Next().template_id];
+  int max_count = 0, min_count = 1 << 30;
+  for (const auto& [tmpl, count] : counts) {
+    max_count = std::max(max_count, count);
+    min_count = std::min(min_count, count);
+  }
+  EXPECT_GT(max_count, 4 * std::max(1, min_count));
+}
+
+TEST_F(GeneratorTest, ZeroSkewIsRoughlyUniformWithoutRepeats) {
+  WorkloadOptions options;
+  options.popularity_skew = 0.0;
+  options.repeat_probability = 0.0;
+  WorkloadGenerator gen(&catalog_, templates_, options);
+  std::map<int, int> counts;
+  const int n = 70'000;
+  for (int i = 0; i < n; ++i) ++counts[gen.Next().template_id];
+  for (const auto& [tmpl, count] : counts) {
+    EXPECT_NEAR(count, n / 7, n / 70) << "template " << tmpl;
+  }
+}
+
+TEST_F(GeneratorTest, RepeatProbabilityCreatesBursts) {
+  WorkloadOptions options;
+  options.repeat_probability = 0.9;
+  WorkloadGenerator gen(&catalog_, templates_, options);
+  int repeats = 0;
+  int prev = gen.Next().template_id;
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i) {
+    const int tmpl = gen.Next().template_id;
+    repeats += (tmpl == prev);
+    prev = tmpl;
+  }
+  EXPECT_GT(repeats, n * 0.8);
+}
+
+TEST_F(GeneratorTest, DriftRotatesTheHotTemplate) {
+  WorkloadOptions options;
+  options.popularity_skew = 2.0;
+  options.repeat_probability = 0.0;
+  options.drift_period = 5'000;
+  WorkloadGenerator gen(&catalog_, templates_, options);
+  auto hottest_of_phase = [&]() {
+    std::map<int, int> counts;
+    for (int i = 0; i < 5'000; ++i) ++counts[gen.Next().template_id];
+    int best = 0, best_count = -1;
+    for (const auto& [tmpl, count] : counts) {
+      if (count > best_count) {
+        best = tmpl;
+        best_count = count;
+      }
+    }
+    return best;
+  };
+  const int first = hottest_of_phase();
+  const int second = hottest_of_phase();
+  EXPECT_NE(first, second);
+}
+
+TEST_F(GeneratorTest, SelectivityScaleNarrowsQueries) {
+  WorkloadOptions narrow_opts;
+  narrow_opts.selectivity_scale = 0.1;
+  WorkloadOptions wide_opts;
+  wide_opts.selectivity_scale = 1.0;
+  WorkloadGenerator narrow(&catalog_, templates_, narrow_opts);
+  WorkloadGenerator wide(&catalog_, templates_, wide_opts);
+  double narrow_sum = 0, wide_sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    narrow_sum += narrow.Next().CombinedSelectivity();
+    wide_sum += wide.Next().CombinedSelectivity();
+  }
+  EXPECT_LT(narrow_sum, wide_sum * 0.3);
+}
+
+TEST_F(GeneratorTest, PeekMatchesNextArrival) {
+  WorkloadOptions options;
+  options.interarrival_seconds = 7.0;
+  WorkloadGenerator gen(&catalog_, templates_, options);
+  EXPECT_DOUBLE_EQ(gen.PeekNextArrival(), 0.0);
+  gen.Next();
+  EXPECT_DOUBLE_EQ(gen.PeekNextArrival(), 7.0);
+}
+
+}  // namespace
+}  // namespace cloudcache

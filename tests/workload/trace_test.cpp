@@ -1,0 +1,126 @@
+#include "src/workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/catalog/tpch.h"
+#include "src/workload/generator.h"
+#include "tests/testing/fixtures.h"
+
+namespace cloudcache {
+namespace {
+
+std::vector<Query> MakeQueries(const Catalog& catalog, int count) {
+  std::vector<Query> queries;
+  for (int i = 0; i < count; ++i) {
+    Query q = testing::MakeTinyQuery(catalog, 0.01 + 0.001 * i, i);
+    q.arrival_time = i * 2.5;
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+TEST(TraceTest, RoundTripsThroughString) {
+  const Catalog catalog = testing::MakeTinyCatalog();
+  const std::vector<Query> queries = MakeQueries(catalog, 5);
+  const std::string csv = TraceWriter::ToCsv(queries);
+  Result<std::vector<Query>> back = TraceReader::FromCsv(csv, catalog);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    const Query& a = queries[i];
+    const Query& b = (*back)[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.table, b.table);
+    EXPECT_DOUBLE_EQ(a.arrival_time, b.arrival_time);
+    EXPECT_EQ(a.output_columns, b.output_columns);
+    EXPECT_EQ(a.result_rows, b.result_rows);
+    EXPECT_EQ(a.result_bytes, b.result_bytes);
+    ASSERT_EQ(a.predicates.size(), b.predicates.size());
+    for (size_t p = 0; p < a.predicates.size(); ++p) {
+      EXPECT_EQ(a.predicates[p].column, b.predicates[p].column);
+      EXPECT_NEAR(a.predicates[p].selectivity,
+                  b.predicates[p].selectivity, 1e-12);
+      EXPECT_EQ(a.predicates[p].equality, b.predicates[p].equality);
+      EXPECT_EQ(a.predicates[p].clustered, b.predicates[p].clustered);
+    }
+  }
+}
+
+TEST(TraceTest, RoundTripsThroughFile) {
+  const Catalog catalog = testing::MakeTinyCatalog();
+  const std::vector<Query> queries = MakeQueries(catalog, 3);
+  const std::string path = ::testing::TempDir() + "/trace_test.csv";
+  ASSERT_TRUE(TraceWriter::Write(path, queries).ok());
+  Result<std::vector<Query>> back = TraceReader::Read(path, catalog);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, GeneratedWorkloadRoundTrips) {
+  const Catalog catalog = MakeTpchCatalog(1.0);
+  Result<std::vector<ResolvedTemplate>> templates =
+      ResolveTemplates(catalog, MakeTpchTemplates());
+  ASSERT_TRUE(templates.ok());
+  WorkloadGenerator gen(&catalog, *templates, {});
+  std::vector<Query> queries;
+  for (int i = 0; i < 100; ++i) queries.push_back(gen.Next());
+  const std::string csv = TraceWriter::ToCsv(queries);
+  Result<std::vector<Query>> back = TraceReader::FromCsv(csv, catalog);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->size(), queries.size());
+}
+
+TEST(TraceTest, RejectsMissingHeader) {
+  const Catalog catalog = testing::MakeTinyCatalog();
+  EXPECT_FALSE(TraceReader::FromCsv("not,a,trace\n", catalog).ok());
+  EXPECT_FALSE(TraceReader::FromCsv("", catalog).ok());
+}
+
+TEST(TraceTest, RejectsWrongFieldCount) {
+  const Catalog catalog = testing::MakeTinyCatalog();
+  const std::string csv =
+      TraceWriter::ToCsv({}) + "1,2,3\n";  // Header + malformed line.
+  EXPECT_FALSE(TraceReader::FromCsv(csv, catalog).ok());
+}
+
+TEST(TraceTest, RejectsInvalidQueries) {
+  const Catalog catalog = testing::MakeTinyCatalog();
+  std::vector<Query> queries = MakeQueries(catalog, 1);
+  queries[0].table = 99;  // Out of range.
+  const std::string csv = TraceWriter::ToCsv(queries);
+  const auto result = TraceReader::FromCsv(csv, catalog);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(TraceTest, RejectsGarbageNumbers) {
+  const Catalog catalog = testing::MakeTinyCatalog();
+  std::string csv = TraceWriter::ToCsv(MakeQueries(catalog, 1));
+  // Replace the data line with one whose arrival field is not a number.
+  csv = csv.substr(0, csv.find('\n') + 1) +
+        "0,0,0,abc,1,0.9,1,16,0;2,1:0.5:0:1\n";
+  EXPECT_FALSE(TraceReader::FromCsv(csv, catalog).ok());
+}
+
+TEST(TraceTest, SkipsBlankLines) {
+  const Catalog catalog = testing::MakeTinyCatalog();
+  std::string csv = TraceWriter::ToCsv(MakeQueries(catalog, 2));
+  csv += "\n\n";
+  Result<std::vector<Query>> back = TraceReader::FromCsv(csv, catalog);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 2u);
+}
+
+TEST(TraceTest, EmptyTraceIsValid) {
+  const Catalog catalog = testing::MakeTinyCatalog();
+  const std::string csv = TraceWriter::ToCsv({});
+  Result<std::vector<Query>> back = TraceReader::FromCsv(csv, catalog);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+}  // namespace
+}  // namespace cloudcache

@@ -1,0 +1,203 @@
+// cloudcache_sim — command-line front end to the simulator.
+//
+// Runs one scheme against one workload configuration and prints the full
+// metric report; the building block for scripted parameter studies beyond
+// the canned bench binaries.
+//
+// Examples:
+//   cloudcache_sim --scheme=econ-cheap --queries=100000 --interarrival=10
+//   cloudcache_sim --scheme=bypass --scale-tb=1.0 --arrival=poisson
+//   cloudcache_sim --scheme=econ-fast --catalog=sdss --csv=credit.csv
+//   cloudcache_sim --trace-out=stream.csv --queries=50000   (record only)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "src/catalog/sdss.h"
+#include "src/catalog/tpch.h"
+#include "src/sim/experiment.h"
+#include "src/sim/report.h"
+#include "src/util/logging.h"
+#include "src/util/units.h"
+#include "src/workload/trace.h"
+
+namespace {
+
+using namespace cloudcache;
+
+struct Args {
+  std::string scheme = "econ-cheap";
+  std::string catalog = "tpch";
+  double scale_tb = 2.5;
+  uint64_t queries = 50'000;
+  double interarrival = 10.0;
+  std::string arrival = "fixed";
+  double skew = 1.0;
+  double repeat = 0.3;
+  uint64_t seed = 17;
+  double regret_a = 0.02;
+  int64_t horizon = 50'000;
+  double initial_credit = 200.0;
+  bool build_latency = false;
+  std::string csv;        // Credit/cost timeline CSV.
+  std::string trace_out;  // Record the workload instead of simulating.
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [flags]\n"
+      "  --scheme=bypass|econ-col|econ-cheap|econ-fast   (econ-cheap)\n"
+      "  --catalog=tpch|sdss                             (tpch)\n"
+      "  --scale-tb=X          TPC-H backend size        (2.5)\n"
+      "  --queries=N                                     (50000)\n"
+      "  --interarrival=SECS                             (10)\n"
+      "  --arrival=fixed|poisson                         (fixed)\n"
+      "  --skew=X              template popularity skew  (1.0)\n"
+      "  --repeat=P            burst probability         (0.3)\n"
+      "  --seed=N                                        (17)\n"
+      "  --regret-a=X          a of Eq. 3                (0.02)\n"
+      "  --horizon=N           n of Eq. 7                (50000)\n"
+      "  --credit=DOLLARS      seed credit               (200)\n"
+      "  --build-latency       model structure build latency\n"
+      "  --csv=PATH            write credit/cost timeline CSV\n"
+      "  --trace-out=PATH      write the workload trace and exit\n",
+      argv0);
+}
+
+bool Flag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+std::optional<Args> Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (Flag(argv[i], "--scheme", &v)) args.scheme = v;
+    else if (Flag(argv[i], "--catalog", &v)) args.catalog = v;
+    else if (Flag(argv[i], "--scale-tb", &v)) args.scale_tb = std::stod(v);
+    else if (Flag(argv[i], "--queries", &v)) args.queries = std::stoull(v);
+    else if (Flag(argv[i], "--interarrival", &v)) args.interarrival = std::stod(v);
+    else if (Flag(argv[i], "--arrival", &v)) args.arrival = v;
+    else if (Flag(argv[i], "--skew", &v)) args.skew = std::stod(v);
+    else if (Flag(argv[i], "--repeat", &v)) args.repeat = std::stod(v);
+    else if (Flag(argv[i], "--seed", &v)) args.seed = std::stoull(v);
+    else if (Flag(argv[i], "--regret-a", &v)) args.regret_a = std::stod(v);
+    else if (Flag(argv[i], "--horizon", &v)) args.horizon = std::stoll(v);
+    else if (Flag(argv[i], "--credit", &v)) args.initial_credit = std::stod(v);
+    else if (std::strcmp(argv[i], "--build-latency") == 0) args.build_latency = true;
+    else if (Flag(argv[i], "--csv", &v)) args.csv = v;
+    else if (Flag(argv[i], "--trace-out", &v)) args.trace_out = v;
+    else {
+      Usage(argv[0]);
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<Args> parsed = Parse(argc, argv);
+  if (!parsed) return 2;
+  const Args& args = *parsed;
+
+  Catalog catalog;
+  std::vector<QueryTemplate> templates;
+  if (args.catalog == "tpch") {
+    catalog = MakeTpchCatalog(TpchScaleForBytes(
+        static_cast<uint64_t>(args.scale_tb * static_cast<double>(kTB))));
+    templates = MakeTpchTemplates();
+  } else if (args.catalog == "sdss") {
+    catalog = MakeSdssCatalog();
+    templates = MakeSdssTemplates();
+  } else {
+    std::fprintf(stderr, "unknown catalog '%s'\n", args.catalog.c_str());
+    return 2;
+  }
+
+  ExperimentConfig config;
+  config.workload.interarrival_seconds = args.interarrival;
+  config.workload.popularity_skew = args.skew;
+  config.workload.repeat_probability = args.repeat;
+  config.workload.seed = args.seed;
+  config.workload.arrival = args.arrival == "poisson"
+                                ? WorkloadOptions::Arrival::kPoisson
+                                : WorkloadOptions::Arrival::kFixed;
+  config.sim.num_queries = args.queries;
+
+  if (!args.trace_out.empty()) {
+    Result<std::vector<ResolvedTemplate>> resolved =
+        ResolveTemplates(catalog, templates);
+    if (!resolved.ok()) {
+      std::fprintf(stderr, "%s\n", resolved.status().ToString().c_str());
+      return 1;
+    }
+    WorkloadGenerator generator(&catalog, *resolved, config.workload);
+    std::vector<Query> trace;
+    trace.reserve(args.queries);
+    for (uint64_t i = 0; i < args.queries; ++i) {
+      trace.push_back(generator.Next());
+    }
+    const Status status = TraceWriter::Write(args.trace_out, trace);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu queries to %s\n", trace.size(),
+                args.trace_out.c_str());
+    return 0;
+  }
+
+  if (args.scheme == "bypass") {
+    config.scheme = SchemeKind::kBypassYield;
+  } else if (args.scheme == "econ-col") {
+    config.scheme = SchemeKind::kEconCol;
+  } else if (args.scheme == "econ-cheap") {
+    config.scheme = SchemeKind::kEconCheap;
+  } else if (args.scheme == "econ-fast") {
+    config.scheme = SchemeKind::kEconFast;
+  } else {
+    std::fprintf(stderr, "unknown scheme '%s'\n", args.scheme.c_str());
+    return 2;
+  }
+  config.customize_econ = [&args](EconScheme::Config& econ) {
+    econ.economy.regret_fraction_a = args.regret_a;
+    econ.economy.amortization_horizon = args.horizon;
+    econ.economy.initial_credit = Money::FromDollars(args.initial_credit);
+    econ.economy.model_build_latency = args.build_latency;
+  };
+
+  const SimMetrics metrics = RunExperiment(catalog, templates, config);
+  std::fputs(FormatRunDetail(metrics).c_str(), stdout);
+
+  if (!args.csv.empty()) {
+    TableWriter timeline({"time_s", "cumulative_cost_$", "credit_$"});
+    const TimeSeries cost = metrics.cost_over_time.Downsample(2000);
+    const TimeSeries credit = metrics.credit_over_time.Downsample(2000);
+    for (size_t i = 0; i < cost.size() && i < credit.size(); ++i) {
+      CLOUDCACHE_CHECK(
+          timeline
+              .AddNumericRow({cost.times()[i], cost.values()[i],
+                              credit.values()[i]},
+                             4)
+              .ok());
+    }
+    const Status status = timeline.WriteCsvFile(args.csv);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("timeline written to %s\n", args.csv.c_str());
+  }
+  return 0;
+}
