@@ -24,21 +24,29 @@ int main(int argc, char** argv) {
 
   const std::vector<int64_t> horizons = {100,     1'000,   10'000,
                                          50'000,  200'000, 1'000'000};
+  std::vector<SweepVariant> variants;
+  for (int64_t n : horizons) {
+    variants.push_back(
+        {"n=" + std::to_string(n), [n](ExperimentConfig& config) {
+           config.customize_econ = [n](EconScheme::Config& econ) {
+             econ.economy.initial_credit = Money::FromDollars(200);
+             econ.economy.model_build_latency = false;
+             econ.economy.regret_fraction_a = 0.02;
+             econ.economy.amortization_horizon = n;
+           };
+         }});
+  }
+  ExperimentConfig base = PaperConfig(options, 10.0);
+  base.scheme = SchemeKind::kEconCheap;
+  const std::vector<SweepResult> results = RunVariantSweep(
+      setup, options, base, {SchemeKind::kEconCheap}, std::move(variants));
+
   TableWriter table({"n", "mean_resp_s", "op_cost_$", "investments",
                      "hit_rate", "revenue_$", "credit_$"});
-  for (int64_t n : horizons) {
-    ExperimentConfig config = PaperConfig(options, 10.0);
-    config.scheme = SchemeKind::kEconCheap;
-    config.customize_econ = [n](EconScheme::Config& econ) {
-      econ.economy.initial_credit = Money::FromDollars(200);
-      econ.economy.model_build_latency = false;
-      econ.economy.regret_fraction_a = 0.02;
-      econ.economy.amortization_horizon = n;
-    };
-    const SimMetrics m =
-        RunExperiment(setup.catalog, setup.templates, config);
+  for (size_t v = 0; v < horizons.size(); ++v) {
+    const SimMetrics& m = results[v].metrics;
     CLOUDCACHE_CHECK(table
-                         .AddRow({std::to_string(n),
+                         .AddRow({std::to_string(horizons[v]),
                                   FormatDouble(m.MeanResponse(), 3),
                                   FormatDouble(m.operating_cost.Total(), 2),
                                   std::to_string(m.investments),
@@ -47,7 +55,6 @@ int main(int argc, char** argv) {
                                   FormatDouble(m.final_credit.ToDollars(),
                                                2)})
                          .ok());
-    std::fprintf(stderr, "  n=%lld done\n", static_cast<long long>(n));
   }
   std::puts("Ablation A2 — amortization horizon n (Eq. 7), econ-cheap @ 10s");
   EmitTable(table, options);

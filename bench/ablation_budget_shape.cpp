@@ -29,21 +29,29 @@ int main(int argc, char** argv) {
       {BudgetModelOptions::Shape::kConvex, "convex"},
       {BudgetModelOptions::Shape::kConcave, "concave"},
   };
+  std::vector<SweepVariant> variants;
+  for (const Shape& shape : shapes) {
+    variants.push_back(
+        {shape.name, [shape](ExperimentConfig& config) {
+           config.customize_econ = [shape](EconScheme::Config& econ) {
+             econ.economy.initial_credit = Money::FromDollars(200);
+             econ.economy.model_build_latency = false;
+             econ.economy.regret_fraction_a = 0.02;
+             econ.budget.shape = shape.shape;
+           };
+         }});
+  }
+  ExperimentConfig base = PaperConfig(options, 10.0);
+  base.scheme = SchemeKind::kEconCheap;
+  const std::vector<SweepResult> results = RunVariantSweep(
+      setup, options, base, {SchemeKind::kEconCheap}, std::move(variants));
+
   TableWriter table({"shape", "mean_resp_s", "op_cost_$", "profit_$",
                      "case_A", "case_B", "case_C", "investments"});
-  for (const Shape& shape : shapes) {
-    ExperimentConfig config = PaperConfig(options, 10.0);
-    config.scheme = SchemeKind::kEconCheap;
-    config.customize_econ = [&shape](EconScheme::Config& econ) {
-      econ.economy.initial_credit = Money::FromDollars(200);
-      econ.economy.model_build_latency = false;
-      econ.economy.regret_fraction_a = 0.02;
-      econ.budget.shape = shape.shape;
-    };
-    const SimMetrics m =
-        RunExperiment(setup.catalog, setup.templates, config);
+  for (size_t v = 0; v < shapes.size(); ++v) {
+    const SimMetrics& m = results[v].metrics;
     CLOUDCACHE_CHECK(table
-                         .AddRow({shape.name,
+                         .AddRow({shapes[v].name,
                                   FormatDouble(m.MeanResponse(), 3),
                                   FormatDouble(m.operating_cost.Total(), 2),
                                   FormatDouble(m.profit.ToDollars(), 2),
@@ -52,7 +60,6 @@ int main(int argc, char** argv) {
                                   std::to_string(m.case_c),
                                   std::to_string(m.investments)})
                          .ok());
-    std::fprintf(stderr, "  %s done\n", shape.name);
   }
   std::puts("Ablation A6 — user budget shape (Fig. 1), econ-cheap @ 10s");
   EmitTable(table, options);

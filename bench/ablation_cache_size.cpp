@@ -21,25 +21,36 @@ int main(int argc, char** argv) {
 
   const std::vector<double> fractions = {0.05, 0.10, 0.20, 0.30,
                                          0.40, 0.50};
+  std::vector<SweepVariant> variants;
+  for (double fraction : fractions) {
+    variants.push_back(
+        {"cache=" + FormatDouble(fraction, 2),
+         [fraction](ExperimentConfig& config) {
+           config.customize_bypass =
+               [fraction](BypassYieldScheme::Options& bypass) {
+                 bypass.cache_fraction = fraction;
+                 // Eagerized loader (break-even at 1/4 accrual): the
+                 // capacity effect the sweep studies binds within the run
+                 // length instead of after the paper's million queries.
+                 // The *relative* shape across fractions is what
+                 // validates the 30% claim.
+                 bypass.yield_threshold = 0.25;
+               };
+         }});
+  }
+  ExperimentConfig base = PaperConfig(options, 10.0);
+  base.scheme = SchemeKind::kBypassYield;
+  const std::vector<SweepResult> results =
+      RunVariantSweep(setup, options, base, {SchemeKind::kBypassYield},
+                      std::move(variants));
+
   TableWriter table({"cache_fraction", "mean_resp_s", "op_cost_$",
                      "net_$", "disk_$", "hit_rate", "loads", "evictions"});
-  for (double fraction : fractions) {
-    ExperimentConfig config = PaperConfig(options, 10.0);
-    config.scheme = SchemeKind::kBypassYield;
-    config.customize_bypass =
-        [fraction](BypassYieldScheme::Options& bypass) {
-          bypass.cache_fraction = fraction;
-          // Eagerized loader (break-even at 1/4 accrual): the capacity
-          // effect the sweep studies binds within the run length instead
-          // of after the paper's million queries. The *relative* shape
-          // across fractions is what validates the 30% claim.
-          bypass.yield_threshold = 0.25;
-        };
-    const SimMetrics m =
-        RunExperiment(setup.catalog, setup.templates, config);
+  for (size_t v = 0; v < fractions.size(); ++v) {
+    const SimMetrics& m = results[v].metrics;
     CLOUDCACHE_CHECK(
         table
-            .AddRow({FormatDouble(fraction, 2),
+            .AddRow({FormatDouble(fractions[v], 2),
                      FormatDouble(m.MeanResponse(), 3),
                      FormatDouble(m.operating_cost.Total(), 2),
                      FormatDouble(m.operating_cost.network_dollars, 2),
@@ -48,7 +59,6 @@ int main(int argc, char** argv) {
                      std::to_string(m.investments),
                      std::to_string(m.evictions)})
             .ok());
-    std::fprintf(stderr, "  fraction=%.2f done\n", fraction);
   }
   std::puts(
       "Ablation A4 — bypass-yield cache budget (fraction of database) "

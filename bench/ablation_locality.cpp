@@ -26,21 +26,30 @@ int main(int argc, char** argv) {
   };
   const std::vector<Point> points = {
       {0.0, 0.0}, {0.5, 0.1}, {1.0, 0.3}, {1.5, 0.5}, {2.0, 0.7}};
+  const std::vector<SchemeKind> schemes = {SchemeKind::kBypassYield,
+                                           SchemeKind::kEconCheap};
+  std::vector<SweepVariant> variants;
+  for (const Point& point : points) {
+    variants.push_back({"skew=" + FormatDouble(point.skew, 1) +
+                            " repeat=" + FormatDouble(point.repeat, 1),
+                        [point](ExperimentConfig& config) {
+                          config.workload.popularity_skew = point.skew;
+                          config.workload.repeat_probability = point.repeat;
+                        }});
+  }
+  const std::vector<SweepResult> results = RunVariantSweep(
+      setup, options, PaperConfig(options, 10.0), schemes,
+      std::move(variants));
+
   TableWriter table({"popularity_skew", "repeat_prob", "scheme",
                      "mean_resp_s", "op_cost_$", "hit_rate",
                      "investments"});
-  for (const Point& point : points) {
-    for (SchemeKind kind :
-         {SchemeKind::kBypassYield, SchemeKind::kEconCheap}) {
-      ExperimentConfig config = PaperConfig(options, 10.0);
-      config.scheme = kind;
-      config.workload.popularity_skew = point.skew;
-      config.workload.repeat_probability = point.repeat;
-      const SimMetrics m =
-          RunExperiment(setup.catalog, setup.templates, config);
+  for (size_t v = 0; v < points.size(); ++v) {
+    for (size_t s = 0; s < schemes.size(); ++s) {
+      const SimMetrics& m = results[v * schemes.size() + s].metrics;
       CLOUDCACHE_CHECK(table
-                           .AddRow({FormatDouble(point.skew, 1),
-                                    FormatDouble(point.repeat, 1),
+                           .AddRow({FormatDouble(points[v].skew, 1),
+                                    FormatDouble(points[v].repeat, 1),
                                     m.scheme_name,
                                     FormatDouble(m.MeanResponse(), 3),
                                     FormatDouble(m.operating_cost.Total(),
@@ -49,8 +58,6 @@ int main(int argc, char** argv) {
                                     std::to_string(m.investments)})
                            .ok());
     }
-    std::fprintf(stderr, "  skew=%.1f repeat=%.1f done\n", point.skew,
-                 point.repeat);
   }
   std::puts("Ablation A5 — workload locality sweep @ 10s interval");
   EmitTable(table, options);

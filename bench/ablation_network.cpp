@@ -20,28 +20,34 @@ int main(int argc, char** argv) {
   const PaperSetup setup = MakePaperSetup(options);
 
   const std::vector<double> mbps = {5, 25, 100, 400, 1000};
+  const std::vector<SchemeKind> schemes = {SchemeKind::kBypassYield,
+                                           SchemeKind::kEconCheap};
+  std::vector<SweepVariant> variants;
+  for (double rate : mbps) {
+    variants.push_back(
+        {FormatDouble(rate, 0) + " Mbps", [rate](ExperimentConfig& config) {
+           config.decision_prices.wan_mbps = rate;
+           config.sim.metered_prices.wan_mbps = rate;
+         }});
+  }
+  const std::vector<SweepResult> results = RunVariantSweep(
+      setup, options, PaperConfig(options, 10.0), schemes,
+      std::move(variants));
+
   TableWriter table({"wan_mbps", "scheme", "mean_resp_s", "op_cost_$",
                      "net_$", "hit_rate", "investments"});
-  for (double rate : mbps) {
-    for (SchemeKind kind :
-         {SchemeKind::kBypassYield, SchemeKind::kEconCheap}) {
-      ExperimentConfig config = PaperConfig(options, 10.0);
-      config.scheme = kind;
-      config.decision_prices.wan_mbps = rate;
-      config.sim.metered_prices.wan_mbps = rate;
-      const SimMetrics m =
-          RunExperiment(setup.catalog, setup.templates, config);
+  for (size_t v = 0; v < mbps.size(); ++v) {
+    for (size_t s = 0; s < schemes.size(); ++s) {
+      const SimMetrics& m = results[v * schemes.size() + s].metrics;
       CLOUDCACHE_CHECK(
           table
-              .AddRow({FormatDouble(rate, 0), m.scheme_name,
+              .AddRow({FormatDouble(mbps[v], 0), m.scheme_name,
                        FormatDouble(m.MeanResponse(), 3),
                        FormatDouble(m.operating_cost.Total(), 2),
                        FormatDouble(m.operating_cost.network_dollars, 2),
                        FormatDouble(m.CacheHitRate(), 3),
                        std::to_string(m.investments)})
               .ok());
-      std::fprintf(stderr, "  %4.0f Mbps %s done\n", rate,
-                   m.scheme_name.c_str());
     }
   }
   std::puts("Ablation A3 — WAN throughput sweep @ 10s interval");

@@ -21,20 +21,28 @@ int main(int argc, char** argv) {
 
   const std::vector<double> fractions = {0.005, 0.01, 0.02, 0.05,
                                          0.1,   0.3,  0.6};
+  std::vector<SweepVariant> variants;
+  for (double a : fractions) {
+    variants.push_back(
+        {"a=" + FormatDouble(a, 3), [a](ExperimentConfig& config) {
+           config.customize_econ = [a](EconScheme::Config& econ) {
+             econ.economy.initial_credit = Money::FromDollars(200);
+             econ.economy.model_build_latency = false;
+             econ.economy.regret_fraction_a = a;
+           };
+         }});
+  }
+  ExperimentConfig base = PaperConfig(options, 10.0);
+  base.scheme = SchemeKind::kEconCheap;
+  const std::vector<SweepResult> results = RunVariantSweep(
+      setup, options, base, {SchemeKind::kEconCheap}, std::move(variants));
+
   TableWriter table({"a", "mean_resp_s", "op_cost_$", "investments",
                      "evictions", "hit_rate", "credit_$"});
-  for (double a : fractions) {
-    ExperimentConfig config = PaperConfig(options, 10.0);
-    config.scheme = SchemeKind::kEconCheap;
-    config.customize_econ = [a](EconScheme::Config& econ) {
-      econ.economy.initial_credit = Money::FromDollars(200);
-      econ.economy.model_build_latency = false;
-      econ.economy.regret_fraction_a = a;
-    };
-    const SimMetrics m =
-        RunExperiment(setup.catalog, setup.templates, config);
+  for (size_t v = 0; v < fractions.size(); ++v) {
+    const SimMetrics& m = results[v].metrics;
     CLOUDCACHE_CHECK(table
-                         .AddRow({FormatDouble(a, 3),
+                         .AddRow({FormatDouble(fractions[v], 3),
                                   FormatDouble(m.MeanResponse(), 3),
                                   FormatDouble(m.operating_cost.Total(), 2),
                                   std::to_string(m.investments),
@@ -43,7 +51,6 @@ int main(int argc, char** argv) {
                                   FormatDouble(m.final_credit.ToDollars(),
                                                2)})
                          .ok());
-    std::fprintf(stderr, "  a=%.3f done\n", a);
   }
   std::puts("Ablation A1 — regret fraction a (Eq. 3), econ-cheap @ 10s");
   EmitTable(table, options);

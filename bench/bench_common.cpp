@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "src/catalog/tpch.h"
 #include "src/util/units.h"
@@ -34,6 +35,9 @@ BenchOptions ParseArgs(int argc, char** argv, uint64_t default_queries) {
       options.scale_tb = std::strtod(value.c_str(), nullptr);
     } else if (ConsumeFlag(argv[i], "--seed", &value)) {
       options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ConsumeFlag(argv[i], "--threads", &value)) {
+      options.threads =
+          static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (ConsumeFlag(argv[i], "--csv", &value)) {
       options.csv_path = value;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
@@ -41,7 +45,7 @@ BenchOptions ParseArgs(int argc, char** argv, uint64_t default_queries) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--queries=N] [--scale-tb=X] [--seed=N] "
-                   "[--csv=PATH] [--quick]\n",
+                   "[--threads=N] [--csv=PATH] [--quick]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -85,19 +89,36 @@ ExperimentConfig PaperConfig(const BenchOptions& options,
 std::vector<std::vector<SimMetrics>> RunInterarrivalSweep(
     const PaperSetup& setup, const BenchOptions& options,
     const std::vector<double>& intervals) {
-  std::vector<std::vector<SimMetrics>> rows;
-  for (double interval : intervals) {
-    ExperimentConfig config = PaperConfig(options, interval);
-    std::vector<SimMetrics> row;
-    for (SchemeKind kind : PaperSchemes()) {
-      config.scheme = kind;
-      row.push_back(RunExperiment(setup.catalog, setup.templates, config));
-      std::fprintf(stderr, "  [interarrival %2.0fs] %-10s done\n", interval,
-                   row.back().scheme_name.c_str());
-    }
-    rows.push_back(std::move(row));
-  }
-  return rows;
+  SweepSpec spec;
+  spec.schemes = PaperSchemes();
+  spec.interarrivals = intervals;
+  spec.base = PaperConfig(options, /*interarrival_seconds=*/0);
+  // Every cell keeps the --seed workload stream, exactly as the historical
+  // serial loop did: scheme columns stay paired per row and rows differ
+  // only in arrival spacing.
+  spec.seed_policy = SweepSpec::SeedPolicy::kFixed;
+  spec.base_seed = options.seed;
+
+  return GroupRowsByInterarrival(
+      RunSweep(setup.catalog, setup.templates, spec, options.threads,
+               LogCellDone),
+      intervals.size());
+}
+
+std::vector<SweepResult> RunVariantSweep(const PaperSetup& setup,
+                                         const BenchOptions& options,
+                                         const ExperimentConfig& base,
+                                         std::vector<SchemeKind> schemes,
+                                         std::vector<SweepVariant> variants) {
+  SweepSpec spec;
+  spec.schemes = std::move(schemes);
+  spec.interarrivals = {base.workload.interarrival_seconds};
+  spec.variants = std::move(variants);
+  spec.base = base;
+  spec.seed_policy = SweepSpec::SeedPolicy::kFixed;
+  spec.base_seed = options.seed;
+  return RunSweep(setup.catalog, setup.templates, spec, options.threads,
+                  LogCellDone);
 }
 
 void EmitTable(const cloudcache::TableWriter& table,

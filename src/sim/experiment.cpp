@@ -1,5 +1,8 @@
 #include "src/sim/experiment.h"
 
+#include <utility>
+
+#include "src/sim/sweep.h"
 #include "src/structure/index_advisor.h"
 #include "src/util/logging.h"
 
@@ -47,10 +50,21 @@ SimMetrics RunExperiment(const Catalog& catalog,
 std::vector<SimMetrics> RunAllSchemes(
     const Catalog& catalog, const std::vector<QueryTemplate>& templates,
     ExperimentConfig config) {
+  SweepSpec spec;
+  spec.schemes = PaperSchemes();
+  spec.interarrivals = {config.workload.interarrival_seconds};
+  // The caller's seeds apply verbatim to every scheme: all four contenders
+  // face the identical query stream, as in the paper's paired comparison.
+  spec.seed_policy = SweepSpec::SeedPolicy::kFixed;
+  spec.base = std::move(config);
+
+  std::vector<SweepResult> sweep =
+      RunSweep(catalog, templates, spec, /*n_threads=*/0);  // All cores.
+
   std::vector<SimMetrics> results;
-  for (SchemeKind kind : PaperSchemes()) {
-    config.scheme = kind;
-    results.push_back(RunExperiment(catalog, templates, config));
+  results.reserve(sweep.size());
+  for (SweepResult& result : sweep) {
+    results.push_back(std::move(result.metrics));
   }
   return results;
 }

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/experiment.h"
+#include "src/sim/metrics.h"
+
+namespace cloudcache {
+
+/// One point on a sweep's ablation axis: a label for reports plus a
+/// mutation applied to the cell's ExperimentConfig after the scheme,
+/// inter-arrival, and seeds are set — so a variant can override anything,
+/// including the seeds a SeedPolicy chose.
+struct SweepVariant {
+  std::string label;
+  std::function<void(ExperimentConfig&)> customize;  // May be null.
+};
+
+/// Cross-product experiment grid: schemes x inter-arrival times x ablation
+/// variants, all stamped from one base configuration. The grid order is
+/// variant-major, scheme-minor:
+///
+///   index = (variant * |interarrivals| + interarrival) * |schemes| + scheme
+///
+/// so `RunSweep(...)[v*I*S + i*S + j]` is scheme j at interval i of variant
+/// v — the rows[i][j] layout the figure benches print.
+struct SweepSpec {
+  std::vector<SchemeKind> schemes = PaperSchemes();
+  std::vector<double> interarrivals = PaperInterarrivals();
+  /// Ablation axis; the default single unlabeled variant makes plain
+  /// scheme-x-interval grids (Figs. 4-5) need no setup.
+  std::vector<SweepVariant> variants = {SweepVariant{}};
+
+  /// Stamped into every cell before the per-cell fields are overwritten.
+  ExperimentConfig base;
+
+  /// How each cell's workload/scheme seeds are derived. Every policy is a
+  /// pure function of the spec, so sweep results are bit-identical
+  /// regardless of thread count or completion order.
+  enum class SeedPolicy {
+    /// seed = hash(base_seed, cell index): every cell is an independent
+    /// stream — the right default for parameter studies.
+    kPerCell,
+    /// seed = hash(base_seed, variant & interarrival index): all schemes in
+    /// one row see the same query stream, keeping scheme comparisons
+    /// paired as in the paper's figures.
+    kPerRow,
+    /// Keep whatever seeds `base` (and the variant customizer) carry.
+    kFixed,
+  };
+  SeedPolicy seed_policy = SeedPolicy::kPerCell;
+  uint64_t base_seed = 17;
+
+  size_t CellCount() const {
+    return schemes.size() * interarrivals.size() * variants.size();
+  }
+};
+
+/// Fully-resolved coordinates of one sweep cell.
+struct SweepCell {
+  size_t index = 0;  // Position in grid order.
+  size_t scheme_index = 0;
+  size_t interarrival_index = 0;
+  size_t variant_index = 0;
+  SchemeKind scheme = SchemeKind::kEconCheap;
+  double interarrival_seconds = 0;
+  /// "econ-cheap @ 10s" (+ " [variant]" when the variant is labeled).
+  std::string label;
+  /// Workload seed this cell ran with (scheme seed is this + 1 unless the
+  /// policy is kFixed or a variant overrode it).
+  uint64_t seed = 0;
+};
+
+struct SweepResult {
+  SweepCell cell;
+  SimMetrics metrics;
+};
+
+/// splitmix64 mix of (base_seed, cell_index): deterministic, and far
+/// apart for adjacent indices so per-cell streams do not correlate.
+uint64_t SweepCellSeed(uint64_t base_seed, uint64_t cell_index);
+
+/// The grid a spec describes, in grid order, with labels and seeds
+/// resolved (no simulation). Exposed for tests and progress displays.
+std::vector<SweepCell> EnumerateSweepCells(const SweepSpec& spec);
+
+/// Builds the ExperimentConfig a given cell runs: base, then scheme /
+/// interarrival / seeds, then the variant customizer.
+ExperimentConfig MakeCellConfig(const SweepSpec& spec, const SweepCell& cell);
+
+/// Runs every cell of the grid, fanning RunExperiment out over a
+/// fixed-size thread pool. `n_threads` = 0 means hardware concurrency;
+/// any value is clamped to [1, cells]. Results come back labeled, in grid
+/// order, bit-identical for any `n_threads`. `progress`, when non-null,
+/// is invoked from worker threads as cells finish (it must be
+/// thread-safe).
+std::vector<SweepResult> RunSweep(
+    const Catalog& catalog, const std::vector<QueryTemplate>& templates,
+    const SweepSpec& spec, unsigned n_threads,
+    const std::function<void(const SweepCell&, const SimMetrics&)>& progress =
+        nullptr);
+
+/// Progress callback printing "  [done] <label>" to stderr; safe to call
+/// from sweep workers (one fprintf call stays atomic).
+void LogCellDone(const SweepCell& cell, const SimMetrics& metrics);
+
+/// Regroups grid-order results of a single-variant sweep into
+/// rows[i][j] = metrics of scheme j at interarrival i — the layout the
+/// figure tables consume.
+std::vector<std::vector<SimMetrics>> GroupRowsByInterarrival(
+    std::vector<SweepResult> results, size_t num_interarrivals);
+
+}  // namespace cloudcache

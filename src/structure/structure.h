@@ -33,7 +33,13 @@ struct StructureKey {
   std::vector<ColumnId> columns;
   uint32_t ordinal = 0;
 
-  bool operator==(const StructureKey& other) const = default;
+  bool operator==(const StructureKey& other) const {
+    return type == other.type && table == other.table &&
+           columns == other.columns && ordinal == other.ordinal;
+  }
+  bool operator!=(const StructureKey& other) const {
+    return !(*this == other);
+  }
 
   /// Stable human-readable form, e.g. "column(lineitem.l_shipdate)",
   /// "index(lineitem: l_shipdate,l_discount)", "cpu(2)".

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <compare>
 #include <iosfwd>
 #include <string>
 
@@ -93,7 +92,24 @@ class Money {
            static_cast<double>(denominator.micros_);
   }
 
-  constexpr auto operator<=>(const Money&) const = default;
+  constexpr bool operator==(Money other) const {
+    return micros_ == other.micros_;
+  }
+  constexpr bool operator!=(Money other) const {
+    return micros_ != other.micros_;
+  }
+  constexpr bool operator<(Money other) const {
+    return micros_ < other.micros_;
+  }
+  constexpr bool operator<=(Money other) const {
+    return micros_ <= other.micros_;
+  }
+  constexpr bool operator>(Money other) const {
+    return micros_ > other.micros_;
+  }
+  constexpr bool operator>=(Money other) const {
+    return micros_ >= other.micros_;
+  }
 
   /// Returns the larger of a and b.
   static constexpr Money Max(Money a, Money b) { return a < b ? b : a; }

@@ -1,0 +1,44 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace cloudcache {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_workers_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_workers_.wait(lock,
+                         [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and fully drained.
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // packaged_task captures any exception into the future.
+  }
+}
+
+}  // namespace cloudcache

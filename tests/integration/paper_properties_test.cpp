@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "src/catalog/tpch.h"
 #include "src/sim/experiment.h"
 
@@ -129,6 +131,47 @@ TEST_F(PaperPropertiesTest, EveryQueryServed) {
                 At(interval, scheme).queries);
     }
   }
+}
+
+TEST_F(PaperPropertiesTest, SameSeedReplaysByteIdenticalCostTimeline) {
+  // A run is a pure function of its configuration: two RunExperiment calls
+  // with the same seed must replay the cumulative-cost (and credit)
+  // timelines byte for byte. This is the property the parallel sweep
+  // engine's thread-count invariance rests on.
+  ExperimentConfig config;
+  config.scheme = SchemeKind::kEconCheap;
+  config.workload.interarrival_seconds = 10.0;
+  config.workload.seed = 61;
+  config.seed = 62;
+  config.sim.num_queries = 2000;
+  config.customize_econ = [](EconScheme::Config& econ) {
+    econ.economy.regret_fraction_a = 0.001;
+    econ.economy.conservative_provider = false;
+    econ.economy.initial_credit = Money::FromDollars(20);
+    econ.economy.model_build_latency = false;
+  };
+
+  const SimMetrics first = RunExperiment(*catalog_, *templates_, config);
+  const SimMetrics second = RunExperiment(*catalog_, *templates_, config);
+
+  ASSERT_GT(first.cost_over_time.size(), 0u);
+  ASSERT_EQ(first.cost_over_time.size(), second.cost_over_time.size());
+  const auto byte_identical = [](const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+  };
+  EXPECT_TRUE(byte_identical(first.cost_over_time.times(),
+                             second.cost_over_time.times()));
+  EXPECT_TRUE(byte_identical(first.cost_over_time.values(),
+                             second.cost_over_time.values()));
+  EXPECT_TRUE(byte_identical(first.credit_over_time.times(),
+                             second.credit_over_time.times()));
+  EXPECT_TRUE(byte_identical(first.credit_over_time.values(),
+                             second.credit_over_time.values()));
+  EXPECT_EQ(first.operating_cost.Total(), second.operating_cost.Total());
+  EXPECT_EQ(first.final_credit.micros(), second.final_credit.micros());
 }
 
 TEST_F(PaperPropertiesTest, EconomiesStaySolvent) {

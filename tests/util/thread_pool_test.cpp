@@ -1,0 +1,105 @@
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace cloudcache {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasksWithoutLoss) {
+  constexpr int kTasks = 1000;
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  std::vector<std::future<int>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([&executed, i] {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+  EXPECT_EQ(executed.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, SpawnsRequestedWorkers) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+}
+
+TEST(ThreadPoolTest, ClampsZeroThreadsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 41 + 1; }).get(), 42);
+}
+
+TEST(ThreadPoolTest, RunsTasksConcurrentlyAcrossWorkers) {
+  // Two tasks that each wait for the other to start can only both finish
+  // if two workers run them at the same time.
+  ThreadPool pool(2);
+  std::atomic<int> started{0};
+  auto rendezvous = [&started] {
+    started.fetch_add(1);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (started.load() < 2) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      std::this_thread::yield();
+    }
+    return true;
+  };
+  std::future<bool> a = pool.Submit(rendezvous);
+  std::future<bool> b = pool.Submit(rendezvous);
+  EXPECT_TRUE(a.get());
+  EXPECT_TRUE(b.get());
+}
+
+TEST(ThreadPoolTest, PropagatesTaskExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  std::future<void> failing =
+      pool.Submit([]() -> void { throw std::runtime_error("boom"); });
+  EXPECT_THROW(failing.get(), std::runtime_error);
+  // The worker that ran the throwing task must survive for later tasks.
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  constexpr int kTasks = 200;
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&executed] {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }  // ~ThreadPool runs everything still queued before joining.
+  EXPECT_EQ(executed.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, CarriesMoveOnlyResults) {
+  ThreadPool pool(1);
+  std::future<std::unique_ptr<int>> result =
+      pool.Submit([] { return std::make_unique<int>(99); });
+  std::unique_ptr<int> value = result.get();
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 99);
+}
+
+TEST(ThreadPoolTest, ForwardsArgumentsToTask) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.Submit([](int a, int b) { return a + b; }, 40, 2).get(),
+            42);
+}
+
+}  // namespace
+}  // namespace cloudcache

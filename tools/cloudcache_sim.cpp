@@ -1,13 +1,15 @@
 // cloudcache_sim — command-line front end to the simulator.
 //
 // Runs one scheme against one workload configuration and prints the full
-// metric report; the building block for scripted parameter studies beyond
-// the canned bench binaries.
+// metric report, or — with --sweep — the whole paper grid (four schemes x
+// four inter-arrival times) fanned out over a thread pool; the building
+// block for scripted parameter studies beyond the canned bench binaries.
 //
 // Examples:
 //   cloudcache_sim --scheme=econ-cheap --queries=100000 --interarrival=10
 //   cloudcache_sim --scheme=bypass --scale-tb=1.0 --arrival=poisson
 //   cloudcache_sim --scheme=econ-fast --catalog=sdss --csv=credit.csv
+//   cloudcache_sim --sweep --queries=40000 --threads=8   (Fig. 4/5 grid)
 //   cloudcache_sim --trace-out=stream.csv --queries=50000   (record only)
 
 #include <cstdio>
@@ -20,6 +22,7 @@
 #include "src/catalog/tpch.h"
 #include "src/sim/experiment.h"
 #include "src/sim/report.h"
+#include "src/sim/sweep.h"
 #include "src/util/logging.h"
 #include "src/util/units.h"
 #include "src/workload/trace.h"
@@ -42,8 +45,13 @@ struct Args {
   int64_t horizon = 50'000;
   double initial_credit = 200.0;
   bool build_latency = false;
+  bool sweep = false;     // Run the full scheme x interarrival grid.
+  unsigned threads = 0;   // Sweep workers; 0 = hardware concurrency.
   std::string csv;        // Credit/cost timeline CSV.
   std::string trace_out;  // Record the workload instead of simulating.
+  // Whether single-run-only flags were given (to warn under --sweep).
+  bool scheme_set = false;
+  bool interarrival_set = false;
 };
 
 void Usage(const char* argv0) {
@@ -63,6 +71,8 @@ void Usage(const char* argv0) {
       "  --horizon=N           n of Eq. 7                (50000)\n"
       "  --credit=DOLLARS      seed credit               (200)\n"
       "  --build-latency       model structure build latency\n"
+      "  --sweep               run all 4 schemes x 4 paper intervals\n"
+      "  --threads=N           sweep worker threads (0 = all cores)\n"
       "  --csv=PATH            write credit/cost timeline CSV\n"
       "  --trace-out=PATH      write the workload trace and exit\n",
       argv0);
@@ -81,11 +91,11 @@ std::optional<Args> Parse(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
     std::string v;
-    if (Flag(argv[i], "--scheme", &v)) args.scheme = v;
+    if (Flag(argv[i], "--scheme", &v)) { args.scheme = v; args.scheme_set = true; }
     else if (Flag(argv[i], "--catalog", &v)) args.catalog = v;
     else if (Flag(argv[i], "--scale-tb", &v)) args.scale_tb = std::stod(v);
     else if (Flag(argv[i], "--queries", &v)) args.queries = std::stoull(v);
-    else if (Flag(argv[i], "--interarrival", &v)) args.interarrival = std::stod(v);
+    else if (Flag(argv[i], "--interarrival", &v)) { args.interarrival = std::stod(v); args.interarrival_set = true; }
     else if (Flag(argv[i], "--arrival", &v)) args.arrival = v;
     else if (Flag(argv[i], "--skew", &v)) args.skew = std::stod(v);
     else if (Flag(argv[i], "--repeat", &v)) args.repeat = std::stod(v);
@@ -94,6 +104,10 @@ std::optional<Args> Parse(int argc, char** argv) {
     else if (Flag(argv[i], "--horizon", &v)) args.horizon = std::stoll(v);
     else if (Flag(argv[i], "--credit", &v)) args.initial_credit = std::stod(v);
     else if (std::strcmp(argv[i], "--build-latency") == 0) args.build_latency = true;
+    else if (std::strcmp(argv[i], "--sweep") == 0) args.sweep = true;
+    else if (Flag(argv[i], "--threads", &v))
+      args.threads =
+          static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
     else if (Flag(argv[i], "--csv", &v)) args.csv = v;
     else if (Flag(argv[i], "--trace-out", &v)) args.trace_out = v;
     else {
@@ -158,6 +172,45 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  config.customize_econ = [&args](EconScheme::Config& econ) {
+    econ.economy.regret_fraction_a = args.regret_a;
+    econ.economy.amortization_horizon = args.horizon;
+    econ.economy.initial_credit = Money::FromDollars(args.initial_credit);
+    econ.economy.model_build_latency = args.build_latency;
+  };
+
+  if (args.sweep) {
+    // The whole paper grid (Figs. 4-5) through the parallel sweep engine.
+    if (args.scheme_set || args.interarrival_set) {
+      std::fprintf(stderr,
+                   "note: --sweep runs all 4 schemes x 4 paper intervals; "
+                   "--scheme/--interarrival are ignored\n");
+    }
+    if (!args.csv.empty()) {
+      std::fprintf(stderr,
+                   "note: --csv writes the single-run timeline only; "
+                   "ignored under --sweep\n");
+    }
+    SweepSpec spec;  // Defaults: paper schemes x paper interarrivals.
+    spec.seed_policy = SweepSpec::SeedPolicy::kFixed;
+    spec.base_seed = args.seed;
+    spec.base = config;
+    const std::vector<std::vector<SimMetrics>> rows =
+        GroupRowsByInterarrival(
+            RunSweep(catalog, templates, spec, args.threads, LogCellDone),
+            spec.interarrivals.size());
+    std::puts("Operating cost (dollars) by inter-arrival time");
+    std::fputs(
+        MakeOperatingCostTable(spec.interarrivals, rows).ToAscii().c_str(),
+        stdout);
+    std::puts("");
+    std::puts("Average response time (seconds) by inter-arrival time");
+    std::fputs(
+        MakeResponseTimeTable(spec.interarrivals, rows).ToAscii().c_str(),
+        stdout);
+    return 0;
+  }
+
   if (args.scheme == "bypass") {
     config.scheme = SchemeKind::kBypassYield;
   } else if (args.scheme == "econ-col") {
@@ -170,14 +223,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown scheme '%s'\n", args.scheme.c_str());
     return 2;
   }
-  config.customize_econ = [&args](EconScheme::Config& econ) {
-    econ.economy.regret_fraction_a = args.regret_a;
-    econ.economy.amortization_horizon = args.horizon;
-    econ.economy.initial_credit = Money::FromDollars(args.initial_credit);
-    econ.economy.model_build_latency = args.build_latency;
-  };
 
-  const SimMetrics metrics = RunExperiment(catalog, templates, config);
+  // One cell of the sweep engine: same code path as the grid runs.
+  SweepSpec spec;
+  spec.schemes = {config.scheme};
+  spec.interarrivals = {args.interarrival};
+  spec.seed_policy = SweepSpec::SeedPolicy::kFixed;
+  spec.base_seed = args.seed;
+  spec.base = config;
+  std::vector<SweepResult> results =
+      RunSweep(catalog, templates, spec, /*n_threads=*/1);
+  const SimMetrics metrics = std::move(results[0].metrics);
   std::fputs(FormatRunDetail(metrics).c_str(), stdout);
 
   if (!args.csv.empty()) {
