@@ -1,0 +1,222 @@
+// Hot-path throughput regression harness.
+//
+// Runs a Fig. 4-style grid (four schemes x four inter-arrival times) in a
+// single thread, wall-clock-times each cell, and reports simulated
+// queries/sec per scheme — the constant-factor speed of the full
+// enumerate -> price -> skyline -> regret -> invest decision loop, which is
+// what sweep wall-clock is made of. Unlike the micro_* benches this driver
+// needs no Google Benchmark, so it builds everywhere and can run in CI.
+//
+// Results are also written as JSON (default BENCH_hotpath.json) so
+// successive PRs accumulate a perf trajectory:
+//
+//   throughput --smoke --json=BENCH_hotpath.json
+//
+// Meaningful numbers require a Release build; the driver warns otherwise.
+// --no-plan-cache measures the same grid with the enumerator's
+// plan-skeleton cache disabled, to quantify what the cache buys.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/sim/experiment.h"
+
+namespace {
+
+using cloudcache::ExperimentConfig;
+using cloudcache::PaperInterarrivals;
+using cloudcache::PaperSchemes;
+using cloudcache::RunExperiment;
+using cloudcache::SchemeKind;
+using cloudcache::SchemeKindToString;
+using cloudcache::SimMetrics;
+using cloudcache::bench::BenchOptions;
+using cloudcache::bench::MakePaperSetup;
+using cloudcache::bench::PaperConfig;
+
+struct ThroughputOptions {
+  BenchOptions bench;
+  std::string json_path = "BENCH_hotpath.json";
+  bool plan_cache = true;
+  bool smoke = false;
+};
+
+bool ConsumeFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+ThroughputOptions ParseThroughputArgs(int argc, char** argv) {
+  ThroughputOptions options;
+  options.bench.queries = 20'000;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ConsumeFlag(argv[i], "--queries", &value)) {
+      options.bench.queries = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ConsumeFlag(argv[i], "--scale-tb", &value)) {
+      options.bench.scale_tb = std::strtod(value.c_str(), nullptr);
+    } else if (ConsumeFlag(argv[i], "--seed", &value)) {
+      options.bench.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ConsumeFlag(argv[i], "--json", &value)) {
+      options.json_path = value;
+    } else if (std::strcmp(argv[i], "--no-plan-cache") == 0) {
+      options.plan_cache = false;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      options.smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--queries=N] [--scale-tb=X] [--seed=N] "
+                   "[--json=PATH] [--no-plan-cache] [--smoke]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  if (options.smoke) {
+    options.bench.queries = std::min<uint64_t>(options.bench.queries, 2'000);
+  }
+  return options;
+}
+
+struct CellResult {
+  SchemeKind scheme;
+  double interarrival_seconds = 0;
+  uint64_t queries = 0;
+  double wall_seconds = 0;
+  double qps = 0;
+  double operating_cost_dollars = 0;
+  double cache_hit_rate = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ThroughputOptions options = ParseThroughputArgs(argc, argv);
+  const auto setup = MakePaperSetup(options.bench);
+
+#ifndef NDEBUG
+  std::fprintf(stderr,
+               "throughput: WARNING — assertions enabled; use a Release "
+               "build for regression-grade numbers\n");
+#endif
+  std::fprintf(stderr, "throughput: %llu queries/cell, %.1f TB, plan cache "
+               "%s\n",
+               static_cast<unsigned long long>(options.bench.queries),
+               options.bench.scale_tb, options.plan_cache ? "on" : "off");
+
+  const std::vector<double> intervals = PaperInterarrivals();
+  const std::vector<SchemeKind> schemes = PaperSchemes();
+
+  std::vector<CellResult> cells;
+  for (double interval : intervals) {
+    for (SchemeKind scheme : schemes) {
+      ExperimentConfig config = PaperConfig(options.bench, interval);
+      config.scheme = scheme;
+      const auto base_customize = config.customize_econ;
+      const bool plan_cache = options.plan_cache;
+      config.customize_econ = [base_customize,
+                               plan_cache](cloudcache::EconScheme::Config& c) {
+        if (base_customize) base_customize(c);
+        c.enumerator.enable_plan_cache = plan_cache;
+      };
+
+      const auto start = std::chrono::steady_clock::now();
+      const SimMetrics metrics =
+          RunExperiment(setup.catalog, setup.templates, config);
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+
+      CellResult cell;
+      cell.scheme = scheme;
+      cell.interarrival_seconds = interval;
+      cell.queries = metrics.queries;
+      cell.wall_seconds = seconds;
+      cell.qps = seconds > 0
+                     ? static_cast<double>(metrics.queries) / seconds
+                     : 0;
+      cell.operating_cost_dollars = metrics.operating_cost.Total();
+      cell.cache_hit_rate = metrics.CacheHitRate();
+      cells.push_back(cell);
+      std::fprintf(stderr, "  [done] %-10s @ %4.0fs  %9.0f q/s\n",
+                   SchemeKindToString(scheme), interval, cell.qps);
+    }
+  }
+
+  // Per-scheme aggregate: total simulated queries over total wall time
+  // across the interval axis.
+  std::map<std::string, std::pair<uint64_t, double>> totals;
+  for (const CellResult& cell : cells) {
+    auto& [queries, seconds] = totals[SchemeKindToString(cell.scheme)];
+    queries += cell.queries;
+    seconds += cell.wall_seconds;
+  }
+
+  std::puts("Hot-path throughput (simulated queries per wall-clock second)");
+  std::printf("%-12s %14s %14s\n", "scheme", "queries", "qps");
+  for (const auto& [name, total] : totals) {
+    std::printf("%-12s %14llu %14.0f\n", name.c_str(),
+                static_cast<unsigned long long>(total.first),
+                total.second > 0
+                    ? static_cast<double>(total.first) / total.second
+                    : 0.0);
+  }
+
+  std::FILE* json = std::fopen(options.json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n",
+                 options.json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"hotpath_throughput\",\n"
+               "  \"queries_per_cell\": %llu,\n"
+               "  \"scale_tb\": %.3f,\n"
+               "  \"seed\": %llu,\n"
+               "  \"plan_cache\": %s,\n"
+               "  \"cells\": [\n",
+               static_cast<unsigned long long>(options.bench.queries),
+               options.bench.scale_tb,
+               static_cast<unsigned long long>(options.bench.seed),
+               options.plan_cache ? "true" : "false");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& cell = cells[i];
+    std::fprintf(json,
+                 "    {\"scheme\": \"%s\", \"interarrival_s\": %.1f, "
+                 "\"queries\": %llu, \"wall_seconds\": %.6f, "
+                 "\"qps\": %.1f, \"operating_cost_dollars\": %.6f, "
+                 "\"cache_hit_rate\": %.6f}%s\n",
+                 SchemeKindToString(cell.scheme), cell.interarrival_seconds,
+                 static_cast<unsigned long long>(cell.queries),
+                 cell.wall_seconds, cell.qps, cell.operating_cost_dollars,
+                 cell.cache_hit_rate, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n"
+               "  \"aggregate_qps\": {\n");
+  size_t emitted = 0;
+  for (const auto& [name, total] : totals) {
+    std::fprintf(json, "    \"%s\": %.1f%s\n", name.c_str(),
+                 total.second > 0
+                     ? static_cast<double>(total.first) / total.second
+                     : 0.0,
+                 ++emitted < totals.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  }\n"
+               "}\n");
+  std::fclose(json);
+  std::fprintf(stderr, "throughput: wrote %s\n", options.json_path.c_str());
+  return 0;
+}

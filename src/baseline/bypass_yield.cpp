@@ -75,7 +75,7 @@ ServedQuery BypassYieldScheme::OnQuery(const Query& query, SimTime now) {
     for (uint64_t& accrued : accrued_) accrued /= 2;
   }
 
-  const std::vector<ColumnId> accessed = query.AccessedColumns();
+  const std::vector<ColumnId>& accessed = query.AccessedColumns();
   const bool hit = std::all_of(accessed.begin(), accessed.end(),
                                [&](ColumnId col) {
                                  return cache_.ColumnResident(col);

@@ -94,9 +94,9 @@ ServedQuery EconScheme::OnQuery(const Query& query, SimTime now) {
       backend_est.cost, backend_est.time_seconds, rng_);
 
   // Snapshot residency before the engine invests, so the reported build
-  // usage reflects what actually had to be transferred.
-  const std::vector<bool> residency_before =
-      engine_->cache().column_residency();
+  // usage reflects what actually had to be transferred. The snapshot
+  // buffer is reused across queries (assignment recycles its storage).
+  residency_scratch_ = engine_->cache().column_residency();
 
   const QueryOutcome outcome = engine_->OnQuery(query, *budget, now);
 
@@ -112,7 +112,7 @@ ServedQuery EconScheme::OnQuery(const Query& query, SimTime now) {
   out.has_budget_case = true;
   out.investments = static_cast<uint32_t>(outcome.investments.size());
   out.evictions = static_cast<uint32_t>(outcome.evictions.size());
-  std::vector<bool> residency = residency_before;
+  std::vector<bool>& residency = residency_scratch_;
   for (StructureId id : outcome.investments) {
     const StructureKey& key = registry_.key(id);
     out.build_usage += model_.EstimateBuildUsage(key, residency);

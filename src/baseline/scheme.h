@@ -152,6 +152,8 @@ class EconScheme : public Scheme {
   std::unique_ptr<EconomyEngine> engine_;
   BudgetModel budget_model_;
   Rng rng_;
+  /// Reused pre-query column-residency snapshot (build-usage metering).
+  std::vector<bool> residency_scratch_;
 };
 
 /// Builds the scheme `kind` with the paper's configuration: the economy

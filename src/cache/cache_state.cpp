@@ -28,6 +28,7 @@ Status CacheState::Add(StructureId id, SimTime now) {
   }
   resident_[id] = true;
   last_used_[id] = now;
+  ++epoch_;
   const StructureKey& key = registry_->key(id);
   resident_bytes_ += registry_->bytes(id);
   if (key.type == StructureType::kColumn) {
@@ -44,6 +45,7 @@ Status CacheState::Remove(StructureId id) {
                             " is not resident");
   }
   resident_[id] = false;
+  ++epoch_;
   const StructureKey& key = registry_->key(id);
   resident_bytes_ -= registry_->bytes(id);
   if (key.type == StructureType::kColumn) {

@@ -49,8 +49,24 @@ class CacheState {
   /// Total disk bytes occupied by resident columns and indexes.
   uint64_t resident_bytes() const { return resident_bytes_; }
 
+  /// Monotonic residency epoch: bumped by every successful Add/Remove
+  /// (never by Touch). Anything derived from *which* structures are
+  /// resident — notably the plan enumerator's per-template skeleton
+  /// cache — is valid exactly as long as the epoch it was computed at.
+  uint64_t epoch() const { return epoch_; }
+
   /// All resident structure ids, ascending.
   std::vector<StructureId> Residents() const;
+
+  /// Visits every resident id in ascending order without materializing
+  /// the list — the per-query maintenance scan uses this to avoid the
+  /// vector Residents() allocates.
+  template <typename Fn>
+  void ForEachResident(Fn&& fn) const {
+    for (StructureId id = 0; id < resident_.size(); ++id) {
+      if (resident_[id]) fn(id);
+    }
+  }
 
   /// Resident ids of one type, ascending.
   std::vector<StructureId> ResidentsOfType(StructureType type) const;
@@ -67,6 +83,7 @@ class CacheState {
   std::vector<bool> column_resident_;
   uint64_t resident_bytes_ = 0;
   uint32_t extra_cpu_nodes_ = 0;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace cloudcache

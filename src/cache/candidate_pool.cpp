@@ -8,22 +8,23 @@ CandidatePool::CandidatePool(size_t capacity) : capacity_(capacity) {
   CLOUDCACHE_CHECK_GE(capacity, 1u);
 }
 
-std::vector<StructureId> CandidatePool::Touch(StructureId id, SimTime now) {
+const std::vector<StructureId>& CandidatePool::Touch(StructureId id,
+                                                    SimTime now) {
+  evicted_.clear();
   auto it = index_.find(id);
   if (it != index_.end()) {
     it->second->last_touch = now;
     entries_.splice(entries_.begin(), entries_, it->second);
-    return {};
+    return evicted_;
   }
   entries_.push_front(Entry{id, now});
   index_[id] = entries_.begin();
-  std::vector<StructureId> evicted;
   while (entries_.size() > capacity_) {
-    evicted.push_back(entries_.back().id);
+    evicted_.push_back(entries_.back().id);
     index_.erase(entries_.back().id);
     entries_.pop_back();
   }
-  return evicted;
+  return evicted_;
 }
 
 void CandidatePool::Erase(StructureId id) {

@@ -27,8 +27,11 @@ class CandidatePool {
   explicit CandidatePool(size_t capacity);
 
   /// Marks `id` as recently relevant, inserting it if new. Returns the
-  /// candidates evicted to make room (possibly empty).
-  std::vector<StructureId> Touch(StructureId id, SimTime now);
+  /// candidates evicted to make room (possibly empty). The returned
+  /// reference points at an internal buffer that the next Touch overwrites
+  /// — consume it before touching again. Touching an id already in the
+  /// pool (the per-query common case) allocates nothing.
+  const std::vector<StructureId>& Touch(StructureId id, SimTime now);
 
   /// Removes `id` from the pool (e.g. because it was just built).
   void Erase(StructureId id);
@@ -49,6 +52,7 @@ class CandidatePool {
   size_t capacity_;
   std::list<Entry> entries_;  // Front = most recently used.
   std::unordered_map<StructureId, std::list<Entry>::iterator> index_;
+  std::vector<StructureId> evicted_;  // Touch's reused out-buffer.
 };
 
 }  // namespace cloudcache

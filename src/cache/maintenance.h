@@ -61,6 +61,23 @@ class MaintenanceLedger {
 
   bool IsTracked(StructureId id) const { return clocks_.count(id) > 0; }
 
+  /// True if `id` is untracked or its clock is paid up to `now` — an O(1)
+  /// pre-check the per-query failure scan runs before pricing any rent.
+  bool PaidThrough(StructureId id, SimTime now) const {
+    auto it = clocks_.find(id);
+    return it == clocks_.end() || it->second.paid_until >= now;
+  }
+
+  /// True if no tracked structure owes anything at `now`: one cheap pass
+  /// over the clocks, no Money math. Lets the economy skip the
+  /// structure-failure scan entirely on quiet queries.
+  bool NothingOwedBy(SimTime now) const {
+    for (const auto& entry : clocks_) {
+      if (entry.second.paid_until < now) return false;
+    }
+    return true;
+  }
+
  private:
   struct Clock {
     StructureKey key;

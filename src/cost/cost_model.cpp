@@ -43,7 +43,7 @@ ExecutionEstimate CostModel::EstimateExecution(const Query& query,
                                                const PlanSpec& spec) const {
   const Table& table = catalog_->table(query.table);
   const auto total_rows = static_cast<double>(table.row_count);
-  const std::vector<ColumnId> accessed = query.AccessedColumns();
+  const std::vector<ColumnId>& accessed = query.AccessedColumns();
   const PriceList& p = *prices_;
 
   // Rows the executor actually touches and bytes it reads, by access path.

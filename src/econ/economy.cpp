@@ -279,9 +279,15 @@ void EconomyEngine::MaybeInvest(SimTime now, QueryOutcome* outcome) {
 
 void EconomyEngine::EvictFailedStructures(SimTime now,
                                           QueryOutcome* outcome) {
-  for (StructureId id : cache_.Residents()) {
+  // This runs before every query; skip it outright when no tracked clock
+  // has fallen behind, and visit residents in place (ascending id, as
+  // Residents() returned them) instead of copying the list. Removing the
+  // visited id inside the loop is safe: Remove only flips its bit.
+  if (maintenance_.NothingOwedBy(now)) return;
+  cache_.ForEachResident([&](StructureId id) {
+    if (maintenance_.PaidThrough(id, now)) return;
     const Money owed = maintenance_.Owed(id, now);
-    if (owed.IsZero()) continue;
+    if (owed.IsZero()) return;
     Money build_cost = maintenance_.BuildCostOf(id);
     if (build_cost.IsZero()) {
       // Column shipped as part of an index build: judge it by what it
@@ -301,7 +307,7 @@ void EconomyEngine::EvictFailedStructures(SimTime now,
         tick_evictions_.push_back(id);
       }
     }
-  }
+  });
 }
 
 void EconomyEngine::OnTick(SimTime now) {
@@ -345,9 +351,13 @@ QueryOutcome EconomyEngine::OnQuery(const Query& query,
   ActivatePending(now);
   EvictFailedStructures(now, &outcome);
 
-  PlanSet set = enumerator_.Enumerate(query, cache_);
-  PriceCarriedCharges(&set, now);
-  set = SkylineFilter(std::move(set));
+  // The whole decision pipeline below runs on reused member buffers
+  // (enumerated_, plan_set_, the index scratches) so the steady state
+  // allocates nothing per query.
+  enumerator_.Enumerate(query, cache_, &enumerated_);
+  PriceCarriedCharges(&enumerated_, now);
+  SkylineFilterInto(enumerated_, &plan_set_, &skyline_scratch_);
+  PlanSet& set = plan_set_;
   outcome.num_plans = static_cast<uint32_t>(set.plans.size());
 
   // Keep the candidate pool's LRU clock fresh for every hypothetical
@@ -361,7 +371,8 @@ QueryOutcome EconomyEngine::OnQuery(const Query& query,
     }
   }
 
-  const std::vector<size_t> existing = set.ExistingIndices();
+  set.ExistingIndicesInto(&existing_scratch_);
+  const std::vector<size_t>& existing = existing_scratch_;
   outcome.num_existing = static_cast<uint32_t>(existing.size());
   CLOUDCACHE_CHECK(!existing.empty());  // The backend plan always exists.
 
@@ -374,12 +385,14 @@ QueryOutcome EconomyEngine::OnQuery(const Query& query,
   for (const QueryPlan& plan : set.plans) {
     if (Affordable(plan, budget)) ++affordable_count;
   }
-  std::vector<size_t> affordable_existing;
+  affordable_existing_scratch_.clear();
   for (size_t idx : existing) {
     if (Affordable(set.plans[idx], budget)) {
-      affordable_existing.push_back(idx);
+      affordable_existing_scratch_.push_back(idx);
     }
   }
+  const std::vector<size_t>& affordable_existing =
+      affordable_existing_scratch_;
   if (affordable_existing.empty()) {
     outcome.budget_case = BudgetCase::kCaseA;
   } else if (affordable_count == set.plans.size()) {

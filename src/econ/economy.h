@@ -13,6 +13,7 @@
 #include "src/econ/regret.h"
 #include "src/plan/enumerator.h"
 #include "src/plan/plan.h"
+#include "src/plan/skyline.h"
 #include "src/query/query.h"
 #include "src/util/money.h"
 
@@ -201,6 +202,15 @@ class EconomyEngine {
   /// through); drained into the next OnQuery's outcome so metrics see
   /// every eviction.
   std::vector<StructureId> tick_evictions_;
+  /// Per-query scratch, reused across OnQuery calls so the steady-state
+  /// decision loop allocates nothing: the raw enumeration, the
+  /// skyline-filtered set, the skyline's index buffer, and the
+  /// executable / affordable-executable index lists.
+  PlanSet enumerated_;
+  PlanSet plan_set_;
+  SkylineScratch skyline_scratch_;
+  std::vector<size_t> existing_scratch_;
+  std::vector<size_t> affordable_existing_scratch_;
 };
 
 }  // namespace cloudcache

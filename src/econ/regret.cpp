@@ -10,6 +10,7 @@ void RegretLedger::Add(StructureId id, Money amount) {
   CLOUDCACHE_CHECK_GE(amount.micros(), 0);
   if (amount.IsZero()) return;
   regret_[id] += amount;
+  sorted_stale_ = true;
 }
 
 void RegretLedger::Distribute(const std::vector<StructureId>& structures,
@@ -31,6 +32,7 @@ Money RegretLedger::Clear(StructureId id) {
   if (it == regret_.end()) return Money();
   const Money forfeited = it->second;
   regret_.erase(it);
+  if (!forfeited.IsZero()) sorted_stale_ = true;
   return forfeited;
 }
 
@@ -40,18 +42,21 @@ Money RegretLedger::Total() const {
   return total;
 }
 
-std::vector<std::pair<StructureId, Money>>
+const std::vector<std::pair<StructureId, Money>>&
 RegretLedger::NonZeroDescending() const {
-  std::vector<std::pair<StructureId, Money>> out;
-  out.reserve(regret_.size());
-  for (const auto& entry : regret_) {
-    if (!entry.second.IsZero()) out.push_back(entry);
+  if (sorted_stale_) {
+    sorted_.clear();
+    for (const auto& entry : regret_) {
+      if (!entry.second.IsZero()) sorted_.push_back(entry);
+    }
+    std::sort(sorted_.begin(), sorted_.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    sorted_stale_ = false;
   }
-  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
-  });
-  return out;
+  return sorted_;
 }
 
 }  // namespace cloudcache

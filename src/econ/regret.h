@@ -38,12 +38,22 @@ class RegretLedger {
   Money Total() const;
 
   /// All entries with non-zero regret, descending by amount (ties by id).
-  std::vector<std::pair<StructureId, Money>> NonZeroDescending() const;
+  ///
+  /// Maintained incrementally: the sorted view is rebuilt (into a reused
+  /// scratch vector) only when a mutation dirtied it since the last call —
+  /// MaybeInvest runs once per query, so quiet stretches pay nothing. The
+  /// reference is a snapshot: mutating the ledger (Add/Clear) marks it
+  /// stale for the *next* call but leaves the returned storage untouched,
+  /// so the investment loop may Clear entries while iterating it.
+  const std::vector<std::pair<StructureId, Money>>& NonZeroDescending() const;
 
   size_t size() const { return regret_.size(); }
 
  private:
   std::unordered_map<StructureId, Money> regret_;
+  /// Cached NonZeroDescending view (lazily rebuilt; see above).
+  mutable std::vector<std::pair<StructureId, Money>> sorted_;
+  mutable bool sorted_stale_ = true;
 };
 
 }  // namespace cloudcache

@@ -3,8 +3,21 @@
 #include <algorithm>
 
 #include "src/util/logging.h"
+#include "src/util/slot_pool.h"
 
 namespace cloudcache {
+
+namespace {
+
+/// EmitNodeVariants requires its structure list sorted and deduplicated;
+/// every plan family routes through this one normalization.
+void NormalizeStructures(std::vector<StructureId>* structures) {
+  std::sort(structures->begin(), structures->end());
+  structures->erase(std::unique(structures->begin(), structures->end()),
+                    structures->end());
+}
+
+}  // namespace
 
 PlanEnumerator::PlanEnumerator(const CostModel* model,
                                StructureRegistry* registry,
@@ -27,61 +40,81 @@ void PlanEnumerator::SetIndexCandidates(
     CLOUDCACHE_CHECK(key.type == StructureType::kIndex);
     index_candidates_.push_back(registry_->Intern(key));
   }
+  ++generation_;  // Every cached skeleton list is now stale.
 }
 
-void PlanEnumerator::EmitNodeVariants(const Query& query,
-                                      const CacheState& cache, PlanSpec spec,
-                                      std::vector<StructureId> structures,
-                                      PlanSet* set) const {
-  std::sort(structures.begin(), structures.end());
-  structures.erase(std::unique(structures.begin(), structures.end()),
-                   structures.end());
+bool PlanEnumerator::SignatureMatches(const TemplateCacheEntry& entry,
+                                      const Query& query) const {
+  if (entry.table != query.table) return false;
+  if (entry.output_columns != query.output_columns) return false;
+  if (entry.predicate_columns.size() != query.predicates.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < query.predicates.size(); ++i) {
+    if (entry.predicate_columns[i] != query.predicates[i].column) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PlanEnumerator::EmitNodeVariants(const CacheState& cache,
+                                      const PlanSpec& spec,
+                                      const std::vector<StructureId>& structures,
+                                      std::vector<PlanSkeleton>* out,
+                                      size_t* used) const {
+  // `structures` must arrive sorted and deduplicated (the callers own the
+  // scratch buffer and normalize it once per plan family).
   for (uint32_t nodes : options_.node_options) {
     if (nodes > 1 && !options_.allow_parallel) break;
-    QueryPlan plan;
-    plan.spec = spec;
-    plan.spec.cpu_nodes = nodes;
-    plan.structures = structures;
+    PlanSkeleton& sk = AcquireSlot(out, used, &skeleton_spares_);
+    sk.spec = spec;
+    sk.spec.cpu_nodes = nodes;
+    sk.structures.assign(structures.begin(), structures.end());
     // Extra nodes beyond the always-on one are structures in their own
     // right (BuildN/MaintN apply to them).
     for (uint32_t extra = 0; extra + 1 < nodes; ++extra) {
-      plan.structures.push_back(registry_->Intern(CpuNodeKey(extra)));
+      sk.structures.push_back(registry_->Intern(CpuNodeKey(extra)));
     }
-    for (StructureId id : plan.structures) {
-      if (!cache.IsResident(id)) plan.missing.push_back(id);
+    sk.missing.clear();
+    for (StructureId id : sk.structures) {
+      if (!cache.IsResident(id)) sk.missing.push_back(id);
     }
-    if (!plan.missing.empty() && !options_.include_hypothetical) continue;
-    plan.execution = model_->EstimateExecution(query, plan.spec);
-    set->plans.push_back(std::move(plan));
+    if (!sk.missing.empty() && !options_.include_hypothetical) {
+      --*used;  // Drop the variant; the slot is recycled by the next one.
+    }
   }
 }
 
-PlanSet PlanEnumerator::Enumerate(const Query& query,
-                                  const CacheState& cache) const {
-  PlanSet set;
+void PlanEnumerator::BuildSkeletons(const Query& query,
+                                    const CacheState& cache,
+                                    std::vector<PlanSkeleton>* out) const {
+  size_t used = 0;
 
   // 1. The back-end plan: always available, employs no cache structures.
   {
-    QueryPlan plan;
-    plan.spec.access = PlanSpec::Access::kBackend;
-    plan.spec.cpu_nodes = 1;
-    plan.execution = model_->EstimateExecution(query, plan.spec);
-    set.plans.push_back(std::move(plan));
+    PlanSkeleton& sk = AcquireSlot(out, &used, &skeleton_spares_);
+    sk.spec.access = PlanSpec::Access::kBackend;
+    sk.spec.covered_predicates.clear();
+    sk.spec.covering = false;
+    sk.spec.cpu_nodes = 1;
+    sk.structures.clear();
+    sk.missing.clear();
   }
 
-  const std::vector<ColumnId> accessed = query.AccessedColumns();
+  const std::vector<ColumnId>& accessed = query.AccessedColumns();
   const Catalog& catalog = registry_->catalog();
 
   // 2. Column-scan plan over the accessed columns.
   {
     PlanSpec spec;
     spec.access = PlanSpec::Access::kCacheScan;
-    std::vector<StructureId> structures;
-    structures.reserve(accessed.size());
+    structures_scratch_.clear();
     for (ColumnId col : accessed) {
-      structures.push_back(registry_->Intern(ColumnKey(catalog, col)));
+      structures_scratch_.push_back(registry_->Intern(ColumnKey(catalog, col)));
     }
-    EmitNodeVariants(query, cache, spec, std::move(structures), &set);
+    NormalizeStructures(&structures_scratch_);
+    EmitNodeVariants(cache, spec, structures_scratch_, out, &used);
   }
 
   // 3. Index plans from the candidate pool.
@@ -114,21 +147,73 @@ PlanSet PlanEnumerator::Enumerate(const Query& query,
                    key.columns.end();
           });
 
-      std::vector<StructureId> structures = {index_id};
+      structures_scratch_.clear();
+      structures_scratch_.push_back(index_id);
       if (!spec.covering) {
         // Row fetches read every accessed column absent from the index
         // key from the cached base columns.
         for (ColumnId col : accessed) {
           if (std::find(key.columns.begin(), key.columns.end(), col) ==
               key.columns.end()) {
-            structures.push_back(
+            structures_scratch_.push_back(
                 registry_->Intern(ColumnKey(catalog, col)));
           }
         }
       }
-      EmitNodeVariants(query, cache, spec, std::move(structures), &set);
+      NormalizeStructures(&structures_scratch_);
+      EmitNodeVariants(cache, spec, structures_scratch_, out, &used);
     }
   }
+  ReleaseSurplus(out, used, &skeleton_spares_);
+}
+
+void PlanEnumerator::Enumerate(const Query& query, const CacheState& cache,
+                               PlanSet* out) const {
+  const std::vector<PlanSkeleton>* skeletons;
+  if (!options_.enable_plan_cache || query.template_id < 0) {
+    BuildSkeletons(query, cache, &adhoc_skeletons_);
+    skeletons = &adhoc_skeletons_;
+  } else {
+    TemplateCacheEntry& entry = template_cache_[query.template_id];
+    if (entry.valid && entry.cache == &cache &&
+        entry.epoch == cache.epoch() && entry.generation == generation_ &&
+        SignatureMatches(entry, query)) {
+      ++cache_hits_;
+    } else {
+      ++cache_misses_;
+      BuildSkeletons(query, cache, &entry.skeletons);
+      entry.cache = &cache;
+      entry.epoch = cache.epoch();
+      entry.generation = generation_;
+      entry.valid = true;
+      entry.table = query.table;
+      entry.output_columns = query.output_columns;
+      entry.predicate_columns.clear();
+      for (const Predicate& p : query.predicates) {
+        entry.predicate_columns.push_back(p.column);
+      }
+    }
+    skeletons = &entry.skeletons;
+  }
+
+  // Price the skeletons for this query instance. Estimates depend on the
+  // instance's selectivities and result shape, so they are never cached.
+  size_t used = 0;
+  for (const PlanSkeleton& sk : *skeletons) {
+    QueryPlan& plan = AcquireSlot(&out->plans, &used, &plan_spares_);
+    plan.spec = sk.spec;
+    plan.structures = sk.structures;
+    plan.missing = sk.missing;
+    plan.carried_charges = Money();
+    plan.execution = model_->EstimateExecution(query, plan.spec);
+  }
+  ReleaseSurplus(&out->plans, used, &plan_spares_);
+}
+
+PlanSet PlanEnumerator::Enumerate(const Query& query,
+                                  const CacheState& cache) const {
+  PlanSet set;
+  Enumerate(query, cache, &set);
   return set;
 }
 

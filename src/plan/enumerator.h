@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "src/cache/cache_state.h"
@@ -20,6 +22,24 @@ struct EnumeratorOptions {
   /// Whether to emit hypothetical (PQpos) plans at all; the bypass-yield
   /// baseline has no regret machinery and turns this off.
   bool include_hypothetical = true;
+  /// Kill switch for the per-template plan-skeleton cache. The cache is
+  /// semantically invisible (skeletons are invalidated on every residency
+  /// epoch or candidate-generation change, and execution estimates are
+  /// always recomputed per query); disabling it exists for A/B perf
+  /// measurement and for the bit-identical-metrics regression test.
+  bool enable_plan_cache = true;
+};
+
+/// The structure-dependent part of a candidate plan: everything Enumerate
+/// derives that does NOT depend on the query instance's selectivities —
+/// the spec shape, the employed structures, and which of them are absent.
+/// Skeletons of one template are identical across its query instances, so
+/// they are cached per template and only re-derived when cache residency
+/// (CacheState::epoch) or the candidate pool (candidate_generation) moves.
+struct PlanSkeleton {
+  PlanSpec spec;
+  std::vector<StructureId> structures;
+  std::vector<StructureId> missing;
 };
 
 /// Enumerates the candidate plan set PQ for a query (Section IV-B):
@@ -38,12 +58,21 @@ struct EnumeratorOptions {
 /// include_hypothetical is set. The returned set is NOT skyline-filtered:
 /// the economy first adds carried charges (Ca, owed maintenance), then
 /// applies SkylineFilter.
+///
+/// Hot path: queries of the same template share their plan skeletons, so
+/// Enumerate is usually a cache hit that only re-runs
+/// CostModel::EstimateExecution (per-instance selectivities) on the cached
+/// skeletons. An entry is keyed by Query::template_id and revalidated
+/// against (CacheState::epoch, candidate generation, the query's column
+/// signature); ad hoc queries (template_id < 0) always take the
+/// derive-from-scratch path.
 class PlanEnumerator {
  public:
   PlanEnumerator(const CostModel* model, StructureRegistry* registry,
                  EnumeratorOptions options);
 
   /// Registers the advisor's index candidate pool (interning the keys).
+  /// Bumps the candidate generation, invalidating all cached skeletons.
   void SetIndexCandidates(const std::vector<StructureKey>& candidates);
 
   /// The interned candidate index ids.
@@ -54,18 +83,72 @@ class PlanEnumerator {
   /// Enumerates plans for `query` against the current cache contents.
   PlanSet Enumerate(const Query& query, const CacheState& cache) const;
 
+  /// Buffer-reusing variant: fills `out` (clearing previous contents but
+  /// recycling its plan slots and their inner vectors), so steady-state
+  /// enumeration allocates nothing. `out` must not alias internal state.
+  void Enumerate(const Query& query, const CacheState& cache,
+                 PlanSet* out) const;
+
   const EnumeratorOptions& options() const { return options_; }
 
+  /// Monotonic counter bumped by SetIndexCandidates; part of the skeleton
+  /// cache key.
+  uint64_t candidate_generation() const { return generation_; }
+
+  /// Skeleton-cache observability (for tests and benchmarks).
+  uint64_t plan_cache_hits() const { return cache_hits_; }
+  uint64_t plan_cache_misses() const { return cache_misses_; }
+  size_t plan_cache_size() const { return template_cache_.size(); }
+
  private:
-  /// Adds per-node-count variants of a cache plan to `set`.
-  void EmitNodeVariants(const Query& query, const CacheState& cache,
-                        PlanSpec spec, std::vector<StructureId> structures,
-                        PlanSet* set) const;
+  struct TemplateCacheEntry {
+    /// Identity of the CacheState the skeletons were derived against —
+    /// epochs of two different caches are not comparable, so a caller
+    /// alternating caches (A/B harnesses) must miss, not collide.
+    const CacheState* cache = nullptr;
+    uint64_t epoch = 0;
+    uint64_t generation = 0;
+    bool valid = false;
+    /// Structural signature of the query the skeletons were derived from;
+    /// a template id must always map to one structure, but trace replay
+    /// can in principle reuse ids across shapes, so a mismatch falls back
+    /// to re-derivation instead of serving wrong plans.
+    TableId table = 0;
+    std::vector<ColumnId> output_columns;
+    std::vector<ColumnId> predicate_columns;
+    std::vector<PlanSkeleton> skeletons;
+  };
+
+  /// Derives the full skeleton list for `query` into `out` (slot-reusing).
+  void BuildSkeletons(const Query& query, const CacheState& cache,
+                      std::vector<PlanSkeleton>* out) const;
+
+  /// Adds per-node-count skeleton variants of a cache plan to `out`.
+  void EmitNodeVariants(const CacheState& cache, const PlanSpec& spec,
+                        const std::vector<StructureId>& structures,
+                        std::vector<PlanSkeleton>* out, size_t* used) const;
+
+  bool SignatureMatches(const TemplateCacheEntry& entry,
+                        const Query& query) const;
 
   const CostModel* model_;
   StructureRegistry* registry_;
   EnumeratorOptions options_;
   std::vector<StructureId> index_candidates_;
+  uint64_t generation_ = 0;
+
+  /// Skeleton cache + scratch. Mutable: Enumerate is logically const (the
+  /// plan set it returns is a pure function of (query, cache, candidates))
+  /// and an enumerator is owned by one single-threaded engine. The spare
+  /// pools park surplus output elements when a smaller template follows a
+  /// larger one, so mixed-template steady state stays allocation-free.
+  mutable std::unordered_map<int, TemplateCacheEntry> template_cache_;
+  mutable std::vector<PlanSkeleton> adhoc_skeletons_;
+  mutable std::vector<StructureId> structures_scratch_;
+  mutable std::vector<PlanSkeleton> skeleton_spares_;
+  mutable std::vector<QueryPlan> plan_spares_;
+  mutable uint64_t cache_hits_ = 0;
+  mutable uint64_t cache_misses_ = 0;
 };
 
 }  // namespace cloudcache

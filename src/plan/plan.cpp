@@ -32,10 +32,15 @@ std::string QueryPlan::ToString() const {
 
 std::vector<size_t> PlanSet::ExistingIndices() const {
   std::vector<size_t> out;
-  for (size_t i = 0; i < plans.size(); ++i) {
-    if (plans[i].IsExisting()) out.push_back(i);
-  }
+  ExistingIndicesInto(&out);
   return out;
+}
+
+void PlanSet::ExistingIndicesInto(std::vector<size_t>* out) const {
+  out->clear();
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (plans[i].IsExisting()) out->push_back(i);
+  }
 }
 
 std::vector<size_t> PlanSet::PossibleIndices() const {

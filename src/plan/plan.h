@@ -49,6 +49,9 @@ struct PlanSet {
 
   /// Indices of existing (executable) plans.
   std::vector<size_t> ExistingIndices() const;
+  /// Non-allocating form: clears and refills `out` (the per-query path
+  /// passes a reused scratch vector).
+  void ExistingIndicesInto(std::vector<size_t>* out) const;
   /// Indices of hypothetical plans (at least one missing structure).
   std::vector<size_t> PossibleIndices() const;
 };

@@ -2,58 +2,84 @@
 
 #include <algorithm>
 
+#include "src/util/slot_pool.h"
+
 namespace cloudcache {
+
+namespace {
+
+/// The one definition of skyline dominance: sorts `candidates` (indices
+/// into `plans`) by (time asc, price asc, index asc) in place, then
+/// invokes `keep(idx)` for exactly the plans on the Pareto frontier, in
+/// ascending-time order. A candidate survives iff its price is strictly
+/// below every faster candidate's (ties on time keep the cheaper — and on
+/// both axes the earlier — candidate).
+template <typename KeepFn>
+void ScanSkyline(const std::vector<QueryPlan>& plans,
+                 std::vector<size_t>* candidates, KeepFn&& keep) {
+  std::sort(candidates->begin(), candidates->end(),
+            [&](size_t a, size_t b) {
+              if (plans[a].TimeSeconds() != plans[b].TimeSeconds()) {
+                return plans[a].TimeSeconds() < plans[b].TimeSeconds();
+              }
+              if (plans[a].Price() != plans[b].Price()) {
+                return plans[a].Price() < plans[b].Price();
+              }
+              return a < b;
+            });
+  bool have_best = false;
+  Money best_price;
+  double last_time = 0;
+  for (size_t idx : *candidates) {
+    const double time = plans[idx].TimeSeconds();
+    const Money price = plans[idx].Price();
+    if (have_best) {
+      if (time == last_time) continue;  // Cheaper one already kept.
+      if (!(price < best_price)) continue;  // Dominated.
+    }
+    have_best = true;
+    best_price = price;
+    last_time = time;
+    keep(idx);
+  }
+}
+
+}  // namespace
 
 std::vector<size_t> SkylineIndices(const std::vector<QueryPlan>& plans) {
   std::vector<size_t> order(plans.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  // Sort by (time asc, price asc, original index asc). A stable scan then
-  // keeps a plan iff its price is strictly below every faster plan's.
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    if (plans[a].TimeSeconds() != plans[b].TimeSeconds()) {
-      return plans[a].TimeSeconds() < plans[b].TimeSeconds();
-    }
-    if (plans[a].Price() != plans[b].Price()) {
-      return plans[a].Price() < plans[b].Price();
-    }
-    return a < b;
-  });
   std::vector<size_t> skyline;
-  bool have_best = false;
-  Money best_price;
-  double last_time = 0;
-  for (size_t idx : order) {
-    const double time = plans[idx].TimeSeconds();
-    const Money price = plans[idx].Price();
-    if (!have_best) {
-      skyline.push_back(idx);
-      best_price = price;
-      last_time = time;
-      have_best = true;
-      continue;
-    }
-    if (time == last_time) continue;  // Same time: cheaper one already kept.
-    if (price < best_price) {
-      skyline.push_back(idx);
-      best_price = price;
-      last_time = time;
-    }
-  }
+  ScanSkyline(plans, &order, [&](size_t idx) { skyline.push_back(idx); });
   return skyline;
 }
 
+void SkylineFilterInto(const PlanSet& in, PlanSet* out,
+                       SkylineScratch* scratch) {
+  size_t used = 0;
+  const auto keep = [&](size_t idx) {
+    AcquireSlot(&out->plans, &used, &scratch->spare_slots) = in.plans[idx];
+  };
+  // Existing plans first, then possible — each partition keeps its
+  // original relative order going into the sort, so ties resolve exactly
+  // as a partition-then-SkylineIndices pipeline would.
+  scratch->partition.clear();
+  for (size_t i = 0; i < in.plans.size(); ++i) {
+    if (in.plans[i].IsExisting()) scratch->partition.push_back(i);
+  }
+  ScanSkyline(in.plans, &scratch->partition, keep);
+  scratch->partition.clear();
+  for (size_t i = 0; i < in.plans.size(); ++i) {
+    if (!in.plans[i].IsExisting()) scratch->partition.push_back(i);
+  }
+  ScanSkyline(in.plans, &scratch->partition, keep);
+  ReleaseSurplus(&out->plans, used, &scratch->spare_slots);
+}
+
 PlanSet SkylineFilter(PlanSet set) {
-  std::vector<QueryPlan> existing, possible;
-  for (QueryPlan& plan : set.plans) {
-    (plan.IsExisting() ? existing : possible).push_back(std::move(plan));
-  }
   PlanSet out;
-  for (size_t idx : SkylineIndices(existing)) {
-    out.plans.push_back(std::move(existing[idx]));
-  }
-  for (size_t idx : SkylineIndices(possible)) {
-    out.plans.push_back(std::move(possible[idx]));
-  }
+  SkylineScratch scratch;
+  SkylineFilterInto(set, &out, &scratch);
   return out;
 }
 

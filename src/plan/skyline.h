@@ -18,10 +18,25 @@ namespace cloudcache {
 /// order.
 std::vector<size_t> SkylineIndices(const std::vector<QueryPlan>& plans);
 
-/// Applies SkylineIndices to each partition of the plan set separately:
-/// existing and possible plans are skylined independently, because PQexist
-/// must retain an executable frontier even when hypothetical plans
-/// dominate it. Returns the filtered set (relative order by time).
+/// Reusable buffers for SkylineFilterInto; hold one per engine so the
+/// per-query filter allocates nothing in steady state. `spare_slots`
+/// parks surplus output plans when the survivor count shrinks, preserving
+/// their inner-vector capacity for the next query.
+struct SkylineScratch {
+  std::vector<size_t> partition;
+  std::vector<QueryPlan> spare_slots;
+};
+
+/// Applies the skyline to each partition of `in` separately — existing and
+/// possible plans are skylined independently, because PQexist must retain
+/// an executable frontier even when hypothetical plans dominate it — and
+/// writes the survivors into `out` (existing first, each partition in
+/// ascending-time order). `out`'s plan slots and inner vectors are
+/// recycled; `in` and `out` must be distinct objects.
+void SkylineFilterInto(const PlanSet& in, PlanSet* out,
+                       SkylineScratch* scratch);
+
+/// Convenience value-returning form of SkylineFilterInto.
 PlanSet SkylineFilter(PlanSet set);
 
 }  // namespace cloudcache

@@ -11,12 +11,32 @@ double Query::CombinedSelectivity() const {
   return sel;
 }
 
-std::vector<ColumnId> Query::AccessedColumns() const {
-  std::vector<ColumnId> cols = output_columns;
-  for (const Predicate& p : predicates) cols.push_back(p.column);
-  std::sort(cols.begin(), cols.end());
-  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
-  return cols;
+uint64_t Query::ColumnFingerprint() const {
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis.
+  const auto mix = [&hash](uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ull;  // FNV prime.
+  };
+  for (ColumnId col : output_columns) mix(col);
+  mix(~0ull);  // Separator: outputs vs predicates.
+  for (const Predicate& p : predicates) mix(p.column);
+  return hash == 0 ? 1 : hash;  // 0 is the "never computed" sentinel.
+}
+
+const std::vector<ColumnId>& Query::AccessedColumns() const {
+  const uint64_t fingerprint = ColumnFingerprint();
+  if (memo_fingerprint_ != fingerprint) {
+    accessed_memo_.assign(output_columns.begin(), output_columns.end());
+    for (const Predicate& p : predicates) {
+      accessed_memo_.push_back(p.column);
+    }
+    std::sort(accessed_memo_.begin(), accessed_memo_.end());
+    accessed_memo_.erase(
+        std::unique(accessed_memo_.begin(), accessed_memo_.end()),
+        accessed_memo_.end());
+    memo_fingerprint_ = fingerprint;
+  }
+  return accessed_memo_;
 }
 
 uint64_t Query::ScanBytes(const Catalog& catalog) const {

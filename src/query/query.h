@@ -64,7 +64,15 @@ struct Query {
 
   /// Output and predicate columns, deduplicated, in ascending ColumnId
   /// order. These are the columns a cache-resident plan needs.
-  std::vector<ColumnId> AccessedColumns() const;
+  ///
+  /// Memoized: the set is derived once (the workload generator does it at
+  /// instantiation) and the same vector is handed to the enumerator, the
+  /// cost model, and the simulator's metered re-pricing — the hot path
+  /// calls this several times per plan per query. The memo revalidates
+  /// against a fingerprint of the output and predicate column ids, so any
+  /// later mutation of those fields (incremental construction in tests,
+  /// in-place column swaps) recomputes instead of serving a stale set.
+  const std::vector<ColumnId>& AccessedColumns() const;
 
   /// Bytes of the accessed columns that a full column scan reads.
   uint64_t ScanBytes(const Catalog& catalog) const;
@@ -72,6 +80,18 @@ struct Query {
   /// Validates internal consistency against `catalog`: columns belong to
   /// `table`, selectivities in (0,1], result within table bounds.
   Status Validate(const Catalog& catalog) const;
+
+ private:
+  /// FNV-1a fingerprint of (output_columns, predicates' columns) — the
+  /// exact inputs AccessedColumns derives from.
+  uint64_t ColumnFingerprint() const;
+
+  /// AccessedColumns memo plus the fingerprint it was computed at (its
+  /// staleness check). Mutable so the lazily-filled memo keeps the
+  /// accessor const; queries are confined to one simulation thread, so no
+  /// synchronization is needed.
+  mutable std::vector<ColumnId> accessed_memo_;
+  mutable uint64_t memo_fingerprint_ = 0;
 };
 
 /// Recomputes result_rows/result_bytes from the predicates and output

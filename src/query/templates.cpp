@@ -231,6 +231,10 @@ Query InstantiateQuery(const ResolvedTemplate& tmpl, const Catalog& catalog,
     query.predicates.push_back(pred);
   }
   DeriveResultShape(catalog, tmpl.row_limit_fraction, &query);
+  // Prime the accessed-columns memo here, once per query, so every
+  // downstream consumer (enumerator, cost model, metered re-pricing) reads
+  // the same precomputed vector.
+  query.AccessedColumns();
   return query;
 }
 

@@ -80,16 +80,15 @@ SimMetrics Simulator::Run() {
   metrics.scheme_name = scheme_->name();
   last_meter_time_ = workload_->PeekNextArrival();
 
-  EventQueue queue;
+  // Single-stream discipline: the paper serves queries one at a time in
+  // arrival order, so the generator IS the schedule and the loop needs no
+  // event queue — queries are processed directly as they are drawn.
+  // EventQueue (src/sim/event_queue.h) stays in the library for future
+  // multi-stream work (overlapping builds, concurrent users); when that
+  // lands, arrivals and completions become queued events again.
   for (uint64_t i = 0; i < options_.num_queries; ++i) {
     Query query = workload_->Next();
     const SimTime now = query.arrival_time;
-    queue.Push(SimEvent{now, SimEvent::Kind::kArrival, query.id});
-
-    // Single-stream arrival processing (the paper serves queries one at a
-    // time at fixed inter-arrival spacing); the queue is drained
-    // immediately but keeps ordering disciplined if extended.
-    queue.Pop();
 
     MeterRent(now, &metrics);
     const ServedQuery served = scheme_->OnQuery(query, now);

@@ -5,7 +5,6 @@
 #include "src/baseline/scheme.h"
 #include "src/cost/cost_model.h"
 #include "src/cost/price_list.h"
-#include "src/sim/event_queue.h"
 #include "src/sim/metrics.h"
 #include "src/workload/generator.h"
 

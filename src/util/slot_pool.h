@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace cloudcache {
+
+/// Slot recycling for hot-path output buffers whose element count varies
+/// call to call (plan sets, skeleton lists).
+///
+/// A plain `resize(used)` shrink destroys the trailing elements — and with
+/// them the heap capacity of their inner vectors — so a workload that
+/// alternates between a large and a small element count would re-allocate
+/// on every switch. Instead, AcquireSlot reuses elements in place up to
+/// the current size and refills from `spares` beyond it, and
+/// ReleaseSurplus moves trailing surplus elements into `spares` rather
+/// than destroying them. Steady state allocates nothing regardless of how
+/// counts fluctuate.
+template <typename T>
+T& AcquireSlot(std::vector<T>* buf, size_t* used, std::vector<T>* spares) {
+  if (*used < buf->size()) return (*buf)[(*used)++];
+  if (!spares->empty()) {
+    buf->push_back(std::move(spares->back()));
+    spares->pop_back();
+  } else {
+    buf->emplace_back();
+  }
+  ++*used;
+  return buf->back();
+}
+
+/// Trims `buf` to `used` elements, parking the surplus in `spares` for
+/// the next AcquireSlot to reclaim.
+template <typename T>
+void ReleaseSurplus(std::vector<T>* buf, size_t used,
+                    std::vector<T>* spares) {
+  while (buf->size() > used) {
+    spares->push_back(std::move(buf->back()));
+    buf->pop_back();
+  }
+}
+
+}  // namespace cloudcache

@@ -114,5 +114,29 @@ TEST_F(CacheStateTest, BytesAccumulateAcrossKinds) {
   EXPECT_EQ(cache_.resident_bytes(), 8u * 1'000'000 + 16u * 1'000'000);
 }
 
+TEST_F(CacheStateTest, EpochAdvancesOnResidencyChangesOnly) {
+  EXPECT_EQ(cache_.epoch(), 0u);
+  const StructureId key = InternColumn("fact.f_key");
+  ASSERT_TRUE(cache_.Add(key, 0).ok());
+  EXPECT_EQ(cache_.epoch(), 1u);
+  // Touch moves the LRU clock, not residency: derived plan skeletons stay
+  // valid, so the epoch must not move.
+  cache_.Touch(key, 5.0);
+  EXPECT_EQ(cache_.epoch(), 1u);
+  ASSERT_TRUE(cache_.Remove(key).ok());
+  EXPECT_EQ(cache_.epoch(), 2u);
+  // Failed operations leave the epoch alone.
+  EXPECT_FALSE(cache_.Remove(key).ok());
+  EXPECT_EQ(cache_.epoch(), 2u);
+}
+
+TEST_F(CacheStateTest, ForEachResidentMatchesResidents) {
+  ASSERT_TRUE(cache_.Add(InternColumn("fact.f_key"), 0).ok());
+  ASSERT_TRUE(cache_.Add(InternColumn("fact.f_value"), 0).ok());
+  std::vector<StructureId> visited;
+  cache_.ForEachResident([&](StructureId id) { visited.push_back(id); });
+  EXPECT_EQ(visited, cache_.Residents());
+}
+
 }  // namespace
 }  // namespace cloudcache

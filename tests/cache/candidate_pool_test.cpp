@@ -70,5 +70,19 @@ TEST(CandidatePoolTest, RepeatedTouchNeverEvicts) {
   EXPECT_EQ(pool.size(), 1u);
 }
 
+TEST(CandidatePoolTest, EvictionBufferIsClearedByNextTouch) {
+  // Touch returns a reference to a reused internal buffer: an eviction
+  // must not linger into the next call's result.
+  CandidatePool pool(1);
+  pool.Touch(1, 0.0);
+  const std::vector<StructureId>& evicted = pool.Touch(2, 1.0);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 1u);
+  // Refreshing the resident candidate evicts nothing; the same buffer now
+  // reads empty.
+  EXPECT_TRUE(pool.Touch(2, 2.0).empty());
+  EXPECT_TRUE(evicted.empty());  // Same storage, overwritten.
+}
+
 }  // namespace
 }  // namespace cloudcache

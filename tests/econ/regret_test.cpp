@@ -83,5 +83,49 @@ TEST(RegretLedgerTest, ConservationUnderManyDistributes) {
   EXPECT_EQ(ledger.Total(), total);
 }
 
+TEST(RegretLedgerTest, CachedSortedViewTracksMutations) {
+  RegretLedger ledger;
+  ledger.Add(3, Money::FromDollars(1.0));
+  ASSERT_EQ(ledger.NonZeroDescending().size(), 1u);
+  // A second call with no intervening mutation serves the cached view.
+  EXPECT_EQ(&ledger.NonZeroDescending(), &ledger.NonZeroDescending());
+
+  // Add dirties the view.
+  ledger.Add(7, Money::FromDollars(2.0));
+  {
+    const auto& sorted = ledger.NonZeroDescending();
+    ASSERT_EQ(sorted.size(), 2u);
+    EXPECT_EQ(sorted[0].first, 7u);
+    EXPECT_EQ(sorted[1].first, 3u);
+  }
+
+  // Clear dirties it too.
+  ledger.Clear(7);
+  {
+    const auto& sorted = ledger.NonZeroDescending();
+    ASSERT_EQ(sorted.size(), 1u);
+    EXPECT_EQ(sorted[0].first, 3u);
+  }
+}
+
+TEST(RegretLedgerTest, SortedViewSnapshotSurvivesClearDuringIteration) {
+  // The investment loop clears entries while walking the view; the
+  // returned storage must stay intact for the remainder of the walk.
+  RegretLedger ledger;
+  for (StructureId id = 0; id < 8; ++id) {
+    ledger.Add(id, Money::FromMicros(1000 + id));
+  }
+  const auto& sorted = ledger.NonZeroDescending();
+  ASSERT_EQ(sorted.size(), 8u);
+  size_t visited = 0;
+  for (const auto& [id, amount] : sorted) {
+    (void)amount;
+    ledger.Clear(id);
+    ++visited;
+  }
+  EXPECT_EQ(visited, 8u);
+  EXPECT_TRUE(ledger.NonZeroDescending().empty());
+}
+
 }  // namespace
 }  // namespace cloudcache

@@ -1,0 +1,169 @@
+// The plan-skeleton cache is a pure memoization: with
+// EnumeratorOptions::enable_plan_cache off, every simulation must replay
+// to the last micro-dollar and the last timeline byte. This is the
+// end-to-end gate for the per-query hot-path overhaul — any invalidation
+// bug (stale missing-sets, skipped re-pricing, wrong candidate
+// generation) shows up here as a diverging metric.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/catalog/tpch.h"
+#include "src/sim/experiment.h"
+
+namespace cloudcache {
+namespace {
+
+bool ByteIdentical(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+/// Asserts every metric a run produces — counts, exact Money amounts,
+/// double-precision cost breakdowns, response-time statistics, and the
+/// full cost/credit timelines — is identical between two runs.
+void ExpectBitIdenticalMetrics(const SimMetrics& on, const SimMetrics& off) {
+  EXPECT_EQ(on.scheme_name, off.scheme_name);
+
+  EXPECT_EQ(on.queries, off.queries);
+  EXPECT_EQ(on.served, off.served);
+  EXPECT_EQ(on.served_in_cache, off.served_in_cache);
+  EXPECT_EQ(on.served_in_backend, off.served_in_backend);
+  EXPECT_EQ(on.wan_bytes, off.wan_bytes);
+
+  EXPECT_EQ(on.investments, off.investments);
+  EXPECT_EQ(on.evictions, off.evictions);
+  EXPECT_EQ(on.case_a, off.case_a);
+  EXPECT_EQ(on.case_b, off.case_b);
+  EXPECT_EQ(on.case_c, off.case_c);
+
+  EXPECT_EQ(on.revenue.micros(), off.revenue.micros());
+  EXPECT_EQ(on.profit.micros(), off.profit.micros());
+  EXPECT_EQ(on.final_credit.micros(), off.final_credit.micros());
+
+  EXPECT_EQ(on.operating_cost.cpu_dollars, off.operating_cost.cpu_dollars);
+  EXPECT_EQ(on.operating_cost.network_dollars,
+            off.operating_cost.network_dollars);
+  EXPECT_EQ(on.operating_cost.disk_dollars,
+            off.operating_cost.disk_dollars);
+  EXPECT_EQ(on.operating_cost.io_dollars, off.operating_cost.io_dollars);
+
+  EXPECT_EQ(on.response_seconds.count(), off.response_seconds.count());
+  EXPECT_EQ(on.response_seconds.sum(), off.response_seconds.sum());
+  EXPECT_EQ(on.response_seconds.mean(), off.response_seconds.mean());
+  EXPECT_EQ(on.response_seconds.min(), off.response_seconds.min());
+  EXPECT_EQ(on.response_seconds.max(), off.response_seconds.max());
+
+  EXPECT_EQ(on.final_resident_bytes, off.final_resident_bytes);
+  EXPECT_EQ(on.final_extra_nodes, off.final_extra_nodes);
+
+  EXPECT_TRUE(ByteIdentical(on.cost_over_time.times(),
+                            off.cost_over_time.times()));
+  EXPECT_TRUE(ByteIdentical(on.cost_over_time.values(),
+                            off.cost_over_time.values()));
+  EXPECT_TRUE(ByteIdentical(on.credit_over_time.times(),
+                            off.credit_over_time.times()));
+  EXPECT_TRUE(ByteIdentical(on.credit_over_time.values(),
+                            off.credit_over_time.values()));
+}
+
+/// Runs `config` twice — plan cache on, then off — and compares.
+void RunPair(const Catalog& catalog,
+             const std::vector<QueryTemplate>& templates,
+             ExperimentConfig config) {
+  const auto base_customize = config.customize_econ;
+  auto with_cache = [base_customize](bool enable) {
+    return [base_customize, enable](EconScheme::Config& econ) {
+      if (base_customize) base_customize(econ);
+      econ.enumerator.enable_plan_cache = enable;
+    };
+  };
+
+  config.customize_econ = with_cache(true);
+  const SimMetrics on = RunExperiment(catalog, templates, config);
+  config.customize_econ = with_cache(false);
+  const SimMetrics off = RunExperiment(catalog, templates, config);
+  ExpectBitIdenticalMetrics(on, off);
+}
+
+class PlanCacheEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog(MakeTpchCatalog(100.0));
+    templates_ = new std::vector<QueryTemplate>(MakeTpchTemplates());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+    delete templates_;
+    templates_ = nullptr;
+  }
+
+  /// Active economy configuration (investments within the short run, as in
+  /// paper_properties_test) so the cache actually goes through epoch
+  /// invalidations, build latencies aside.
+  static ExperimentConfig ActiveConfig(SchemeKind scheme, double interval) {
+    ExperimentConfig config;
+    config.scheme = scheme;
+    config.workload.interarrival_seconds = interval;
+    config.workload.seed = 29;
+    config.seed = 30;
+    config.sim.num_queries = 1'500;
+    config.customize_econ = [](EconScheme::Config& econ) {
+      econ.economy.regret_fraction_a = 0.001;
+      econ.economy.conservative_provider = false;
+      econ.economy.initial_credit = Money::FromDollars(20);
+      econ.economy.model_build_latency = false;
+    };
+    return config;
+  }
+
+  static Catalog* catalog_;
+  static std::vector<QueryTemplate>* templates_;
+};
+
+Catalog* PlanCacheEquivalenceTest::catalog_ = nullptr;
+std::vector<QueryTemplate>* PlanCacheEquivalenceTest::templates_ = nullptr;
+
+TEST_F(PlanCacheEquivalenceTest, Fig4GridBitIdentical) {
+  for (double interval : PaperInterarrivals()) {
+    for (SchemeKind scheme : PaperSchemes()) {
+      if (scheme == SchemeKind::kBypassYield) continue;  // No enumerator.
+      SCOPED_TRACE(std::string(SchemeKindToString(scheme)) + " @ " +
+                   std::to_string(interval) + "s");
+      RunPair(*catalog_, *templates_, ActiveConfig(scheme, interval));
+    }
+  }
+}
+
+TEST_F(PlanCacheEquivalenceTest, AblationVariantBitIdentical) {
+  // One A2-style ablation point: short amortization horizon and a linear
+  // budget shape stress different plan-pricing paths than the defaults.
+  ExperimentConfig config = ActiveConfig(SchemeKind::kEconCheap, 10.0);
+  const auto base_customize = config.customize_econ;
+  config.customize_econ = [base_customize](EconScheme::Config& econ) {
+    base_customize(econ);
+    econ.economy.amortization_horizon = 2'000;
+    econ.budget.shape = BudgetModelOptions::Shape::kLinear;
+  };
+  RunPair(*catalog_, *templates_, config);
+}
+
+TEST_F(PlanCacheEquivalenceTest, BuildLatencyVariantBitIdentical) {
+  // With build latency modeled, structures activate between queries
+  // (epoch moves inside ActivatePending rather than at investment time) —
+  // a distinct invalidation schedule worth pinning.
+  ExperimentConfig config = ActiveConfig(SchemeKind::kEconFast, 1.0);
+  const auto base_customize = config.customize_econ;
+  config.customize_econ = [base_customize](EconScheme::Config& econ) {
+    base_customize(econ);
+    econ.economy.model_build_latency = true;
+  };
+  RunPair(*catalog_, *templates_, config);
+}
+
+}  // namespace
+}  // namespace cloudcache

@@ -250,5 +250,182 @@ TEST_F(EnumeratorTest, IndexesOnOtherTablesIgnored) {
   }
 }
 
+// --- Plan-skeleton cache -------------------------------------------------
+
+/// Full structural + priced equality of two plan sets, element by element.
+void ExpectSamePlanSet(const PlanSet& a, const PlanSet& b) {
+  ASSERT_EQ(a.plans.size(), b.plans.size());
+  for (size_t i = 0; i < a.plans.size(); ++i) {
+    const QueryPlan& pa = a.plans[i];
+    const QueryPlan& pb = b.plans[i];
+    EXPECT_EQ(pa.spec.access, pb.spec.access) << "plan " << i;
+    EXPECT_EQ(pa.spec.covered_predicates, pb.spec.covered_predicates);
+    EXPECT_EQ(pa.spec.covering, pb.spec.covering);
+    EXPECT_EQ(pa.spec.cpu_nodes, pb.spec.cpu_nodes);
+    EXPECT_EQ(pa.structures, pb.structures) << "plan " << i;
+    EXPECT_EQ(pa.missing, pb.missing) << "plan " << i;
+    EXPECT_EQ(pa.execution.cost.micros(), pb.execution.cost.micros());
+    EXPECT_EQ(pa.execution.time_seconds, pb.execution.time_seconds);
+    EXPECT_EQ(pa.carried_charges.micros(), pb.carried_charges.micros());
+  }
+}
+
+TEST_F(EnumeratorTest, PlanCacheHitServesIdenticalPlans) {
+  PlanEnumerator cached = MakeEnumerator();
+  EnumeratorOptions off;
+  off.enable_plan_cache = false;
+  PlanEnumerator reference = MakeEnumerator(off);
+
+  // Two instances of the same template with different selectivities.
+  const Query q1 = testing::MakeTinyQuery(catalog_, 0.01, 1);
+  const Query q2 = testing::MakeTinyQuery(catalog_, 0.2, 2);
+  const PlanSet first = cached.Enumerate(q1, cache_);
+  EXPECT_EQ(cached.plan_cache_misses(), 1u);
+  const PlanSet second = cached.Enumerate(q2, cache_);
+  EXPECT_EQ(cached.plan_cache_hits(), 1u);
+  EXPECT_EQ(cached.plan_cache_size(), 1u);
+
+  ExpectSamePlanSet(first, reference.Enumerate(q1, cache_));
+  ExpectSamePlanSet(second, reference.Enumerate(q2, cache_));
+  EXPECT_EQ(reference.plan_cache_hits(), 0u);
+  EXPECT_EQ(reference.plan_cache_size(), 0u);
+}
+
+TEST_F(EnumeratorTest, PlanCacheInvalidatedByResidencyEpoch) {
+  PlanEnumerator cached = MakeEnumerator();
+  EnumeratorOptions off;
+  off.enable_plan_cache = false;
+  PlanEnumerator reference = MakeEnumerator(off);
+
+  const Query q = testing::MakeTinyQuery(catalog_);
+  (void)cached.Enumerate(q, cache_);
+  // Residency moves: cached skeletons must be re-derived, and the fresh
+  // missing-sets must reflect the new epoch.
+  const ColumnId date = *catalog_.FindColumn("fact.f_date");
+  CLOUDCACHE_CHECK(
+      cache_.Add(registry_.Intern(ColumnKey(catalog_, date)), 0).ok());
+  const PlanSet after = cached.Enumerate(q, cache_);
+  EXPECT_EQ(cached.plan_cache_misses(), 2u);
+  EXPECT_EQ(cached.plan_cache_hits(), 0u);
+  ExpectSamePlanSet(after, reference.Enumerate(q, cache_));
+
+  // And removal invalidates again.
+  CLOUDCACHE_CHECK(
+      cache_.Remove(registry_.Intern(ColumnKey(catalog_, date))).ok());
+  ExpectSamePlanSet(cached.Enumerate(q, cache_),
+                    reference.Enumerate(q, cache_));
+  EXPECT_EQ(cached.plan_cache_misses(), 3u);
+}
+
+TEST_F(EnumeratorTest, PlanCacheInvalidatedByCandidateGeneration) {
+  PlanEnumerator cached = MakeEnumerator();
+  const Query q = testing::MakeTinyQuery(catalog_);
+  (void)cached.Enumerate(q, cache_);
+  const uint64_t generation = cached.candidate_generation();
+
+  // Re-registering candidates bumps the generation and re-derives.
+  const ColumnId date = *catalog_.FindColumn("fact.f_date");
+  cached.SetIndexCandidates({IndexKey(catalog_, {date})});
+  EXPECT_EQ(cached.candidate_generation(), generation + 1);
+  const PlanSet after = cached.Enumerate(q, cache_);
+  EXPECT_EQ(cached.plan_cache_misses(), 2u);
+
+  size_t index_plans = 0;
+  for (const QueryPlan& plan : after.plans) {
+    index_plans += plan.spec.access == PlanSpec::Access::kCacheIndex;
+  }
+  // Only the one remaining applicable candidate, at each node count.
+  EXPECT_EQ(index_plans, cached.options().node_options.size());
+}
+
+TEST_F(EnumeratorTest, DistinctCacheStatesWithEqualEpochsDoNotCollide) {
+  PlanEnumerator cached = MakeEnumerator();
+  EnumeratorOptions off;
+  off.enable_plan_cache = false;
+  PlanEnumerator reference = MakeEnumerator(off);
+  const Query q = testing::MakeTinyQuery(catalog_);
+
+  // Two caches at the same epoch with different residents: alternating
+  // them must miss (entries are keyed on cache identity), never serve the
+  // other cache's missing-sets.
+  CacheState other(&registry_);
+  const ColumnId date = *catalog_.FindColumn("fact.f_date");
+  const ColumnId value = *catalog_.FindColumn("fact.f_value");
+  CLOUDCACHE_CHECK(
+      cache_.Add(registry_.Intern(ColumnKey(catalog_, date)), 0).ok());
+  CLOUDCACHE_CHECK(
+      other.Add(registry_.Intern(ColumnKey(catalog_, value)), 0).ok());
+  ASSERT_EQ(cache_.epoch(), other.epoch());
+
+  (void)cached.Enumerate(q, cache_);
+  const PlanSet from_other = cached.Enumerate(q, other);
+  EXPECT_EQ(cached.plan_cache_misses(), 2u);
+  EXPECT_EQ(cached.plan_cache_hits(), 0u);
+  ExpectSamePlanSet(from_other, reference.Enumerate(q, other));
+}
+
+TEST_F(EnumeratorTest, AdHocQueriesBypassPlanCache) {
+  PlanEnumerator cached = MakeEnumerator();
+  Query q = testing::MakeTinyQuery(catalog_);
+  q.template_id = -1;
+  (void)cached.Enumerate(q, cache_);
+  (void)cached.Enumerate(q, cache_);
+  EXPECT_EQ(cached.plan_cache_size(), 0u);
+  EXPECT_EQ(cached.plan_cache_hits(), 0u);
+  EXPECT_EQ(cached.plan_cache_misses(), 0u);
+}
+
+TEST_F(EnumeratorTest, PlanCacheKillSwitchDisablesCaching) {
+  EnumeratorOptions options;
+  options.enable_plan_cache = false;
+  PlanEnumerator enumerator = MakeEnumerator(options);
+  const Query q = testing::MakeTinyQuery(catalog_);
+  (void)enumerator.Enumerate(q, cache_);
+  (void)enumerator.Enumerate(q, cache_);
+  EXPECT_EQ(enumerator.plan_cache_size(), 0u);
+  EXPECT_EQ(enumerator.plan_cache_hits(), 0u);
+}
+
+TEST_F(EnumeratorTest, SignatureMismatchFallsBackToRederivation) {
+  PlanEnumerator cached = MakeEnumerator();
+  EnumeratorOptions off;
+  off.enable_plan_cache = false;
+  PlanEnumerator reference = MakeEnumerator(off);
+
+  const Query q1 = testing::MakeTinyQuery(catalog_);
+  (void)cached.Enumerate(q1, cache_);
+
+  // Same template id, different shape (trace replay could do this): the
+  // signature check must reject the cached skeletons.
+  Query q2 = testing::MakeTinyQuery(catalog_);
+  q2.output_columns = {*catalog_.FindColumn("fact.f_key")};
+  DeriveResultShape(catalog_, 1.0, &q2);
+  const PlanSet got = cached.Enumerate(q2, cache_);
+  EXPECT_EQ(cached.plan_cache_misses(), 2u);
+  ExpectSamePlanSet(got, reference.Enumerate(q2, cache_));
+}
+
+TEST_F(EnumeratorTest, ReusedOutputBufferShrinksAndGrows) {
+  PlanEnumerator cached = MakeEnumerator();
+  EnumeratorOptions off;
+  off.enable_plan_cache = false;
+  PlanEnumerator reference = MakeEnumerator(off);
+
+  PlanSet reused;
+  const Query big = testing::MakeTinyQuery(catalog_);
+  Query small = testing::MakeTinyQuery(catalog_);
+  small.template_id = 1;
+  small.predicates.clear();  // No predicates: no index plans apply.
+  DeriveResultShape(catalog_, 1.0, &small);
+
+  cached.Enumerate(big, cache_, &reused);
+  ExpectSamePlanSet(reused, reference.Enumerate(big, cache_));
+  cached.Enumerate(small, cache_, &reused);  // Must shrink.
+  ExpectSamePlanSet(reused, reference.Enumerate(small, cache_));
+  cached.Enumerate(big, cache_, &reused);  // Must grow back, from cache.
+  ExpectSamePlanSet(reused, reference.Enumerate(big, cache_));
+  EXPECT_EQ(cached.plan_cache_hits(), 1u);
+}
+
 }  // namespace
 }  // namespace cloudcache

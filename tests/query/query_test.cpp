@@ -35,6 +35,26 @@ TEST(QueryTest, ScanBytesSumsAccessedColumns) {
   EXPECT_EQ(q.ScanBytes(catalog), 3u * 8'000'000);
 }
 
+TEST(QueryTest, AccessedColumnsMemoRevalidatesOnMutation) {
+  const Catalog catalog = testing::MakeTinyCatalog();
+  Query q = testing::MakeTinyQuery(catalog);
+  const std::vector<ColumnId> before = q.AccessedColumns();  // Primes memo.
+
+  // In-place swap that keeps every count identical: the memo must notice.
+  const ColumnId flag = *catalog.FindColumn("fact.f_flag");
+  ASSERT_NE(q.output_columns[0], flag);
+  q.output_columns[0] = flag;
+  const std::vector<ColumnId> after = q.AccessedColumns();
+  EXPECT_NE(before, after);
+  EXPECT_TRUE(std::find(after.begin(), after.end(), flag) != after.end());
+
+  // Growing the predicate list revalidates too.
+  Predicate extra;
+  extra.column = *catalog.FindColumn("fact.f_key");
+  q.predicates.push_back(extra);
+  EXPECT_EQ(q.AccessedColumns().size(), 4u);
+}
+
 TEST(QueryTest, DeriveResultShape) {
   const Catalog catalog = testing::MakeTinyCatalog();
   Query q = testing::MakeTinyQuery(catalog, 0.01);

@@ -45,6 +45,7 @@ struct Args {
   int64_t horizon = 50'000;
   double initial_credit = 200.0;
   bool build_latency = false;
+  bool plan_cache = true;
   bool sweep = false;     // Run the full scheme x interarrival grid.
   unsigned threads = 0;   // Sweep workers; 0 = hardware concurrency.
   std::string csv;        // Credit/cost timeline CSV.
@@ -71,6 +72,7 @@ void Usage(const char* argv0) {
       "  --horizon=N           n of Eq. 7                (50000)\n"
       "  --credit=DOLLARS      seed credit               (200)\n"
       "  --build-latency       model structure build latency\n"
+      "  --no-plan-cache       disable the plan-skeleton cache (A/B perf)\n"
       "  --sweep               run all 4 schemes x 4 paper intervals\n"
       "  --threads=N           sweep worker threads (0 = all cores)\n"
       "  --csv=PATH            write credit/cost timeline CSV\n"
@@ -104,6 +106,7 @@ std::optional<Args> Parse(int argc, char** argv) {
     else if (Flag(argv[i], "--horizon", &v)) args.horizon = std::stoll(v);
     else if (Flag(argv[i], "--credit", &v)) args.initial_credit = std::stod(v);
     else if (std::strcmp(argv[i], "--build-latency") == 0) args.build_latency = true;
+    else if (std::strcmp(argv[i], "--no-plan-cache") == 0) args.plan_cache = false;
     else if (std::strcmp(argv[i], "--sweep") == 0) args.sweep = true;
     else if (Flag(argv[i], "--threads", &v))
       args.threads =
@@ -177,6 +180,7 @@ int main(int argc, char** argv) {
     econ.economy.amortization_horizon = args.horizon;
     econ.economy.initial_credit = Money::FromDollars(args.initial_credit);
     econ.economy.model_build_latency = args.build_latency;
+    econ.enumerator.enable_plan_cache = args.plan_cache;
   };
 
   if (args.sweep) {
