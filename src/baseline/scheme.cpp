@@ -82,6 +82,14 @@ EconScheme::EconScheme(const Catalog* catalog,
   if (config_.enumerator.allow_indexes) {
     engine_->SetIndexCandidates(index_candidates);
   }
+  if (config_.tenants >= 1) {
+    tenant_rngs_.reserve(config_.tenants);
+    for (uint32_t t = 0; t < config_.tenants; ++t) {
+      tenant_rngs_.emplace_back(t == 0 ? config_.seed
+                                       : MixSeed(config_.seed, t));
+    }
+    engine_->SetTenantCount(config_.tenants);
+  }
 }
 
 ServedQuery EconScheme::OnQuery(const Query& query, SimTime now) {
@@ -90,8 +98,16 @@ ServedQuery EconScheme::OnQuery(const Query& query, SimTime now) {
   backend.access = PlanSpec::Access::kBackend;
   const ExecutionEstimate backend_est =
       model_.EstimateExecution(query, backend);
+  // Once tenants are provisioned, a query from an unprovisioned tenant is
+  // a wiring bug; serving it from another tenant's jitter stream would
+  // silently break the per-tenant purity the config documents.
+  if (!tenant_rngs_.empty()) {
+    CLOUDCACHE_CHECK_LT(query.tenant_id, tenant_rngs_.size());
+  }
+  Rng& budget_rng =
+      tenant_rngs_.empty() ? rng_ : tenant_rngs_[query.tenant_id];
   const std::unique_ptr<BudgetFunction> budget = budget_model_.Make(
-      backend_est.cost, backend_est.time_seconds, rng_);
+      backend_est.cost, backend_est.time_seconds, budget_rng);
 
   // Snapshot residency before the engine invests, so the reported build
   // usage reflects what actually had to be transferred. The snapshot

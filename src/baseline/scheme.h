@@ -96,6 +96,13 @@ class Scheme {
   /// Cloud credit CR, if the scheme runs an economy.
   virtual Money credit() const { return Money(); }
 
+  /// Regret the economy currently holds on behalf of `tenant` (zero for
+  /// schemes without an economy or without tenant attribution).
+  virtual Money TenantRegret(uint32_t tenant) const {
+    (void)tenant;
+    return Money();
+  }
+
   /// Books a metered infrastructure bill against the scheme's account (a
   /// no-op for schemes without an account).
   virtual void ChargeExpenditure(Money amount, SimTime now) {
@@ -125,6 +132,16 @@ class EconScheme : public Scheme {
     EconomyOptions economy;
     BudgetModelOptions budget;
     uint64_t seed = 7;
+    /// Tenant identities to provision. 0 (the default) is the paper's
+    /// single user on exactly the pre-tenancy code path. Any n >= 1
+    /// provisions n identities: per-tenant budget synthesizers (same
+    /// shape knobs, independent jitter streams seeded
+    /// MixSeed(seed, tenant); tenant 0 keeps `seed` itself, so its
+    /// stream IS the classic user's) and per-tenant regret attribution
+    /// in the engine. The multi-tenant simulation path provisions even a
+    /// single tenant, so its metrics slice carries real attribution;
+    /// once provisioned, every query's tenant_id must be in range.
+    uint32_t tenants = 0;
   };
 
   /// Presets matching the paper's variants.
@@ -140,6 +157,9 @@ class EconScheme : public Scheme {
   ServedQuery OnQuery(const Query& query, SimTime now) override;
   const CacheState& cache() const override { return engine_->cache(); }
   Money credit() const override { return engine_->account().credit(); }
+  Money TenantRegret(uint32_t tenant) const override {
+    return engine_->TenantRegretTotal(tenant);
+  }
   void ChargeExpenditure(Money amount, SimTime now) override;
 
   EconomyEngine& engine() { return *engine_; }
@@ -152,6 +172,11 @@ class EconScheme : public Scheme {
   std::unique_ptr<EconomyEngine> engine_;
   BudgetModel budget_model_;
   Rng rng_;
+  /// Per-tenant budget jitter streams (config_.tenants > 1 only): tenant
+  /// t's budgets are a pure function of MixSeed(config seed, t), so a
+  /// tenant's willingness to pay does not depend on how the other streams
+  /// interleave. Tenant 0 reuses `rng_`'s seed — the classic user.
+  std::vector<Rng> tenant_rngs_;
   /// Reused pre-query column-residency snapshot (build-usage metering).
   std::vector<bool> residency_scratch_;
 };

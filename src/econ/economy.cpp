@@ -57,6 +57,26 @@ void EconomyEngine::SetIndexCandidates(
   enumerator_.SetIndexCandidates(candidates);
 }
 
+void EconomyEngine::SetTenantCount(size_t n) {
+  tenant_regret_.assign(n, RegretLedger());
+  active_tenant_regret_ = nullptr;
+}
+
+const RegretLedger& EconomyEngine::tenant_regret(size_t t) const {
+  CLOUDCACHE_CHECK_LT(t, tenant_regret_.size());
+  return tenant_regret_[t];
+}
+
+Money EconomyEngine::TenantRegretTotal(size_t t) const {
+  if (t >= tenant_regret_.size()) return Money();
+  return tenant_regret_[t].Total();
+}
+
+void EconomyEngine::ClearRegretEverywhere(StructureId id) {
+  regret_.Clear(id);
+  for (RegretLedger& ledger : tenant_regret_) ledger.Clear(id);
+}
+
 void EconomyEngine::ActivatePending(SimTime now) {
   for (size_t i = 0; i < pending_.size();) {
     if (pending_[i].ready_at <= now) {
@@ -185,7 +205,14 @@ void EconomyEngine::AccumulateRegret(const PlanSet& set, size_t chosen_index,
         }
         break;
     }
-    if (!amount.IsZero()) regret_.Distribute(plan.structures, amount);
+    if (!amount.IsZero()) {
+      regret_.Distribute(plan.structures, amount);
+      // The same EvenShare split lands in the serving tenant's ledger, so
+      // tenant ledgers always partition the global one exactly.
+      if (active_tenant_regret_ != nullptr) {
+        active_tenant_regret_->Distribute(plan.structures, amount);
+      }
+    }
   }
 }
 
@@ -269,7 +296,7 @@ void EconomyEngine::MaybeInvest(SimTime now, QueryOutcome* outcome) {
       }
       maintenance_.Register(built_id, registry_->key(built_id),
                             ready_at, recorded_cost);
-      regret_.Clear(built_id);
+      ClearRegretEverywhere(built_id);
       pool_.Erase(built_id);
     }
     amortizer_.RegisterBuild(id, build_cost);
@@ -300,7 +327,7 @@ void EconomyEngine::EvictFailedStructures(SimTime now,
       CLOUDCACHE_CHECK(cache_.Remove(id).ok());
       maintenance_.Unregister(id, now);
       amortizer_.Cancel(id);
-      if (options_.clear_regret_on_failure) regret_.Clear(id);
+      if (options_.clear_regret_on_failure) ClearRegretEverywhere(id);
       if (outcome != nullptr) {
         outcome->evictions.push_back(id);
       } else {
@@ -337,7 +364,7 @@ Status EconomyEngine::ForceBuild(const StructureKey& key, SimTime now) {
                           built_id == id ? build_cost : Money());
   }
   amortizer_.RegisterBuild(id, build_cost);
-  regret_.Clear(id);
+  ClearRegretEverywhere(id);
   pool_.Erase(id);
   return Status::OK();
 }
@@ -346,6 +373,14 @@ QueryOutcome EconomyEngine::OnQuery(const Query& query,
                                     const BudgetFunction& budget,
                                     SimTime now) {
   QueryOutcome outcome;
+  if (tenant_regret_.empty()) {
+    active_tenant_regret_ = nullptr;
+  } else {
+    // With attribution on, silently dropping an out-of-range tenant's
+    // regret would break the ledgers-partition-the-global invariant.
+    CLOUDCACHE_CHECK_LT(query.tenant_id, tenant_regret_.size());
+    active_tenant_regret_ = &tenant_regret_[query.tenant_id];
+  }
   outcome.evictions = std::move(tick_evictions_);
   tick_evictions_.clear();
   ActivatePending(now);
@@ -366,7 +401,7 @@ QueryOutcome EconomyEngine::OnQuery(const Query& query,
   for (const QueryPlan& plan : set.plans) {
     for (StructureId id : plan.missing) {
       for (StructureId evicted : pool_.Touch(id, now)) {
-        regret_.Clear(evicted);
+        ClearRegretEverywhere(evicted);
       }
     }
   }

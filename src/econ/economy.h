@@ -129,6 +129,23 @@ class EconomyEngine {
   /// Registers the index advisor's candidate pool.
   void SetIndexCandidates(const std::vector<StructureKey>& candidates);
 
+  /// Enables per-tenant regret attribution for `n` tenants (0 disables).
+  ///
+  /// The global ledger keeps driving every pricing and investment decision
+  /// exactly as before — tenants share one cache, so Eq. 3 arbitrates
+  /// their combined regret — but each Eq. 1/2 contribution is additionally
+  /// booked to the ledger of the tenant whose query produced it, and every
+  /// structure whose global regret is forgotten (invested in, failed, or
+  /// aged out of the candidate pool) is forgotten in all tenant ledgers
+  /// too. By construction the tenant ledgers partition the global one.
+  void SetTenantCount(size_t n);
+  size_t tenant_count() const { return tenant_regret_.size(); }
+  /// Tenant `t`'s regret ledger; requires t < tenant_count().
+  const RegretLedger& tenant_regret(size_t t) const;
+  /// Sum of tenant `t`'s ledger (zero when attribution is off or `t` is
+  /// out of range — callers can ask unconditionally).
+  Money TenantRegretTotal(size_t t) const;
+
   /// Serves one query with the user's budget function attached.
   QueryOutcome OnQuery(const Query& query, const BudgetFunction& budget,
                        SimTime now);
@@ -181,6 +198,8 @@ class EconomyEngine {
   void EvictFailedStructures(SimTime now, QueryOutcome* outcome);
   /// Build-cost of `id` given current column residency.
   Money BuildCostNow(StructureId id) const;
+  /// Clears `id` from the global ledger and every tenant ledger.
+  void ClearRegretEverywhere(StructureId id);
   /// Executes `plan` bookkeeping: payments, touches, maintenance shares.
   void SettleExecution(const Query& query, const QueryPlan& plan,
                        Money payment, SimTime now, QueryOutcome* outcome);
@@ -195,6 +214,13 @@ class EconomyEngine {
   MaintenanceLedger maintenance_;
   CloudAccount account_;
   RegretLedger regret_;
+  /// Per-tenant attribution ledgers (empty unless SetTenantCount enabled
+  /// them); decisions read only the global ledger above.
+  std::vector<RegretLedger> tenant_regret_;
+  /// Ledger of the tenant whose query is currently being served (null
+  /// when attribution is off) — set at the top of OnQuery so
+  /// AccumulateRegret books contributions without re-deriving the tenant.
+  RegretLedger* active_tenant_regret_ = nullptr;
   Amortizer amortizer_;
   std::vector<PendingBuild> pending_;
   std::vector<bool> pending_flag_;  // Indexed by StructureId.

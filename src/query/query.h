@@ -57,6 +57,10 @@ struct Query {
   uint64_t result_bytes = 0;
   /// Arrival time in simulation seconds.
   SimTime arrival_time = 0;
+  /// Which query stream issued this query (multi-tenant simulation).
+  /// Single-stream runs leave the default: tenant 0 is the classic single
+  /// user of the paper's evaluation.
+  uint32_t tenant_id = 0;
 
   /// Product of predicate selectivities (independence assumption), the
   /// fraction of the table scanned output must consider.

@@ -11,14 +11,20 @@ namespace cloudcache {
 
 /// A timestamped simulation event. Kind is interpreted by the simulator;
 /// `payload` is an opaque 64-bit tag (query index, structure id, ...).
+/// `tie` is the first-level tie-break among events at the same timestamp —
+/// the multi-tenant simulator sets it to the tenant id, so concurrent
+/// arrivals are served in tenant order no matter when each tenant's event
+/// was pushed.
 struct SimEvent {
   SimTime time = 0;
   enum class Kind { kArrival, kMeterTick, kCustom } kind = Kind::kArrival;
   uint64_t payload = 0;
+  uint32_t tie = 0;
 };
 
-/// Deterministic min-heap event queue: ties on time break by insertion
-/// sequence, so two runs with the same schedule pop identically.
+/// Deterministic min-heap event queue: ties on time break by `tie`, then
+/// by insertion sequence, so two runs with the same schedule pop
+/// identically regardless of push order.
 class EventQueue {
  public:
   void Push(SimEvent event);
@@ -40,6 +46,7 @@ class EventQueue {
       if (event.time != other.event.time) {
         return event.time > other.event.time;
       }
+      if (event.tie != other.event.tie) return event.tie > other.event.tie;
       return seq > other.seq;
     }
   };

@@ -1,12 +1,39 @@
 #include "src/sim/experiment.h"
 
+#include <cmath>
 #include <utility>
 
 #include "src/sim/sweep.h"
 #include "src/structure/index_advisor.h"
 #include "src/util/logging.h"
+#include "src/util/rng.h"
 
 namespace cloudcache {
+
+WorkloadOptions TenantWorkloadOptions(const WorkloadOptions& base,
+                                      const TenancyOptions& tenancy,
+                                      uint32_t tenant) {
+  CLOUDCACHE_CHECK_GE(tenancy.tenants, 1u);
+  CLOUDCACHE_CHECK_LT(tenant, tenancy.tenants);
+  WorkloadOptions options = base;
+  options.tenant_id = tenant;
+  if (tenant > 0) options.seed = MixSeed(base.seed, tenant);
+  if (tenancy.rotate_template_mix) options.popularity_offset = tenant;
+
+  // Zipf traffic shares: w_t = (1/(t+1)^s) / sum. The shares split the
+  // base arrival rate, so the merged stream offers the same load as the
+  // single stream it replaces.
+  double normalizer = 0;
+  for (uint32_t u = 0; u < tenancy.tenants; ++u) {
+    normalizer += std::pow(static_cast<double>(u + 1),
+                           -tenancy.traffic_skew);
+  }
+  const double share = std::pow(static_cast<double>(tenant + 1),
+                                -tenancy.traffic_skew) /
+                       normalizer;
+  options.interarrival_seconds = base.interarrival_seconds / share;
+  return options;
+}
 
 SimMetrics RunExperiment(const Catalog& catalog,
                          const std::vector<QueryTemplate>& templates,
@@ -17,6 +44,9 @@ SimMetrics RunExperiment(const Catalog& catalog,
 
   const std::vector<StructureKey> indexes =
       RecommendIndexes(catalog, *resolved, config.index_candidates);
+
+  const bool multi_tenant =
+      config.tenancy.tenants > 1 || config.tenancy.force_event_path;
 
   std::unique_ptr<Scheme> scheme;
   if (config.scheme == SchemeKind::kBypassYield) {
@@ -38,12 +68,35 @@ SimMetrics RunExperiment(const Catalog& catalog,
     }
     econ_config.seed = config.seed;
     if (config.customize_econ) config.customize_econ(econ_config);
+    // Tenancy is the experiment's to decide, not the ablation hook's:
+    // the event-driven path provisions identities even for one tenant
+    // (so its metrics slice carries regret attribution); the classic
+    // path stays on the zero-overhead pre-tenancy configuration.
+    if (multi_tenant) econ_config.tenants = config.tenancy.tenants;
     scheme = std::make_unique<EconScheme>(&catalog, &config.decision_prices,
                                           indexes, std::move(econ_config));
   }
 
-  WorkloadGenerator workload(&catalog, *resolved, config.workload);
-  Simulator simulator(&catalog, scheme.get(), &workload, config.sim);
+  if (!multi_tenant) {
+    WorkloadGenerator workload(&catalog, *resolved, config.workload);
+    Simulator simulator(&catalog, scheme.get(), &workload, config.sim);
+    return simulator.Run();
+  }
+
+  // Multi-tenant: one generator per stream, merged by the event-driven
+  // simulator through the shared scheme.
+  std::vector<std::unique_ptr<WorkloadGenerator>> generators;
+  std::vector<WorkloadGenerator*> generator_ptrs;
+  generators.reserve(config.tenancy.tenants);
+  generator_ptrs.reserve(config.tenancy.tenants);
+  for (uint32_t t = 0; t < config.tenancy.tenants; ++t) {
+    generators.push_back(std::make_unique<WorkloadGenerator>(
+        &catalog, *resolved,
+        TenantWorkloadOptions(config.workload, config.tenancy, t)));
+    generator_ptrs.push_back(generators.back().get());
+  }
+  Simulator simulator(&catalog, scheme.get(), std::move(generator_ptrs),
+                      config.sim);
   return simulator.Run();
 }
 

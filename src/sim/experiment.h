@@ -14,10 +14,32 @@
 
 namespace cloudcache {
 
+/// Multi-tenant shape of an experiment: how many concurrent query streams
+/// share the scheme's one cache, and how the streams differ.
+struct TenancyOptions {
+  /// Concurrent tenants. 1 = the paper's single stream, on exactly the
+  /// pre-tenancy code path (unless force_event_path below).
+  uint32_t tenants = 1;
+  /// Zipf skew of per-tenant traffic shares (tenant 0 hottest; 0 = equal
+  /// split). The aggregate offered load is held at the base interarrival
+  /// rate and redistributed, so cross-tenant contention — not extra load —
+  /// is what changes with skew.
+  double traffic_skew = 0.0;
+  /// Rotate each tenant's template-popularity ranking by its id, giving
+  /// every tenant a distinct hot set from the same template pool.
+  bool rotate_template_mix = true;
+  /// Force the event-driven multi-tenant simulator even for tenants == 1.
+  /// The merged schedule of one stream is the single stream, so metrics
+  /// must be bit-identical either way — this knob exists so tests (and
+  /// bisections) can pin that equivalence.
+  bool force_event_path = false;
+};
+
 /// A full experiment: one scheme driven by one workload configuration.
 struct ExperimentConfig {
   SchemeKind scheme = SchemeKind::kEconCheap;
   WorkloadOptions workload;
+  TenancyOptions tenancy;
   SimulatorOptions sim;
   /// Decision prices for the economy schemes (bypass-yield always decides
   /// at network-only prices regardless).
@@ -31,8 +53,22 @@ struct ExperimentConfig {
   uint64_t seed = 7;
 };
 
+/// Derives tenant `t`'s workload options from the base stream and the
+/// tenancy shape: tenant 0 keeps the base seed (the classic stream),
+/// tenant t >= 1 draws seed MixSeed(base.seed, t); every tenant's
+/// interarrival is the base divided by its Zipf traffic share (so the
+/// shares sum to the base rate); the template mix rotates by tenant id
+/// when rotate_template_mix is set. Pure function of its arguments —
+/// per-tenant streams are bit-identical for any thread count or tenant
+/// evaluation order.
+WorkloadOptions TenantWorkloadOptions(const WorkloadOptions& base,
+                                      const TenancyOptions& tenancy,
+                                      uint32_t tenant);
+
 /// Runs one experiment end to end: resolve templates, recommend indexes,
-/// build the scheme, generate the workload, simulate, return metrics.
+/// build the scheme, generate the workload (per tenant when
+/// config.tenancy asks for more than one stream), simulate, return
+/// metrics.
 SimMetrics RunExperiment(const Catalog& catalog,
                          const std::vector<QueryTemplate>& templates,
                          const ExperimentConfig& config);

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/util/money.h"
 #include "src/util/stats.h"
@@ -26,6 +27,50 @@ struct ResourceBreakdown {
     disk_dollars += other.disk_dollars;
     io_dollars += other.io_dollars;
     return *this;
+  }
+};
+
+/// Per-tenant slice of a multi-tenant run: what one query stream consumed
+/// and paid. `operating_cost` covers execution and builds billed to this
+/// tenant's queries; shared-infrastructure rent (disk byte-seconds, node
+/// reservations) is metered only on the run-wide breakdown because no
+/// single tenant owns the shared cache, so summing these over tenants
+/// yields the run total minus rent.
+struct TenantMetrics {
+  uint32_t tenant_id = 0;
+
+  // --- Traffic mix.
+  uint64_t queries = 0;
+  uint64_t served = 0;
+  uint64_t served_in_cache = 0;
+  uint64_t served_in_backend = 0;
+  uint64_t wan_bytes = 0;
+
+  // --- Response time over this tenant's served queries.
+  RunningStats response_seconds;
+
+  // --- Execution + build dollars billed to this tenant's queries.
+  ResourceBreakdown operating_cost;
+
+  // --- Economic identity (economy schemes only).
+  Money revenue;
+  Money profit;
+  /// Regret the economy holds on this tenant's behalf at run end (the
+  /// tenant's unserved demand for faster/cheaper structures).
+  Money final_regret;
+  uint64_t case_a = 0;
+  uint64_t case_b = 0;
+  uint64_t case_c = 0;
+
+  // --- Adaptation the tenant's queries triggered.
+  uint64_t investments = 0;
+  uint64_t evictions = 0;
+
+  double MeanResponse() const { return response_seconds.mean(); }
+  double CacheHitRate() const {
+    return served == 0 ? 0.0
+                       : static_cast<double>(served_in_cache) /
+                             static_cast<double>(served);
   }
 };
 
@@ -68,6 +113,11 @@ struct SimMetrics {
   // --- Timelines (downsampled on report).
   TimeSeries cost_over_time;    // Cumulative operating dollars.
   TimeSeries credit_over_time;  // CR in dollars.
+
+  // --- Per-tenant slices. Sized to the tenant count on the multi-tenant
+  // simulation path (even for one tenant); empty on the classic
+  // single-stream path, whose aggregates above are the whole story.
+  std::vector<TenantMetrics> tenants;
 
   /// Mean response time in seconds (0 if nothing served).
   double MeanResponse() const { return response_seconds.mean(); }

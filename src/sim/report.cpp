@@ -77,6 +77,26 @@ TableWriter MakeResponseTimeTable(
       [](const SimMetrics& m) { return m.MeanResponse(); }, 3);
 }
 
+TableWriter MakeTenantTable(const SimMetrics& metrics) {
+  TableWriter table({"tenant", "queries", "served", "hit_rate",
+                     "mean_resp_s", "billed_$", "revenue_$", "profit_$",
+                     "regret_$"});
+  for (const TenantMetrics& t : metrics.tenants) {
+    CLOUDCACHE_CHECK(
+        table
+            .AddRow({std::to_string(t.tenant_id),
+                     std::to_string(t.queries), std::to_string(t.served),
+                     FormatDouble(t.CacheHitRate(), 3),
+                     FormatDouble(t.MeanResponse(), 3),
+                     FormatDouble(t.operating_cost.Total(), 2),
+                     FormatDouble(t.revenue.ToDollars(), 2),
+                     FormatDouble(t.profit.ToDollars(), 2),
+                     FormatDouble(t.final_regret.ToDollars(), 2)})
+            .ok());
+  }
+  return table;
+}
+
 TableWriter MakeSchemeSummaryTable(const std::vector<SimMetrics>& runs) {
   TableWriter table({"scheme", "mean_resp_s", "p95_resp_s", "op_cost_$",
                      "cpu_$", "net_$", "disk_$", "io_$", "hit_rate",

@@ -30,4 +30,9 @@ TableWriter MakeResponseTimeTable(
 /// Comparison summary over schemes at a single configuration.
 TableWriter MakeSchemeSummaryTable(const std::vector<SimMetrics>& runs);
 
+/// Per-tenant slice of one multi-tenant run: traffic, response, billed
+/// dollars, economy health, and the regret the shared economy holds per
+/// tenant. One row per entry of `metrics.tenants`.
+TableWriter MakeTenantTable(const SimMetrics& metrics);
+
 }  // namespace cloudcache

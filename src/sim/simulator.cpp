@@ -1,8 +1,50 @@
 #include "src/sim/simulator.h"
 
+#include <utility>
+
 #include "src/util/logging.h"
 
 namespace cloudcache {
+
+namespace {
+
+/// Books one served-query outcome into a counter block. SimMetrics and
+/// TenantMetrics intentionally share the names of every per-query
+/// counter, so the run-wide aggregates and a tenant slice stay in
+/// lockstep through this single accounting path (the quantile sketch is
+/// run-wide only and handled by the caller).
+template <typename Counters>
+void AccountOutcome(const ServedQuery& served, Counters* c) {
+  ++c->queries;
+  if (served.served) {
+    ++c->served;
+    c->response_seconds.Add(served.execution.time_seconds);
+    if (served.spec.access == PlanSpec::Access::kBackend) {
+      ++c->served_in_backend;
+    } else {
+      ++c->served_in_cache;
+    }
+    c->revenue += served.payment;
+    c->profit += served.profit;
+  }
+  c->investments += served.investments;
+  c->evictions += served.evictions;
+  if (served.has_budget_case) {
+    switch (served.budget_case) {
+      case BudgetCase::kCaseA:
+        ++c->case_a;
+        break;
+      case BudgetCase::kCaseB:
+        ++c->case_b;
+        break;
+      case BudgetCase::kCaseC:
+        ++c->case_c;
+        break;
+    }
+  }
+}
+
+}  // namespace
 
 Simulator::Simulator(const Catalog* catalog, Scheme* scheme,
                      WorkloadGenerator* workload, SimulatorOptions options)
@@ -11,6 +53,21 @@ Simulator::Simulator(const Catalog* catalog, Scheme* scheme,
       workload_(workload),
       options_(options),
       metered_model_(catalog, &options_.metered_prices) {}
+
+Simulator::Simulator(const Catalog* catalog, Scheme* scheme,
+                     std::vector<WorkloadGenerator*> workloads,
+                     SimulatorOptions options)
+    : catalog_(catalog),
+      scheme_(scheme),
+      workload_(nullptr),
+      tenant_workloads_(std::move(workloads)),
+      options_(options),
+      metered_model_(catalog, &options_.metered_prices) {
+  CLOUDCACHE_CHECK(!tenant_workloads_.empty());
+  for (WorkloadGenerator* generator : tenant_workloads_) {
+    CLOUDCACHE_CHECK(generator != nullptr);
+  }
+}
 
 void Simulator::MeterRent(SimTime now, SimMetrics* metrics) {
   const double dt = now - last_meter_time_;
@@ -40,7 +97,8 @@ void Simulator::MeterRent(SimTime now, SimMetrics* metrics) {
 }
 
 void Simulator::MeterQuery(const Query& query, const ServedQuery& served,
-                           SimTime now, SimMetrics* metrics) {
+                           SimTime now, SimMetrics* metrics,
+                           TenantMetrics* tenant) {
   const PriceList& p = options_.metered_prices;
   ResourceBreakdown bill;
   Money charged;
@@ -58,6 +116,7 @@ void Simulator::MeterQuery(const Query& query, const ServedQuery& served,
     charged += p.CpuCost(metered.cpu_seconds) + p.IoCost(metered.io_ops) +
                p.NetworkCost(metered.wan_bytes);
     metrics->wan_bytes += metered.wan_bytes;
+    if (tenant != nullptr) tenant->wan_bytes += metered.wan_bytes;
   }
 
   // Builds triggered by this query.
@@ -67,74 +126,113 @@ void Simulator::MeterQuery(const Query& query, const ServedQuery& served,
     bill.network_dollars += p.NetworkCost(usage.wan_bytes).ToDollars();
     bill.io_dollars += p.IoCost(usage.io_ops).ToDollars();
     metrics->wan_bytes += usage.wan_bytes;
+    if (tenant != nullptr) tenant->wan_bytes += usage.wan_bytes;
     // Build spending was already withdrawn from the scheme's account as an
     // investment (economy schemes), so it is not re-charged there; it is
     // still part of the metered operating cost.
   }
   metrics->operating_cost += bill;
+  if (tenant != nullptr) tenant->operating_cost += bill;
   if (!charged.IsZero()) scheme_->ChargeExpenditure(charged, now);
 }
 
+void Simulator::ProcessQuery(const Query& query, uint64_t i,
+                             SimMetrics* metrics, TenantMetrics* tenant) {
+  const SimTime now = query.arrival_time;
+
+  MeterRent(now, metrics);
+  const ServedQuery served = scheme_->OnQuery(query, now);
+  MeterQuery(query, served, now, metrics, tenant);
+
+  AccountOutcome(served, metrics);
+  if (served.served) {
+    metrics->response_sketch.Add(served.execution.time_seconds);
+  }
+  if (tenant != nullptr) AccountOutcome(served, tenant);
+
+  if (options_.timeline_stride != 0 &&
+      (i % options_.timeline_stride == 0 ||
+       i + 1 == options_.num_queries)) {
+    metrics->cost_over_time.Add(now, metrics->operating_cost.Total());
+    metrics->credit_over_time.Add(now, scheme_->credit().ToDollars());
+  }
+}
+
 SimMetrics Simulator::Run() {
+  return tenant_workloads_.empty() ? RunSingleStream() : RunMultiTenant();
+}
+
+SimMetrics Simulator::RunSingleStream() {
   SimMetrics metrics;
   metrics.scheme_name = scheme_->name();
   last_meter_time_ = workload_->PeekNextArrival();
 
   // Single-stream discipline: the paper serves queries one at a time in
   // arrival order, so the generator IS the schedule and the loop needs no
-  // event queue — queries are processed directly as they are drawn.
-  // EventQueue (src/sim/event_queue.h) stays in the library for future
-  // multi-stream work (overlapping builds, concurrent users); when that
-  // lands, arrivals and completions become queued events again.
+  // event queue — queries are processed directly as they are drawn. The
+  // multi-tenant path below is the queued generalization.
   for (uint64_t i = 0; i < options_.num_queries; ++i) {
-    Query query = workload_->Next();
-    const SimTime now = query.arrival_time;
-
-    MeterRent(now, &metrics);
-    const ServedQuery served = scheme_->OnQuery(query, now);
-    MeterQuery(query, served, now, &metrics);
-
-    ++metrics.queries;
-    if (served.served) {
-      ++metrics.served;
-      metrics.response_seconds.Add(served.execution.time_seconds);
-      metrics.response_sketch.Add(served.execution.time_seconds);
-      if (served.spec.access == PlanSpec::Access::kBackend) {
-        ++metrics.served_in_backend;
-      } else {
-        ++metrics.served_in_cache;
-      }
-      metrics.revenue += served.payment;
-      metrics.profit += served.profit;
-    }
-    metrics.investments += served.investments;
-    metrics.evictions += served.evictions;
-    if (served.has_budget_case) {
-      switch (served.budget_case) {
-        case BudgetCase::kCaseA:
-          ++metrics.case_a;
-          break;
-        case BudgetCase::kCaseB:
-          ++metrics.case_b;
-          break;
-        case BudgetCase::kCaseC:
-          ++metrics.case_c;
-          break;
-      }
-    }
-
-    if (options_.timeline_stride != 0 &&
-        (i % options_.timeline_stride == 0 ||
-         i + 1 == options_.num_queries)) {
-      metrics.cost_over_time.Add(now, metrics.operating_cost.Total());
-      metrics.credit_over_time.Add(now,
-                                   scheme_->credit().ToDollars());
-    }
+    const Query query = workload_->Next();
+    ProcessQuery(query, i, &metrics, nullptr);
   }
 
   metrics.final_credit = scheme_->credit();
   metrics.final_resident_bytes = scheme_->cache().resident_bytes();
   metrics.final_extra_nodes = scheme_->cache().extra_cpu_nodes();
+  return metrics;
+}
+
+SimMetrics Simulator::RunMultiTenant() {
+  SimMetrics metrics;
+  metrics.scheme_name = scheme_->name();
+  metrics.tenants.resize(tenant_workloads_.size());
+  for (size_t t = 0; t < metrics.tenants.size(); ++t) {
+    metrics.tenants[t].tenant_id = static_cast<uint32_t>(t);
+  }
+
+  // Seed the queue with every tenant's first arrival. From here on the
+  // queue always holds exactly one event per tenant — its next arrival —
+  // so a pop picks the globally earliest query, with equal timestamps
+  // resolved in tenant order by SimEvent::tie regardless of the order the
+  // events were pushed in. The merged schedule is therefore a pure
+  // function of the tenant generators, never of heap internals.
+  EventQueue queue;
+  for (size_t t = 0; t < tenant_workloads_.size(); ++t) {
+    SimEvent event;
+    event.time = tenant_workloads_[t]->PeekNextArrival();
+    event.kind = SimEvent::Kind::kArrival;
+    event.payload = t;
+    event.tie = static_cast<uint32_t>(t);
+    queue.Push(event);
+  }
+  last_meter_time_ = queue.Top().time;
+
+  for (uint64_t i = 0; i < options_.num_queries; ++i) {
+    const SimEvent event = queue.Pop();
+    const size_t t = static_cast<size_t>(event.payload);
+    WorkloadGenerator* generator = tenant_workloads_[t];
+    const Query query = generator->Next();
+    // The event was scheduled at the generator's peeked arrival; drawing
+    // the query must not move it.
+    CLOUDCACHE_CHECK(query.arrival_time == event.time);
+
+    SimEvent next;
+    next.time = generator->PeekNextArrival();
+    next.kind = SimEvent::Kind::kArrival;
+    next.payload = t;
+    next.tie = static_cast<uint32_t>(t);
+    queue.Push(next);
+
+    ProcessQuery(query, i, &metrics, &metrics.tenants[t]);
+  }
+
+  metrics.final_credit = scheme_->credit();
+  metrics.final_resident_bytes = scheme_->cache().resident_bytes();
+  metrics.final_extra_nodes = scheme_->cache().extra_cpu_nodes();
+  for (size_t t = 0; t < metrics.tenants.size(); ++t) {
+    metrics.tenants[t].final_regret =
+        scheme_->TenantRegret(static_cast<uint32_t>(t));
+  }
   return metrics;
 }
 

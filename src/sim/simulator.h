@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "src/baseline/scheme.h"
 #include "src/cost/cost_model.h"
 #include "src/cost/price_list.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/metrics.h"
 #include "src/workload/generator.h"
 
@@ -35,22 +37,50 @@ struct SimulatorOptions {
 /// evaluation.
 class Simulator {
  public:
+  /// Single-stream driver: the paper's evaluation loop. The generator IS
+  /// the schedule, so queries are processed directly as they are drawn.
   Simulator(const Catalog* catalog, Scheme* scheme,
             WorkloadGenerator* workload, SimulatorOptions options);
+
+  /// Multi-tenant driver: merges the independent query streams in
+  /// timestamp order through an EventQueue (ties break by tenant id, then
+  /// insertion order), so N tenants compete for the scheme's one cache
+  /// under the shared economy. `workloads[t]` is tenant t's generator (it
+  /// should carry WorkloadOptions::tenant_id = t); `options.num_queries`
+  /// counts the merged total across tenants. Works for any N >= 1 — with
+  /// one stream the merge degenerates to the single-stream schedule and
+  /// the metrics are bit-identical to the single-stream constructor's
+  /// (plus a one-entry `SimMetrics::tenants` slice).
+  Simulator(const Catalog* catalog, Scheme* scheme,
+            std::vector<WorkloadGenerator*> workloads,
+            SimulatorOptions options);
 
   /// Runs the configured number of queries and returns the metrics.
   SimMetrics Run();
 
  private:
+  SimMetrics RunSingleStream();
+  SimMetrics RunMultiTenant();
+  /// The per-query pipeline both paths share, in this exact order so the
+  /// paths stay bit-identical: meter rent up to `query.arrival_time`,
+  /// serve the query, meter its execution + builds, account the outcome
+  /// (into `tenant` too, when non-null), and sample the timelines at
+  /// stride boundaries of the merged index `i`.
+  void ProcessQuery(const Query& query, uint64_t i, SimMetrics* metrics,
+                    TenantMetrics* tenant);
   /// Integrates disk + node-reservation rent from last_meter_time_ to now.
+  /// Rent is shared-infrastructure spending (one cache, one node pool), so
+  /// it lands only on the run-wide breakdown, never on a tenant slice.
   void MeterRent(SimTime now, SimMetrics* metrics);
-  /// Prices one query's execution + builds into the breakdown.
+  /// Prices one query's execution + builds into the breakdown (and into
+  /// the serving tenant's slice, when `tenant` is non-null).
   void MeterQuery(const Query& query, const ServedQuery& served,
-                  SimTime now, SimMetrics* metrics);
+                  SimTime now, SimMetrics* metrics, TenantMetrics* tenant);
 
   const Catalog* catalog_;
   Scheme* scheme_;
-  WorkloadGenerator* workload_;
+  WorkloadGenerator* workload_;  // Single-stream mode (null in multi).
+  std::vector<WorkloadGenerator*> tenant_workloads_;  // Multi-tenant mode.
   SimulatorOptions options_;
   CostModel metered_model_;
   SimTime last_meter_time_ = 0;

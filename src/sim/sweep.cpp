@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/util/logging.h"
+#include "src/util/rng.h"
 #include "src/util/thread_pool.h"
 
 namespace cloudcache {
@@ -25,12 +26,7 @@ std::string CellLabel(const SweepSpec& spec, const SweepCell& cell) {
 }  // namespace
 
 uint64_t SweepCellSeed(uint64_t base_seed, uint64_t cell_index) {
-  // splitmix64 finalizer over the combined words; the golden-ratio stride
-  // separates cell 0 from the raw base seed.
-  uint64_t z = base_seed + (cell_index + 1) * 0x9e3779b97f4a7c15ull;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
+  return MixSeed(base_seed, cell_index);
 }
 
 std::vector<SweepCell> EnumerateSweepCells(const SweepSpec& spec) {

@@ -20,6 +20,13 @@ constexpr uint64_t Rotl(uint64_t x, int k) {
 
 }  // namespace
 
+uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  // splitmix64 finalizer over the combined words; the golden-ratio stride
+  // separates stream 0 from the raw base seed.
+  uint64_t state = seed + stream * 0x9e3779b97f4a7c15ull;
+  return SplitMix64(state);
+}
+
 Rng::Rng(uint64_t seed) : seed_(seed) {
   uint64_t sm = seed;
   for (auto& word : state_) word = SplitMix64(sm);

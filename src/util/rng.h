@@ -52,6 +52,14 @@ class Rng {
   uint64_t seed_;  // Retained for Fork().
 };
 
+/// splitmix64 mix of (seed, stream): deterministic, and far apart for
+/// adjacent streams so derived streams do not correlate. This is the seed
+/// discipline shared by the sweep engine (per-cell seeds) and the
+/// multi-tenant simulator (per-tenant seeds): derived seed = pure function
+/// of (base seed, index), so results are bit-identical regardless of
+/// thread count or evaluation order.
+uint64_t MixSeed(uint64_t seed, uint64_t stream);
+
 /// Zipf(N, s) sampler over ranks {0, .., n-1} using the Gray/Jakobsson
 /// rejection-inversion method; O(1) per sample after O(1) setup, exact for
 /// any skew s >= 0 (s = 0 degenerates to uniform).

@@ -20,8 +20,10 @@ size_t WorkloadGenerator::RankOf(size_t index, uint64_t phase) const {
   // The ranking rotates one position per phase: the template that was
   // hottest cools off and the next one heats up — a slow workload drift
   // that forces the cache to adapt (and, at long inter-arrival times, to
-  // evict structures it already paid for, per Section VII-B).
-  return (index + phase) % templates_.size();
+  // evict structures it already paid for, per Section VII-B). The static
+  // popularity_offset rotates the whole schedule so co-tenant streams run
+  // distinct mixes.
+  return (index + phase + options_.popularity_offset) % templates_.size();
 }
 
 size_t WorkloadGenerator::DrawTemplate() {
@@ -49,6 +51,7 @@ Query WorkloadGenerator::Next() {
                                  static_cast<int>(tmpl), next_id_,
                                  options_.selectivity_scale);
   query.arrival_time = next_arrival_;
+  query.tenant_id = options_.tenant_id;
 
   ++next_id_;
   switch (options_.arrival) {

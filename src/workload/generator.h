@@ -35,6 +35,13 @@ struct WorkloadOptions {
   double selectivity_scale = 1.0;
   /// PRNG seed; a run is a pure function of (options, templates, catalog).
   uint64_t seed = 42;
+  /// Stamped onto every generated query's `tenant_id` (multi-tenant
+  /// simulation; 0 = the classic single stream).
+  uint32_t tenant_id = 0;
+  /// Rotates the template-popularity ranking by this many positions, on
+  /// top of the drift rotation — gives each tenant of a multi-tenant run a
+  /// distinct template mix from the same template set. 0 = the base mix.
+  size_t popularity_offset = 0;
 };
 
 /// Deterministic query stream generator.

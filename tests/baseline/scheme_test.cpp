@@ -160,5 +160,110 @@ TEST_F(SchemeTest, EconColNeverUsesIndexesOrExtraNodes) {
       scheme.cache().ResidentsOfType(StructureType::kIndex).empty());
 }
 
+TEST_F(SchemeTest, TenantBudgetStreamsAreIndependentOfInterleaving) {
+  // With per-tenant budget streams, a tenant's k-th query draws the same
+  // budget jitter regardless of how the other tenants' queries interleave
+  // — serve tenant 1's queries with and without tenant 0 traffic mixed in
+  // and the payments for tenant 1 must match query for query.
+  EconScheme::Config config = EconScheme::EconCheapConfig();
+  config.tenants = 2;
+  config.seed = 11;
+  // Generous step budgets keep every query in case B, where the payment
+  // IS the drawn budget amount (backend quote x jittered multiplier) —
+  // a direct readout of the tenant's jitter stream that cache-state
+  // drift between the two runs cannot perturb.
+  config.budget.price_multiplier = 2.0;
+
+  auto payments_for_tenant1 = [&](bool interleave) {
+    EconScheme scheme(&catalog_, &prices_, indexes_, config);
+    std::vector<int64_t> payments;
+    double now = 0;
+    for (uint64_t i = 0; i < 20; ++i) {
+      if (interleave) {
+        Query noise = testing::MakeTinyQuery(catalog_, 0.01, 100 + i);
+        noise.tenant_id = 0;
+        scheme.OnQuery(noise, now);
+        now += 1.0;
+      }
+      Query q = testing::MakeTinyQuery(catalog_, 0.01, i);
+      q.tenant_id = 1;
+      payments.push_back(scheme.OnQuery(q, now).payment.micros());
+      now += 1.0;
+    }
+    return payments;
+  };
+  EXPECT_EQ(payments_for_tenant1(false), payments_for_tenant1(true));
+}
+
+TEST_F(SchemeTest, TenantZeroBudgetStreamMatchesClassicUser) {
+  // Tenant 0 of a multi-tenant scheme reuses the config seed, so a pure
+  // tenant-0 query sequence replays the classic single-user scheme
+  // exactly — budgets, plans, and payments.
+  EconScheme::Config classic = EconScheme::EconCheapConfig();
+  classic.seed = 11;
+  EconScheme::Config tenancy = classic;
+  tenancy.tenants = 2;
+
+  EconScheme a(&catalog_, &prices_, indexes_, classic);
+  EconScheme b(&catalog_, &prices_, indexes_, tenancy);
+  for (uint64_t i = 0; i < 20; ++i) {
+    const Query q = testing::MakeTinyQuery(catalog_, 0.01, i);
+    const ServedQuery sa = a.OnQuery(q, static_cast<double>(i));
+    const ServedQuery sb = b.OnQuery(q, static_cast<double>(i));
+    EXPECT_EQ(sa.payment.micros(), sb.payment.micros());
+    EXPECT_EQ(sa.profit.micros(), sb.profit.micros());
+  }
+}
+
+TEST_F(SchemeTest, ProvisionedSingleTenantMatchesClassicScheme) {
+  // tenants = 1 provisions identity machinery (tenant rng, attribution
+  // ledger) but must not change a single decision or payment vs the
+  // classic unprovisioned scheme: tenant 0's jitter stream is seeded with
+  // the config seed either way.
+  EconScheme::Config classic = EconScheme::EconCheapConfig();
+  classic.seed = 11;
+  EconScheme::Config provisioned = classic;
+  provisioned.tenants = 1;
+
+  EconScheme a(&catalog_, &prices_, indexes_, classic);
+  EconScheme b(&catalog_, &prices_, indexes_, provisioned);
+  for (uint64_t i = 0; i < 20; ++i) {
+    const Query q = testing::MakeTinyQuery(catalog_, 0.01, i);
+    const ServedQuery sa = a.OnQuery(q, static_cast<double>(i));
+    const ServedQuery sb = b.OnQuery(q, static_cast<double>(i));
+    EXPECT_EQ(sa.payment.micros(), sb.payment.micros());
+    EXPECT_EQ(sa.profit.micros(), sb.profit.micros());
+  }
+  // Attribution only exists on the provisioned scheme, and its sole
+  // tenant owns the whole ledger.
+  EXPECT_EQ(a.TenantRegret(0).micros(), 0);
+  EXPECT_EQ(b.TenantRegret(0).micros(),
+            b.engine().regret().Total().micros());
+}
+
+TEST_F(SchemeTest, TenantRegretExposedThroughSchemeInterface) {
+  EconScheme::Config config = EconScheme::EconCheapConfig();
+  config.tenants = 2;
+  config.economy.conservative_provider = false;
+  config.economy.initial_credit = Money::FromDollars(2);
+  config.economy.amortization_horizon = 100;
+  config.economy.regret_fraction_a = 0.001;
+  config.economy.model_build_latency = false;
+  EconScheme scheme(&catalog_, &prices_, indexes_, config);
+
+  for (uint64_t i = 0; i < 30; ++i) {
+    Query q = testing::MakeTinyQuery(catalog_, 0.2, i);
+    q.tenant_id = static_cast<uint32_t>(i % 2);
+    scheme.OnQuery(q, static_cast<double>(i) * 10.0);
+  }
+  const Money total = scheme.engine().regret().Total();
+  EXPECT_EQ((scheme.TenantRegret(0) + scheme.TenantRegret(1)).micros(),
+            total.micros());
+
+  // The base interface keeps non-economy schemes at zero.
+  BypassYieldScheme bypass(&catalog_, {});
+  EXPECT_EQ(bypass.TenantRegret(0).micros(), 0);
+}
+
 }  // namespace
 }  // namespace cloudcache

@@ -7,68 +7,14 @@
 
 #include <gtest/gtest.h>
 
-#include <cstring>
-
 #include "src/catalog/tpch.h"
 #include "src/sim/experiment.h"
+#include "tests/testing/metrics_equal.h"
 
 namespace cloudcache {
 namespace {
 
-bool ByteIdentical(const std::vector<double>& a,
-                   const std::vector<double>& b) {
-  return a.size() == b.size() &&
-         (a.empty() ||
-          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
-}
-
-/// Asserts every metric a run produces — counts, exact Money amounts,
-/// double-precision cost breakdowns, response-time statistics, and the
-/// full cost/credit timelines — is identical between two runs.
-void ExpectBitIdenticalMetrics(const SimMetrics& on, const SimMetrics& off) {
-  EXPECT_EQ(on.scheme_name, off.scheme_name);
-
-  EXPECT_EQ(on.queries, off.queries);
-  EXPECT_EQ(on.served, off.served);
-  EXPECT_EQ(on.served_in_cache, off.served_in_cache);
-  EXPECT_EQ(on.served_in_backend, off.served_in_backend);
-  EXPECT_EQ(on.wan_bytes, off.wan_bytes);
-
-  EXPECT_EQ(on.investments, off.investments);
-  EXPECT_EQ(on.evictions, off.evictions);
-  EXPECT_EQ(on.case_a, off.case_a);
-  EXPECT_EQ(on.case_b, off.case_b);
-  EXPECT_EQ(on.case_c, off.case_c);
-
-  EXPECT_EQ(on.revenue.micros(), off.revenue.micros());
-  EXPECT_EQ(on.profit.micros(), off.profit.micros());
-  EXPECT_EQ(on.final_credit.micros(), off.final_credit.micros());
-
-  EXPECT_EQ(on.operating_cost.cpu_dollars, off.operating_cost.cpu_dollars);
-  EXPECT_EQ(on.operating_cost.network_dollars,
-            off.operating_cost.network_dollars);
-  EXPECT_EQ(on.operating_cost.disk_dollars,
-            off.operating_cost.disk_dollars);
-  EXPECT_EQ(on.operating_cost.io_dollars, off.operating_cost.io_dollars);
-
-  EXPECT_EQ(on.response_seconds.count(), off.response_seconds.count());
-  EXPECT_EQ(on.response_seconds.sum(), off.response_seconds.sum());
-  EXPECT_EQ(on.response_seconds.mean(), off.response_seconds.mean());
-  EXPECT_EQ(on.response_seconds.min(), off.response_seconds.min());
-  EXPECT_EQ(on.response_seconds.max(), off.response_seconds.max());
-
-  EXPECT_EQ(on.final_resident_bytes, off.final_resident_bytes);
-  EXPECT_EQ(on.final_extra_nodes, off.final_extra_nodes);
-
-  EXPECT_TRUE(ByteIdentical(on.cost_over_time.times(),
-                            off.cost_over_time.times()));
-  EXPECT_TRUE(ByteIdentical(on.cost_over_time.values(),
-                            off.cost_over_time.values()));
-  EXPECT_TRUE(ByteIdentical(on.credit_over_time.times(),
-                            off.credit_over_time.times()));
-  EXPECT_TRUE(ByteIdentical(on.credit_over_time.values(),
-                            off.credit_over_time.values()));
-}
+using cloudcache::testing::ExpectBitIdenticalMetrics;
 
 /// Runs `config` twice — plan cache on, then off — and compares.
 void RunPair(const Catalog& catalog,

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 namespace cloudcache {
 namespace {
 
@@ -54,6 +58,77 @@ TEST(EventQueueTest, KindsPreserved) {
   EventQueue queue;
   queue.Push({1.0, SimEvent::Kind::kMeterTick, 0});
   EXPECT_EQ(queue.Pop().kind, SimEvent::Kind::kMeterTick);
+}
+
+TEST(EventQueueTest, TiesBreakByTieBeforeInsertionOrder) {
+  // Tenants 2, 1, 0 push arrivals for the same instant in reverse tenant
+  // order; pops must come back in tenant order, not push order.
+  EventQueue queue;
+  for (uint32_t tenant : {2u, 1u, 0u}) {
+    queue.Push({7.0, SimEvent::Kind::kArrival, tenant, tenant});
+  }
+  EXPECT_EQ(queue.Pop().tie, 0u);
+  EXPECT_EQ(queue.Pop().tie, 1u);
+  EXPECT_EQ(queue.Pop().tie, 2u);
+}
+
+TEST(EventQueueTest, EqualTiesStillBreakByInsertionOrder) {
+  EventQueue queue;
+  for (uint64_t i = 0; i < 8; ++i) {
+    queue.Push({3.0, SimEvent::Kind::kCustom, i, /*tie=*/5});
+  }
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(queue.Pop().payload, i);
+  }
+}
+
+TEST(EventQueueTest, TimeStillDominatesTie) {
+  EventQueue queue;
+  queue.Push({2.0, SimEvent::Kind::kArrival, 0, /*tie=*/0});
+  queue.Push({1.0, SimEvent::Kind::kArrival, 1, /*tie=*/9});
+  EXPECT_EQ(queue.Pop().payload, 1u);  // Earlier time wins despite tie 9.
+  EXPECT_EQ(queue.Pop().payload, 0u);
+}
+
+TEST(EventQueueTest, MergedTwoTenantStreamMatchesHandInterleavedReference) {
+  // Replay the multi-tenant simulator's discipline — the queue holds one
+  // event per tenant (its next arrival); each pop is followed by pushing
+  // that tenant's subsequent arrival — over two fixed schedules chosen to
+  // collide: tenant 0 arrives every 3s, tenant 1 every 2s, so they tie at
+  // t=6, t=12, ... The popped order must equal a hand-built stable merge
+  // of the union sorted by (time, tenant), no matter that the queue saw
+  // the events in data-dependent push order.
+  const double kStep[2] = {3.0, 2.0};
+  const size_t kPerTenant = 40;
+
+  std::vector<std::pair<double, uint32_t>> reference;
+  for (uint32_t tenant = 0; tenant < 2; ++tenant) {
+    for (size_t i = 0; i < kPerTenant; ++i) {
+      reference.push_back(
+          {static_cast<double>(i) * kStep[tenant], tenant});
+    }
+  }
+  std::sort(reference.begin(), reference.end());
+
+  EventQueue queue;
+  size_t produced[2] = {0, 0};
+  for (uint32_t tenant = 0; tenant < 2; ++tenant) {
+    queue.Push({0.0, SimEvent::Kind::kArrival, tenant, tenant});
+    produced[tenant] = 1;
+  }
+  std::vector<std::pair<double, uint32_t>> merged;
+  while (merged.size() < reference.size()) {
+    const SimEvent event = queue.Pop();
+    const auto tenant = static_cast<uint32_t>(event.payload);
+    merged.push_back({event.time, tenant});
+    if (produced[tenant] < kPerTenant) {
+      queue.Push({static_cast<double>(produced[tenant]) * kStep[tenant],
+                  SimEvent::Kind::kArrival, tenant, tenant});
+      ++produced[tenant];
+    }
+  }
+  EXPECT_EQ(merged, reference);
+  EXPECT_TRUE(queue.Empty());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/catalog/tpch.h"
+#include "src/util/rng.h"
 
 namespace cloudcache {
 namespace {
@@ -104,6 +105,71 @@ TEST_F(ExperimentTest, ExperimentSeedSeparatesFromWorkloadSeed) {
   // Same queries, different users: revenue differs, query count equal.
   EXPECT_EQ(ma.queries, mb.queries);
   EXPECT_NE(ma.revenue, mb.revenue);
+}
+
+TEST_F(ExperimentTest, TenantWorkloadOptionsFollowTheSeedDiscipline) {
+  WorkloadOptions base;
+  base.seed = 123;
+  base.interarrival_seconds = 10.0;
+  TenancyOptions tenancy;
+  tenancy.tenants = 4;
+
+  // Tenant 0 is the classic stream; tenants 1+ fork via MixSeed.
+  EXPECT_EQ(TenantWorkloadOptions(base, tenancy, 0).seed, base.seed);
+  for (uint32_t t = 1; t < 4; ++t) {
+    const WorkloadOptions options = TenantWorkloadOptions(base, tenancy, t);
+    EXPECT_EQ(options.seed, MixSeed(base.seed, t));
+    EXPECT_EQ(options.tenant_id, t);
+    EXPECT_EQ(options.popularity_offset, t);
+  }
+}
+
+TEST_F(ExperimentTest, TenantTrafficSharesPreserveAggregateLoad) {
+  WorkloadOptions base;
+  base.interarrival_seconds = 10.0;
+  for (double skew : {0.0, 1.0, 2.0}) {
+    TenancyOptions tenancy;
+    tenancy.tenants = 5;
+    tenancy.traffic_skew = skew;
+    double aggregate_rate = 0;
+    double previous_rate = 1e9;
+    for (uint32_t t = 0; t < 5; ++t) {
+      const double interarrival =
+          TenantWorkloadOptions(base, tenancy, t).interarrival_seconds;
+      ASSERT_GT(interarrival, 0.0);
+      const double rate = 1.0 / interarrival;
+      aggregate_rate += rate;
+      EXPECT_LE(rate, previous_rate);  // Tenant 0 is hottest.
+      previous_rate = rate;
+    }
+    EXPECT_NEAR(aggregate_rate, 1.0 / base.interarrival_seconds, 1e-12);
+  }
+  // Zero skew splits evenly; one tenant degenerates to the base stream.
+  TenancyOptions even;
+  even.tenants = 4;
+  EXPECT_DOUBLE_EQ(
+      TenantWorkloadOptions(base, even, 2).interarrival_seconds, 40.0);
+  TenancyOptions solo;
+  EXPECT_DOUBLE_EQ(
+      TenantWorkloadOptions(base, solo, 0).interarrival_seconds, 10.0);
+}
+
+TEST_F(ExperimentTest, MultiTenantExperimentEndToEnd) {
+  ExperimentConfig config = SmallConfig(SchemeKind::kEconCheap);
+  config.tenancy.tenants = 3;
+  config.tenancy.traffic_skew = 1.0;
+  const SimMetrics metrics = RunExperiment(*catalog_, *templates_, config);
+  EXPECT_EQ(metrics.queries, 300u);
+  ASSERT_EQ(metrics.tenants.size(), 3u);
+  uint64_t sum = 0;
+  for (const TenantMetrics& tenant : metrics.tenants) {
+    EXPECT_GT(tenant.queries, 0u);
+    sum += tenant.queries;
+  }
+  EXPECT_EQ(sum, metrics.queries);
+  // Zipf shares with skew 1: tenant 0 gets the largest slice.
+  EXPECT_GT(metrics.tenants[0].queries, metrics.tenants[1].queries);
+  EXPECT_GT(metrics.tenants[1].queries, metrics.tenants[2].queries);
 }
 
 }  // namespace

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/sim/metrics.h"
+
+namespace cloudcache::testing {
+
+inline bool ByteIdenticalSeries(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+/// Asserts every aggregate metric a run produces — counts, exact Money
+/// amounts, double-precision cost breakdowns, response-time statistics,
+/// and the full cost/credit timelines — is identical between two runs.
+/// The per-tenant slices are compared separately (see
+/// ExpectBitIdenticalTenants) because only the multi-tenant simulation
+/// path fills them: a single-stream run and its forced-event twin must
+/// agree on every aggregate even though one of them carries a slice.
+inline void ExpectBitIdenticalMetrics(const SimMetrics& a,
+                                      const SimMetrics& b) {
+  EXPECT_EQ(a.scheme_name, b.scheme_name);
+
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.served_in_cache, b.served_in_cache);
+  EXPECT_EQ(a.served_in_backend, b.served_in_backend);
+  EXPECT_EQ(a.wan_bytes, b.wan_bytes);
+
+  EXPECT_EQ(a.investments, b.investments);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.case_a, b.case_a);
+  EXPECT_EQ(a.case_b, b.case_b);
+  EXPECT_EQ(a.case_c, b.case_c);
+
+  EXPECT_EQ(a.revenue.micros(), b.revenue.micros());
+  EXPECT_EQ(a.profit.micros(), b.profit.micros());
+  EXPECT_EQ(a.final_credit.micros(), b.final_credit.micros());
+
+  EXPECT_EQ(a.operating_cost.cpu_dollars, b.operating_cost.cpu_dollars);
+  EXPECT_EQ(a.operating_cost.network_dollars,
+            b.operating_cost.network_dollars);
+  EXPECT_EQ(a.operating_cost.disk_dollars, b.operating_cost.disk_dollars);
+  EXPECT_EQ(a.operating_cost.io_dollars, b.operating_cost.io_dollars);
+
+  EXPECT_EQ(a.response_seconds.count(), b.response_seconds.count());
+  EXPECT_EQ(a.response_seconds.sum(), b.response_seconds.sum());
+  EXPECT_EQ(a.response_seconds.mean(), b.response_seconds.mean());
+  EXPECT_EQ(a.response_seconds.min(), b.response_seconds.min());
+  EXPECT_EQ(a.response_seconds.max(), b.response_seconds.max());
+
+  EXPECT_EQ(a.final_resident_bytes, b.final_resident_bytes);
+  EXPECT_EQ(a.final_extra_nodes, b.final_extra_nodes);
+
+  EXPECT_TRUE(
+      ByteIdenticalSeries(a.cost_over_time.times(), b.cost_over_time.times()));
+  EXPECT_TRUE(ByteIdenticalSeries(a.cost_over_time.values(),
+                                  b.cost_over_time.values()));
+  EXPECT_TRUE(ByteIdenticalSeries(a.credit_over_time.times(),
+                                  b.credit_over_time.times()));
+  EXPECT_TRUE(ByteIdenticalSeries(a.credit_over_time.values(),
+                                  b.credit_over_time.values()));
+}
+
+/// Asserts the per-tenant slices of two multi-tenant runs are identical,
+/// field by field, to the last micro-dollar and double bit.
+inline void ExpectBitIdenticalTenants(const SimMetrics& a,
+                                      const SimMetrics& b) {
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  for (size_t t = 0; t < a.tenants.size(); ++t) {
+    const TenantMetrics& ta = a.tenants[t];
+    const TenantMetrics& tb = b.tenants[t];
+    EXPECT_EQ(ta.tenant_id, tb.tenant_id);
+    EXPECT_EQ(ta.queries, tb.queries);
+    EXPECT_EQ(ta.served, tb.served);
+    EXPECT_EQ(ta.served_in_cache, tb.served_in_cache);
+    EXPECT_EQ(ta.served_in_backend, tb.served_in_backend);
+    EXPECT_EQ(ta.wan_bytes, tb.wan_bytes);
+    EXPECT_EQ(ta.response_seconds.count(), tb.response_seconds.count());
+    EXPECT_EQ(ta.response_seconds.sum(), tb.response_seconds.sum());
+    EXPECT_EQ(ta.operating_cost.cpu_dollars, tb.operating_cost.cpu_dollars);
+    EXPECT_EQ(ta.operating_cost.network_dollars,
+              tb.operating_cost.network_dollars);
+    EXPECT_EQ(ta.operating_cost.disk_dollars,
+              tb.operating_cost.disk_dollars);
+    EXPECT_EQ(ta.operating_cost.io_dollars, tb.operating_cost.io_dollars);
+    EXPECT_EQ(ta.revenue.micros(), tb.revenue.micros());
+    EXPECT_EQ(ta.profit.micros(), tb.profit.micros());
+    EXPECT_EQ(ta.final_regret.micros(), tb.final_regret.micros());
+    EXPECT_EQ(ta.case_a, tb.case_a);
+    EXPECT_EQ(ta.case_b, tb.case_b);
+    EXPECT_EQ(ta.case_c, tb.case_c);
+    EXPECT_EQ(ta.investments, tb.investments);
+    EXPECT_EQ(ta.evictions, tb.evictions);
+  }
+}
+
+}  // namespace cloudcache::testing

@@ -178,5 +178,41 @@ TEST_F(GeneratorTest, PeekMatchesNextArrival) {
   EXPECT_DOUBLE_EQ(gen.PeekNextArrival(), 7.0);
 }
 
+TEST_F(GeneratorTest, TenantIdStampedOnEveryQuery) {
+  WorkloadOptions options;
+  options.tenant_id = 3;
+  WorkloadGenerator gen(&catalog_, templates_, options);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(gen.Next().tenant_id, 3u);
+  }
+  EXPECT_EQ(WorkloadGenerator(&catalog_, templates_, {}).Next().tenant_id,
+            0u);
+}
+
+TEST_F(GeneratorTest, PopularityOffsetRotatesTheHotTemplate) {
+  // Two tenants with the same seed but offsets 0 and 1 must disagree on
+  // the hottest template (the mix rotated by one) while drawing the same
+  // arrival schedule.
+  auto hottest_with_offset = [&](size_t offset) {
+    WorkloadOptions options;
+    options.popularity_skew = 2.0;
+    options.repeat_probability = 0.0;
+    options.drift_period = 0;
+    options.popularity_offset = offset;
+    WorkloadGenerator gen(&catalog_, templates_, options);
+    std::map<int, int> counts;
+    for (int i = 0; i < 5'000; ++i) ++counts[gen.Next().template_id];
+    int best = 0, best_count = -1;
+    for (const auto& [tmpl, count] : counts) {
+      if (count > best_count) {
+        best = tmpl;
+        best_count = count;
+      }
+    }
+    return best;
+  };
+  EXPECT_NE(hottest_with_offset(0), hottest_with_offset(1));
+}
+
 }  // namespace
 }  // namespace cloudcache

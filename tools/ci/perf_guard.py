@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Perf-regression guard over the hot-path throughput snapshot.
+
+Compares freshly produced BENCH_hotpath.json snapshots against the
+committed baseline and fails (exit 1) when any scheme's aggregate_qps
+dropped by more than --max-drop at equal settings. Settings (queries per
+cell, scale, seed, plan-cache flag) must match between the files —
+comparing runs of different shapes would be noise, so a mismatch is its
+own error (exit 2) telling the committer to regenerate the baseline.
+
+--fresh accepts several snapshots; each scheme is judged on its best
+(maximum) qps across them. Smoke cells run in milliseconds, so a single
+scheduler hiccup on a shared CI runner can dwarf the threshold — a real
+regression slows every repetition, noise rarely does.
+
+Usage:
+  perf_guard.py --baseline BENCH_hotpath_smoke.json \
+                --fresh BENCH_fresh_*.json [--max-drop 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+SETTINGS_KEYS = ("bench", "queries_per_cell", "scale_tb", "seed",
+                 "plan_cache")
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"perf_guard: cannot read {path}: {error}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed snapshot to compare against")
+    parser.add_argument("--fresh", required=True, nargs="+",
+                        help="snapshot(s) produced by this run; schemes "
+                             "are judged on their best qps across them")
+    parser.add_argument("--max-drop", type=float, default=0.15,
+                        help="maximum tolerated fractional qps drop "
+                             "per scheme (default 0.15)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    freshes = [(path, load(path)) for path in args.fresh]
+
+    for path, fresh in freshes:
+        mismatched = [key for key in SETTINGS_KEYS
+                      if baseline.get(key) != fresh.get(key)]
+        if mismatched:
+            for key in mismatched:
+                print(f"perf_guard: setting '{key}' differs: baseline="
+                      f"{baseline.get(key)!r} {path}={fresh.get(key)!r}")
+            print("perf_guard: settings mismatch — regenerate the "
+                  "committed baseline with the same bench flags before "
+                  "comparing")
+            return 2
+
+    base_qps = baseline.get("aggregate_qps", {})
+    fresh_qps = {}
+    for _, fresh in freshes:
+        for scheme, qps in fresh.get("aggregate_qps", {}).items():
+            fresh_qps[scheme] = max(qps, fresh_qps.get(scheme, 0.0))
+    if not base_qps:
+        sys.exit(f"perf_guard: {args.baseline} has no aggregate_qps")
+
+    failures = []
+    for scheme, base in sorted(base_qps.items()):
+        current = fresh_qps.get(scheme)
+        if current is None:
+            failures.append(f"{scheme}: missing from fresh run(s)")
+            continue
+        if base <= 0:
+            continue
+        drop = (base - current) / base
+        status = "FAIL" if drop > args.max_drop else "ok"
+        print(f"perf_guard: {scheme:12s} baseline {base:12.1f} q/s  "
+              f"fresh {current:12.1f} q/s  drop {drop:+7.1%}  [{status}]")
+        if drop > args.max_drop:
+            failures.append(
+                f"{scheme}: {base:.1f} -> {current:.1f} q/s "
+                f"({drop:+.1%} exceeds -{args.max_drop:.0%})")
+
+    if failures:
+        print("perf_guard: throughput regression detected:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"perf_guard: all {len(base_qps)} schemes within "
+          f"{args.max_drop:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

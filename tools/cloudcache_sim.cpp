@@ -10,6 +10,7 @@
 //   cloudcache_sim --scheme=bypass --scale-tb=1.0 --arrival=poisson
 //   cloudcache_sim --scheme=econ-fast --catalog=sdss --csv=credit.csv
 //   cloudcache_sim --sweep --queries=40000 --threads=8   (Fig. 4/5 grid)
+//   cloudcache_sim --tenants=4 --tenant-skew=1.0   (multi-tenant economy)
 //   cloudcache_sim --trace-out=stream.csv --queries=50000   (record only)
 
 #include <cstdio>
@@ -46,6 +47,8 @@ struct Args {
   double initial_credit = 200.0;
   bool build_latency = false;
   bool plan_cache = true;
+  uint32_t tenants = 1;      // Concurrent query streams.
+  double tenant_skew = 0.0;  // Zipf skew of per-tenant traffic shares.
   bool sweep = false;     // Run the full scheme x interarrival grid.
   unsigned threads = 0;   // Sweep workers; 0 = hardware concurrency.
   std::string csv;        // Credit/cost timeline CSV.
@@ -73,6 +76,9 @@ void Usage(const char* argv0) {
       "  --credit=DOLLARS      seed credit               (200)\n"
       "  --build-latency       model structure build latency\n"
       "  --no-plan-cache       disable the plan-skeleton cache (A/B perf)\n"
+      "  --tenants=N           concurrent query streams sharing the cache\n"
+      "                        (1; >1 merges streams event-driven)\n"
+      "  --tenant-skew=X       Zipf skew of per-tenant traffic shares (0)\n"
       "  --sweep               run all 4 schemes x 4 paper intervals\n"
       "  --threads=N           sweep worker threads (0 = all cores)\n"
       "  --csv=PATH            write credit/cost timeline CSV\n"
@@ -107,6 +113,10 @@ std::optional<Args> Parse(int argc, char** argv) {
     else if (Flag(argv[i], "--credit", &v)) args.initial_credit = std::stod(v);
     else if (std::strcmp(argv[i], "--build-latency") == 0) args.build_latency = true;
     else if (std::strcmp(argv[i], "--no-plan-cache") == 0) args.plan_cache = false;
+    else if (Flag(argv[i], "--tenants", &v))
+      args.tenants =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    else if (Flag(argv[i], "--tenant-skew", &v)) args.tenant_skew = std::stod(v);
     else if (std::strcmp(argv[i], "--sweep") == 0) args.sweep = true;
     else if (Flag(argv[i], "--threads", &v))
       args.threads =
@@ -151,6 +161,12 @@ int main(int argc, char** argv) {
                                 ? WorkloadOptions::Arrival::kPoisson
                                 : WorkloadOptions::Arrival::kFixed;
   config.sim.num_queries = args.queries;
+  if (args.tenants == 0) {
+    std::fprintf(stderr, "--tenants must be >= 1\n");
+    return 2;
+  }
+  config.tenancy.tenants = args.tenants;
+  config.tenancy.traffic_skew = args.tenant_skew;
 
   if (!args.trace_out.empty()) {
     Result<std::vector<ResolvedTemplate>> resolved =
@@ -239,6 +255,11 @@ int main(int argc, char** argv) {
       RunSweep(catalog, templates, spec, /*n_threads=*/1);
   const SimMetrics metrics = std::move(results[0].metrics);
   std::fputs(FormatRunDetail(metrics).c_str(), stdout);
+  if (metrics.tenants.size() > 1) {
+    std::printf("\nPer-tenant breakdown (%zu tenants, traffic skew %g)\n",
+                metrics.tenants.size(), args.tenant_skew);
+    std::fputs(MakeTenantTable(metrics).ToAscii().c_str(), stdout);
+  }
 
   if (!args.csv.empty()) {
     TableWriter timeline({"time_s", "cumulative_cost_$", "credit_$"});
