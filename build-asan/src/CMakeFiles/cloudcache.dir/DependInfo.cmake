@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/bypass_yield.cpp" "src/CMakeFiles/cloudcache.dir/baseline/bypass_yield.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/baseline/bypass_yield.cpp.o.d"
+  "/root/repo/src/baseline/scheme.cpp" "src/CMakeFiles/cloudcache.dir/baseline/scheme.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/baseline/scheme.cpp.o.d"
+  "/root/repo/src/cache/cache_state.cpp" "src/CMakeFiles/cloudcache.dir/cache/cache_state.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/cache/cache_state.cpp.o.d"
+  "/root/repo/src/cache/candidate_pool.cpp" "src/CMakeFiles/cloudcache.dir/cache/candidate_pool.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/cache/candidate_pool.cpp.o.d"
+  "/root/repo/src/cache/maintenance.cpp" "src/CMakeFiles/cloudcache.dir/cache/maintenance.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/cache/maintenance.cpp.o.d"
+  "/root/repo/src/catalog/schema.cpp" "src/CMakeFiles/cloudcache.dir/catalog/schema.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/catalog/schema.cpp.o.d"
+  "/root/repo/src/catalog/sdss.cpp" "src/CMakeFiles/cloudcache.dir/catalog/sdss.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/catalog/sdss.cpp.o.d"
+  "/root/repo/src/catalog/tpch.cpp" "src/CMakeFiles/cloudcache.dir/catalog/tpch.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/catalog/tpch.cpp.o.d"
+  "/root/repo/src/cost/cost_model.cpp" "src/CMakeFiles/cloudcache.dir/cost/cost_model.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/cost/cost_model.cpp.o.d"
+  "/root/repo/src/cost/price_list.cpp" "src/CMakeFiles/cloudcache.dir/cost/price_list.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/cost/price_list.cpp.o.d"
+  "/root/repo/src/econ/account.cpp" "src/CMakeFiles/cloudcache.dir/econ/account.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/econ/account.cpp.o.d"
+  "/root/repo/src/econ/amortizer.cpp" "src/CMakeFiles/cloudcache.dir/econ/amortizer.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/econ/amortizer.cpp.o.d"
+  "/root/repo/src/econ/budget.cpp" "src/CMakeFiles/cloudcache.dir/econ/budget.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/econ/budget.cpp.o.d"
+  "/root/repo/src/econ/economy.cpp" "src/CMakeFiles/cloudcache.dir/econ/economy.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/econ/economy.cpp.o.d"
+  "/root/repo/src/econ/regret.cpp" "src/CMakeFiles/cloudcache.dir/econ/regret.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/econ/regret.cpp.o.d"
+  "/root/repo/src/plan/enumerator.cpp" "src/CMakeFiles/cloudcache.dir/plan/enumerator.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/plan/enumerator.cpp.o.d"
+  "/root/repo/src/plan/plan.cpp" "src/CMakeFiles/cloudcache.dir/plan/plan.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/plan/plan.cpp.o.d"
+  "/root/repo/src/plan/skyline.cpp" "src/CMakeFiles/cloudcache.dir/plan/skyline.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/plan/skyline.cpp.o.d"
+  "/root/repo/src/query/query.cpp" "src/CMakeFiles/cloudcache.dir/query/query.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/query/query.cpp.o.d"
+  "/root/repo/src/query/templates.cpp" "src/CMakeFiles/cloudcache.dir/query/templates.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/query/templates.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/cloudcache.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/cloudcache.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/CMakeFiles/cloudcache.dir/sim/report.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/sim/report.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/cloudcache.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/CMakeFiles/cloudcache.dir/sim/sweep.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/sim/sweep.cpp.o.d"
+  "/root/repo/src/structure/index_advisor.cpp" "src/CMakeFiles/cloudcache.dir/structure/index_advisor.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/structure/index_advisor.cpp.o.d"
+  "/root/repo/src/structure/structure.cpp" "src/CMakeFiles/cloudcache.dir/structure/structure.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/structure/structure.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/cloudcache.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/money.cpp" "src/CMakeFiles/cloudcache.dir/util/money.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/util/money.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/cloudcache.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/cloudcache.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "src/CMakeFiles/cloudcache.dir/util/status.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/util/status.cpp.o.d"
+  "/root/repo/src/util/table_writer.cpp" "src/CMakeFiles/cloudcache.dir/util/table_writer.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/util/table_writer.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/cloudcache.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/util/thread_pool.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/cloudcache.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/cloudcache.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/cloudcache.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

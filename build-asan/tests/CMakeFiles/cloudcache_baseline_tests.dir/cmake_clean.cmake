@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudcache_baseline_tests.dir/baseline/bypass_yield_test.cpp.o"
+  "CMakeFiles/cloudcache_baseline_tests.dir/baseline/bypass_yield_test.cpp.o.d"
+  "CMakeFiles/cloudcache_baseline_tests.dir/baseline/scheme_test.cpp.o"
+  "CMakeFiles/cloudcache_baseline_tests.dir/baseline/scheme_test.cpp.o.d"
+  "cloudcache_baseline_tests"
+  "cloudcache_baseline_tests.pdb"
+  "cloudcache_baseline_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudcache_baseline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudcache_cache_tests.dir/cache/cache_state_test.cpp.o"
+  "CMakeFiles/cloudcache_cache_tests.dir/cache/cache_state_test.cpp.o.d"
+  "CMakeFiles/cloudcache_cache_tests.dir/cache/candidate_pool_test.cpp.o"
+  "CMakeFiles/cloudcache_cache_tests.dir/cache/candidate_pool_test.cpp.o.d"
+  "CMakeFiles/cloudcache_cache_tests.dir/cache/maintenance_test.cpp.o"
+  "CMakeFiles/cloudcache_cache_tests.dir/cache/maintenance_test.cpp.o.d"
+  "cloudcache_cache_tests"
+  "cloudcache_cache_tests.pdb"
+  "cloudcache_cache_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudcache_cache_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

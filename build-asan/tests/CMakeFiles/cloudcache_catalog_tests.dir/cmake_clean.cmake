@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudcache_catalog_tests.dir/catalog/schema_test.cpp.o"
+  "CMakeFiles/cloudcache_catalog_tests.dir/catalog/schema_test.cpp.o.d"
+  "CMakeFiles/cloudcache_catalog_tests.dir/catalog/tpch_test.cpp.o"
+  "CMakeFiles/cloudcache_catalog_tests.dir/catalog/tpch_test.cpp.o.d"
+  "cloudcache_catalog_tests"
+  "cloudcache_catalog_tests.pdb"
+  "cloudcache_catalog_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudcache_catalog_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudcache_cost_tests.dir/cost/cost_model_test.cpp.o"
+  "CMakeFiles/cloudcache_cost_tests.dir/cost/cost_model_test.cpp.o.d"
+  "CMakeFiles/cloudcache_cost_tests.dir/cost/price_list_test.cpp.o"
+  "CMakeFiles/cloudcache_cost_tests.dir/cost/price_list_test.cpp.o.d"
+  "cloudcache_cost_tests"
+  "cloudcache_cost_tests.pdb"
+  "cloudcache_cost_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudcache_cost_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudcache_econ_tests.dir/econ/account_test.cpp.o"
+  "CMakeFiles/cloudcache_econ_tests.dir/econ/account_test.cpp.o.d"
+  "CMakeFiles/cloudcache_econ_tests.dir/econ/amortizer_test.cpp.o"
+  "CMakeFiles/cloudcache_econ_tests.dir/econ/amortizer_test.cpp.o.d"
+  "CMakeFiles/cloudcache_econ_tests.dir/econ/budget_test.cpp.o"
+  "CMakeFiles/cloudcache_econ_tests.dir/econ/budget_test.cpp.o.d"
+  "CMakeFiles/cloudcache_econ_tests.dir/econ/economy_test.cpp.o"
+  "CMakeFiles/cloudcache_econ_tests.dir/econ/economy_test.cpp.o.d"
+  "CMakeFiles/cloudcache_econ_tests.dir/econ/regret_test.cpp.o"
+  "CMakeFiles/cloudcache_econ_tests.dir/econ/regret_test.cpp.o.d"
+  "cloudcache_econ_tests"
+  "cloudcache_econ_tests.pdb"
+  "cloudcache_econ_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudcache_econ_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

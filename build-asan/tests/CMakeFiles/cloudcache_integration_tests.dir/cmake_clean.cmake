@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudcache_integration_tests.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/cloudcache_integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/cloudcache_integration_tests.dir/integration/invariants_test.cpp.o"
+  "CMakeFiles/cloudcache_integration_tests.dir/integration/invariants_test.cpp.o.d"
+  "CMakeFiles/cloudcache_integration_tests.dir/integration/multi_tenant_equivalence_test.cpp.o"
+  "CMakeFiles/cloudcache_integration_tests.dir/integration/multi_tenant_equivalence_test.cpp.o.d"
+  "CMakeFiles/cloudcache_integration_tests.dir/integration/paper_properties_test.cpp.o"
+  "CMakeFiles/cloudcache_integration_tests.dir/integration/paper_properties_test.cpp.o.d"
+  "CMakeFiles/cloudcache_integration_tests.dir/integration/plan_cache_equivalence_test.cpp.o"
+  "CMakeFiles/cloudcache_integration_tests.dir/integration/plan_cache_equivalence_test.cpp.o.d"
+  "cloudcache_integration_tests"
+  "cloudcache_integration_tests.pdb"
+  "cloudcache_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudcache_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

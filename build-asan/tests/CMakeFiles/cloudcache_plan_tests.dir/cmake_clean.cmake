@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudcache_plan_tests.dir/plan/enumerator_test.cpp.o"
+  "CMakeFiles/cloudcache_plan_tests.dir/plan/enumerator_test.cpp.o.d"
+  "CMakeFiles/cloudcache_plan_tests.dir/plan/skyline_test.cpp.o"
+  "CMakeFiles/cloudcache_plan_tests.dir/plan/skyline_test.cpp.o.d"
+  "cloudcache_plan_tests"
+  "cloudcache_plan_tests.pdb"
+  "cloudcache_plan_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudcache_plan_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/query/query_test.cpp" "tests/CMakeFiles/cloudcache_query_tests.dir/query/query_test.cpp.o" "gcc" "tests/CMakeFiles/cloudcache_query_tests.dir/query/query_test.cpp.o.d"
+  "/root/repo/tests/query/templates_test.cpp" "tests/CMakeFiles/cloudcache_query_tests.dir/query/templates_test.cpp.o" "gcc" "tests/CMakeFiles/cloudcache_query_tests.dir/query/templates_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/cloudcache.dir/DependInfo.cmake"
+  "/root/repo/build-asan/_deps/googletest-build/googletest/CMakeFiles/gtest_main.dir/DependInfo.cmake"
+  "/root/repo/build-asan/_deps/googletest-build/googletest/CMakeFiles/gtest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

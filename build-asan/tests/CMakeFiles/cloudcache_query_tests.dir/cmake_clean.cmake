@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudcache_query_tests.dir/query/query_test.cpp.o"
+  "CMakeFiles/cloudcache_query_tests.dir/query/query_test.cpp.o.d"
+  "CMakeFiles/cloudcache_query_tests.dir/query/templates_test.cpp.o"
+  "CMakeFiles/cloudcache_query_tests.dir/query/templates_test.cpp.o.d"
+  "cloudcache_query_tests"
+  "cloudcache_query_tests.pdb"
+  "cloudcache_query_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudcache_query_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudcache_sim_tests.dir/sim/event_queue_test.cpp.o"
+  "CMakeFiles/cloudcache_sim_tests.dir/sim/event_queue_test.cpp.o.d"
+  "CMakeFiles/cloudcache_sim_tests.dir/sim/experiment_test.cpp.o"
+  "CMakeFiles/cloudcache_sim_tests.dir/sim/experiment_test.cpp.o.d"
+  "CMakeFiles/cloudcache_sim_tests.dir/sim/report_test.cpp.o"
+  "CMakeFiles/cloudcache_sim_tests.dir/sim/report_test.cpp.o.d"
+  "CMakeFiles/cloudcache_sim_tests.dir/sim/simulator_test.cpp.o"
+  "CMakeFiles/cloudcache_sim_tests.dir/sim/simulator_test.cpp.o.d"
+  "CMakeFiles/cloudcache_sim_tests.dir/sim/sweep_test.cpp.o"
+  "CMakeFiles/cloudcache_sim_tests.dir/sim/sweep_test.cpp.o.d"
+  "cloudcache_sim_tests"
+  "cloudcache_sim_tests.pdb"
+  "cloudcache_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudcache_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

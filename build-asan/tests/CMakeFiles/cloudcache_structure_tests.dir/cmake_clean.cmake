@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudcache_structure_tests.dir/structure/index_advisor_test.cpp.o"
+  "CMakeFiles/cloudcache_structure_tests.dir/structure/index_advisor_test.cpp.o.d"
+  "CMakeFiles/cloudcache_structure_tests.dir/structure/structure_test.cpp.o"
+  "CMakeFiles/cloudcache_structure_tests.dir/structure/structure_test.cpp.o.d"
+  "cloudcache_structure_tests"
+  "cloudcache_structure_tests.pdb"
+  "cloudcache_structure_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudcache_structure_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

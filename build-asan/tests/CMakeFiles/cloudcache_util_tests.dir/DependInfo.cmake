@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/logging_test.cpp" "tests/CMakeFiles/cloudcache_util_tests.dir/util/logging_test.cpp.o" "gcc" "tests/CMakeFiles/cloudcache_util_tests.dir/util/logging_test.cpp.o.d"
+  "/root/repo/tests/util/money_test.cpp" "tests/CMakeFiles/cloudcache_util_tests.dir/util/money_test.cpp.o" "gcc" "tests/CMakeFiles/cloudcache_util_tests.dir/util/money_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/cloudcache_util_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/cloudcache_util_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/cloudcache_util_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/cloudcache_util_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/status_test.cpp" "tests/CMakeFiles/cloudcache_util_tests.dir/util/status_test.cpp.o" "gcc" "tests/CMakeFiles/cloudcache_util_tests.dir/util/status_test.cpp.o.d"
+  "/root/repo/tests/util/table_writer_test.cpp" "tests/CMakeFiles/cloudcache_util_tests.dir/util/table_writer_test.cpp.o" "gcc" "tests/CMakeFiles/cloudcache_util_tests.dir/util/table_writer_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/cloudcache_util_tests.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/cloudcache_util_tests.dir/util/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/util/units_test.cpp" "tests/CMakeFiles/cloudcache_util_tests.dir/util/units_test.cpp.o" "gcc" "tests/CMakeFiles/cloudcache_util_tests.dir/util/units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/cloudcache.dir/DependInfo.cmake"
+  "/root/repo/build-asan/_deps/googletest-build/googletest/CMakeFiles/gtest_main.dir/DependInfo.cmake"
+  "/root/repo/build-asan/_deps/googletest-build/googletest/CMakeFiles/gtest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

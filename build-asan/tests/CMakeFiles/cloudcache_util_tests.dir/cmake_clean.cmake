@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudcache_util_tests.dir/util/logging_test.cpp.o"
+  "CMakeFiles/cloudcache_util_tests.dir/util/logging_test.cpp.o.d"
+  "CMakeFiles/cloudcache_util_tests.dir/util/money_test.cpp.o"
+  "CMakeFiles/cloudcache_util_tests.dir/util/money_test.cpp.o.d"
+  "CMakeFiles/cloudcache_util_tests.dir/util/rng_test.cpp.o"
+  "CMakeFiles/cloudcache_util_tests.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/cloudcache_util_tests.dir/util/stats_test.cpp.o"
+  "CMakeFiles/cloudcache_util_tests.dir/util/stats_test.cpp.o.d"
+  "CMakeFiles/cloudcache_util_tests.dir/util/status_test.cpp.o"
+  "CMakeFiles/cloudcache_util_tests.dir/util/status_test.cpp.o.d"
+  "CMakeFiles/cloudcache_util_tests.dir/util/table_writer_test.cpp.o"
+  "CMakeFiles/cloudcache_util_tests.dir/util/table_writer_test.cpp.o.d"
+  "CMakeFiles/cloudcache_util_tests.dir/util/thread_pool_test.cpp.o"
+  "CMakeFiles/cloudcache_util_tests.dir/util/thread_pool_test.cpp.o.d"
+  "CMakeFiles/cloudcache_util_tests.dir/util/units_test.cpp.o"
+  "CMakeFiles/cloudcache_util_tests.dir/util/units_test.cpp.o.d"
+  "cloudcache_util_tests"
+  "cloudcache_util_tests.pdb"
+  "cloudcache_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudcache_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

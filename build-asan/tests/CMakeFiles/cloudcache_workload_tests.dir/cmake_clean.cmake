@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudcache_workload_tests.dir/workload/generator_test.cpp.o"
+  "CMakeFiles/cloudcache_workload_tests.dir/workload/generator_test.cpp.o.d"
+  "CMakeFiles/cloudcache_workload_tests.dir/workload/trace_test.cpp.o"
+  "CMakeFiles/cloudcache_workload_tests.dir/workload/trace_test.cpp.o.d"
+  "cloudcache_workload_tests"
+  "cloudcache_workload_tests.pdb"
+  "cloudcache_workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudcache_workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/cloudcache_util_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/cloudcache_econ_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/cloudcache_cache_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/cloudcache_cost_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/cloudcache_plan_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/cloudcache_query_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/cloudcache_catalog_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/cloudcache_workload_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/cloudcache_sim_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/cloudcache_baseline_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/cloudcache_structure_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/cloudcache_integration_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudcache_sim.dir/cloudcache_sim.cpp.o"
+  "CMakeFiles/cloudcache_sim.dir/cloudcache_sim.cpp.o.d"
+  "cloudcache_sim"
+  "cloudcache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudcache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
