@@ -126,6 +126,7 @@ ServedQuery EconScheme::OnQuery(const Query& query, SimTime now) {
   }
   out.budget_case = outcome.budget_case;
   out.has_budget_case = true;
+  out.throttled = outcome.throttled;
   out.investments = static_cast<uint32_t>(outcome.investments.size());
   out.evictions = static_cast<uint32_t>(outcome.evictions.size());
   std::vector<bool>& residency = residency_scratch_;

@@ -77,6 +77,9 @@ struct ServedQuery {
   /// Economy-only: which budget case the query fell into.
   BudgetCase budget_case = BudgetCase::kCaseB;
   bool has_budget_case = false;
+  /// Economy-only: the serving tenant was under admission throttling
+  /// (served and billed normally, regret unbooked).
+  bool throttled = false;
 };
 
 /// A caching scheme the simulator can drive: the four contenders of

@@ -1,11 +1,44 @@
 #include "src/cache/candidate_pool.h"
 
+#include <iterator>
+
 #include "src/util/logging.h"
 
 namespace cloudcache {
 
 CandidatePool::CandidatePool(size_t capacity) : capacity_(capacity) {
   CLOUDCACHE_CHECK_GE(capacity, 1u);
+}
+
+void CandidatePool::SetVictimScorer(
+    std::function<double(StructureId)> scorer, size_t window) {
+  victim_scorer_ = std::move(scorer);
+  victim_window_ = window == 0 ? 1 : window;
+}
+
+StructureId CandidatePool::PopVictim() {
+  // Classic LRU: the coldest entry. With a scorer, search the cold tail
+  // for the lowest score; a tie keeps the colder entry so that equal
+  // scores reproduce LRU exactly. The front entry — the candidate whose
+  // Touch caused this overflow — is never a victim.
+  auto victim = std::prev(entries_.end());
+  if (victim_scorer_ && victim != entries_.begin()) {
+    double best = victim_scorer_(victim->id);
+    auto it = victim;
+    for (size_t seen = 1; seen < victim_window_; ++seen) {
+      --it;
+      if (it == entries_.begin()) break;
+      const double score = victim_scorer_(it->id);
+      if (score < best) {
+        best = score;
+        victim = it;
+      }
+    }
+  }
+  const StructureId id = victim->id;
+  index_.erase(id);
+  entries_.erase(victim);
+  return id;
 }
 
 const std::vector<StructureId>& CandidatePool::Touch(StructureId id,
@@ -20,9 +53,14 @@ const std::vector<StructureId>& CandidatePool::Touch(StructureId id,
   entries_.push_front(Entry{id, now});
   index_[id] = entries_.begin();
   while (entries_.size() > capacity_) {
-    evicted_.push_back(entries_.back().id);
-    index_.erase(entries_.back().id);
-    entries_.pop_back();
+    if (!victim_scorer_) {
+      // Classic strict LRU stays on the original tight path.
+      evicted_.push_back(entries_.back().id);
+      index_.erase(entries_.back().id);
+      entries_.pop_back();
+    } else {
+      evicted_.push_back(PopVictim());
+    }
   }
   return evicted_;
 }

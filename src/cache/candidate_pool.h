@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <list>
 #include <unordered_map>
 #include <vector>
@@ -21,10 +22,27 @@ namespace cloudcache {
 /// regret for; when a candidate falls off the cold end, its accumulated
 /// regret is forfeited (the eviction callback in the economy clears the
 /// ledger entry). Resident structures are tracked by CacheState, not here.
+///
+/// Invariant notes: aging is strict LRU unless a victim scorer is
+/// installed (SetVictimScorer) — with one, an overflowing pool evicts the
+/// lowest-scoring candidate among the `window` coldest, so eviction stays
+/// a deterministic function of pool contents and the scorer (ties fall
+/// back to coldest-first, i.e. classic LRU). Touch's returned reference is
+/// a reused buffer, overwritten by the next Touch.
 class CandidatePool {
  public:
   /// `capacity` = maximum number of candidates tracked; must be >= 1.
   explicit CandidatePool(size_t capacity);
+
+  /// Installs a tenant-aware aging policy: when the pool overflows, the
+  /// victim is the candidate with the *lowest* scorer value among the
+  /// `window` least-recently-used entries (ties prefer the colder entry,
+  /// so a constant scorer degenerates to classic LRU). The economy scores
+  /// candidates by how broadly their accrued regret spreads over tenants,
+  /// making a structure propped up by a single noisy tenant age out before
+  /// one backed by many. Passing a null scorer restores strict LRU.
+  void SetVictimScorer(std::function<double(StructureId)> scorer,
+                       size_t window);
 
   /// Marks `id` as recently relevant, inserting it if new. Returns the
   /// candidates evicted to make room (possibly empty). The returned
@@ -49,10 +67,16 @@ class CandidatePool {
     SimTime last_touch;
   };
 
+  /// Removes and returns the overflow victim per the active policy.
+  StructureId PopVictim();
+
   size_t capacity_;
   std::list<Entry> entries_;  // Front = most recently used.
   std::unordered_map<StructureId, std::list<Entry>::iterator> index_;
   std::vector<StructureId> evicted_;  // Touch's reused out-buffer.
+  /// Tenant-aware aging (null = classic strict LRU).
+  std::function<double(StructureId)> victim_scorer_;
+  size_t victim_window_ = 1;
 };
 
 }  // namespace cloudcache

@@ -7,9 +7,16 @@
 namespace cloudcache {
 
 void MaintenanceLedger::Register(StructureId id, const StructureKey& key,
-                                 SimTime now, Money build_cost) {
+                                 SimTime now, Money build_cost,
+                                 double failure_scale) {
   CLOUDCACHE_CHECK(!IsTracked(id));
-  clocks_[id] = Clock{key, now, build_cost};
+  CLOUDCACHE_CHECK_GE(failure_scale, 1.0);
+  clocks_[id] = Clock{key, now, build_cost, failure_scale};
+}
+
+double MaintenanceLedger::FailureScale(StructureId id) const {
+  auto it = clocks_.find(id);
+  return it == clocks_.end() ? 1.0 : it->second.failure_scale;
 }
 
 Money MaintenanceLedger::BuildCostOf(StructureId id) const {

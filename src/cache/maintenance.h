@@ -24,15 +24,28 @@ namespace cloudcache {
 /// maintenance has been repaid by user charges. `Owed()` prices the gap at
 /// the decision cost model's rates; `Pay()` advances the clock. The
 /// economy evicts structures whose owed rent exceeds a failure threshold.
+///
+/// Invariant notes: clocks exist exactly for structures between Register
+/// and Unregister (the economy keeps this aligned with pending + resident
+/// structures); `failure_scale` is policy metadata the economy stamps at
+/// build time (tenant-aware eviction widens the failure threshold of
+/// broadly-backed structures) and defaults to 1.0, in which case the
+/// failure test is byte-for-byte the pre-tenancy one.
 class MaintenanceLedger {
  public:
   explicit MaintenanceLedger(const CostModel* model) : model_(model) {}
 
   /// Starts the clock for a freshly built structure. `build_cost` is
   /// retained as the reference for the failure threshold (a structure
-  /// fails when unpaid rent reaches a fraction of what it cost to build).
+  /// fails when unpaid rent reaches a fraction of what it cost to build);
+  /// `failure_scale` multiplies that threshold (>= 1 grants slack, 1.0 is
+  /// the classic letter of footnote 3).
   void Register(StructureId id, const StructureKey& key, SimTime now,
-                Money build_cost);
+                Money build_cost, double failure_scale = 1.0);
+
+  /// The failure-threshold scale recorded at Register time (1.0 if the
+  /// structure is untracked).
+  double FailureScale(StructureId id) const;
 
   /// The build cost recorded at Register time.
   Money BuildCostOf(StructureId id) const;
@@ -83,6 +96,7 @@ class MaintenanceLedger {
     StructureKey key;
     SimTime paid_until = 0;
     Money build_cost;
+    double failure_scale = 1.0;
   };
 
   const CostModel* model_;

@@ -1,0 +1,92 @@
+#include "src/econ/admission.h"
+
+#include "src/util/logging.h"
+
+namespace cloudcache {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  // Knobs behind the disabled switch must stay inert (the flags-off
+  // bit-identity guarantee), so misconfiguration is only fatal when the
+  // policy is actually on.
+  if (options_.enabled) {
+    CLOUDCACHE_CHECK_GT(options_.throttle_ratio, 0.0);
+    CLOUDCACHE_CHECK_LE(options_.readmit_ratio, options_.throttle_ratio);
+    CLOUDCACHE_CHECK_GE(options_.throttled_regret_scale, 0.0);
+    CLOUDCACHE_CHECK_LE(options_.throttled_regret_scale, 1.0);
+  }
+}
+
+void AdmissionController::SetTenantCount(size_t n) {
+  tenants_.assign(n, TenantState());
+  backing_.clear();
+}
+
+void AdmissionController::RecordRevenue(uint32_t tenant, Money amount) {
+  if (!options_.enabled || tenant >= tenants_.size()) return;
+  tenants_[tenant].revenue += amount;
+}
+
+void AdmissionController::RecordRegret(uint32_t tenant, Money amount) {
+  if (!options_.enabled || tenant >= tenants_.size()) return;
+  tenants_[tenant].accrued += amount;
+}
+
+void AdmissionController::RecordMonetized(uint32_t tenant,
+                                          StructureId structure,
+                                          Money amount) {
+  if (!options_.enabled || tenant >= tenants_.size() || amount.IsZero()) {
+    return;
+  }
+  tenants_[tenant].monetized += amount;
+  CLOUDCACHE_CHECK_LE(tenants_[tenant].monetized.micros(),
+                      tenants_[tenant].accrued.micros());
+  std::vector<Money>& shares = backing_[structure];
+  shares.resize(tenants_.size());
+  shares[tenant] += amount;
+}
+
+void AdmissionController::OnStructureFailed(StructureId structure) {
+  if (!options_.enabled) return;
+  auto it = backing_.find(structure);
+  if (it == backing_.end()) return;
+  for (size_t t = 0; t < it->second.size(); ++t) {
+    tenants_[t].monetized -= it->second[t];
+    CLOUDCACHE_CHECK_GE(tenants_[t].monetized.micros(), 0);
+  }
+  backing_.erase(it);
+}
+
+Money AdmissionController::Unmonetized(uint32_t tenant) const {
+  if (tenant >= tenants_.size()) return Money();
+  const TenantState& state = tenants_[tenant];
+  return state.accrued - state.monetized;
+}
+
+bool AdmissionController::Throttled(uint32_t tenant, bool* newly_throttled) {
+  if (newly_throttled != nullptr) *newly_throttled = false;
+  if (!options_.enabled || tenant >= tenants_.size()) return false;
+  TenantState& state = tenants_[tenant];
+
+  const Money unmonetized = state.accrued - state.monetized;
+  // The ratio compares micro-dollar counts directly; a tenant with zero
+  // revenue and above-floor unmonetized regret is unconditionally over
+  // any finite ratio.
+  const double revenue =
+      static_cast<double>(state.revenue.micros());
+  const double signal = static_cast<double>(unmonetized.micros());
+  if (!state.throttled) {
+    if (unmonetized >= options_.min_regret &&
+        signal > options_.throttle_ratio * revenue) {
+      state.throttled = true;
+      if (newly_throttled != nullptr) *newly_throttled = true;
+    }
+  } else {
+    if (signal <= options_.readmit_ratio * revenue) {
+      state.throttled = false;
+    }
+  }
+  return state.throttled;
+}
+
+}  // namespace cloudcache

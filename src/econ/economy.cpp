@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/econ/fairness.h"
 #include "src/plan/skyline.h"
 #include "src/util/logging.h"
 
@@ -47,9 +48,11 @@ EconomyEngine::EconomyEngine(const Catalog* catalog,
       pool_(options.candidate_pool_capacity),
       maintenance_(decision_model),
       account_(options.initial_credit),
+      admission_(options.admission),
       amortizer_(options.amortization_horizon) {
   CLOUDCACHE_CHECK_GT(options_.regret_fraction_a, 0.0);
   CLOUDCACHE_CHECK_LT(options_.regret_fraction_a, 1.0);
+  CLOUDCACHE_CHECK_GE(options_.eviction_breadth_slack, 0.0);
 }
 
 void EconomyEngine::SetIndexCandidates(
@@ -60,6 +63,22 @@ void EconomyEngine::SetIndexCandidates(
 void EconomyEngine::SetTenantCount(size_t n) {
   tenant_regret_.assign(n, RegretLedger());
   active_tenant_regret_ = nullptr;
+  suppress_regret_ = false;
+  // Both policies need a population to arbitrate between: with fewer
+  // than two tenants they stay fully inert, so a forced-event-path
+  // single-tenant run (admission flag or not) remains bit-identical to
+  // the classic path — a lone tenant must never throttle itself.
+  admission_.SetTenantCount(n > 1 ? n : 0);
+  // Tenant-aware pool aging only means something once at least two
+  // ledgers exist; otherwise (or with the policy off) the pool stays
+  // strict LRU — the pre-tenancy letter of Section IV-B.
+  if (options_.tenant_weighted_eviction && n > 1) {
+    pool_.SetVictimScorer(
+        [this](StructureId id) { return BackingBreadth(id); },
+        options_.eviction_aging_window);
+  } else {
+    pool_.SetVictimScorer(nullptr, 1);
+  }
 }
 
 const RegretLedger& EconomyEngine::tenant_regret(size_t t) const {
@@ -75,6 +94,26 @@ Money EconomyEngine::TenantRegretTotal(size_t t) const {
 void EconomyEngine::ClearRegretEverywhere(StructureId id) {
   regret_.Clear(id);
   for (RegretLedger& ledger : tenant_regret_) ledger.Clear(id);
+}
+
+double EconomyEngine::BackingBreadth(StructureId id) const {
+  if (tenant_regret_.size() < 2) return 0.0;
+  breadth_scratch_.clear();
+  for (const RegretLedger& ledger : tenant_regret_) {
+    breadth_scratch_.push_back(ledger.Get(id).ToDollars());
+  }
+  return NormalizedBreadth(breadth_scratch_);
+}
+
+void EconomyEngine::ForfeitTenantRegret(uint32_t tenant) {
+  // Subtracting the tenant's exact entries keeps the remaining tenant
+  // ledgers a partition of the global one; per-entry subtraction
+  // commutes, so the map's iteration order never reaches the metrics.
+  RegretLedger& ledger = tenant_regret_[tenant];
+  for (const auto& [id, amount] : ledger.entries()) {
+    regret_.Subtract(id, amount);
+  }
+  ledger = RegretLedger();
 }
 
 void EconomyEngine::ActivatePending(SimTime now) {
@@ -205,12 +244,19 @@ void EconomyEngine::AccumulateRegret(const PlanSet& set, size_t chosen_index,
         }
         break;
     }
+    // A throttled tenant's contribution is scaled down (to zero by
+    // default) before any booking, so both ledgers and the admission
+    // counters see the same reduced amount.
+    if (suppress_regret_) {
+      amount = amount * options_.admission.throttled_regret_scale;
+    }
     if (!amount.IsZero()) {
       regret_.Distribute(plan.structures, amount);
       // The same EvenShare split lands in the serving tenant's ledger, so
       // tenant ledgers always partition the global one exactly.
       if (active_tenant_regret_ != nullptr) {
         active_tenant_regret_->Distribute(plan.structures, amount);
+        admission_.RecordRegret(active_tenant_, amount);
       }
     }
   }
@@ -282,6 +328,14 @@ void EconomyEngine::MaybeInvest(SimTime now, QueryOutcome* outcome) {
         options_.model_build_latency
             ? now + model_->BuildSeconds(key, cache_.column_residency())
             : now;
+    // Tenant-aware eviction: a structure whose triggering regret spread
+    // broadly over tenants earns failure-threshold slack; companion
+    // columns ride the index's backing. Computed before the ledgers
+    // forget the regret below.
+    const double failure_scale =
+        options_.tenant_weighted_eviction
+            ? 1.0 + options_.eviction_breadth_slack * BackingBreadth(id)
+            : 1.0;
     for (StructureId built_id : built) {
       const Money recorded_cost =
           built_id == id ? build_cost : Money();  // Columns ride the index.
@@ -295,7 +349,16 @@ void EconomyEngine::MaybeInvest(SimTime now, QueryOutcome* outcome) {
         CLOUDCACHE_CHECK(cache_.Add(built_id, now).ok());
       }
       maintenance_.Register(built_id, registry_->key(built_id),
-                            ready_at, recorded_cost);
+                            ready_at, recorded_cost, failure_scale);
+      // This regret is the kind admission can monetize: it turned into a
+      // structure. Book each tenant's share before it is forgotten (a
+      // later maintenance failure hands the shares back).
+      if (admission_.enabled()) {
+        for (size_t t = 0; t < tenant_regret_.size(); ++t) {
+          admission_.RecordMonetized(static_cast<uint32_t>(t), built_id,
+                                     tenant_regret_[t].Get(built_id));
+        }
+      }
       ClearRegretEverywhere(built_id);
       pool_.Erase(built_id);
     }
@@ -321,12 +384,21 @@ void EconomyEngine::EvictFailedStructures(SimTime now,
       // would cost to rebuild on its own.
       build_cost = BuildCostNow(id);
     }
-    const Money threshold =
-        build_cost * options_.maintenance_failure_fraction;
+    Money threshold = build_cost * options_.maintenance_failure_fraction;
+    // Tenant-aware slack stamped at build time; scales other than 1.0
+    // exist only when the policy is on, so the classic path skips the
+    // lookup and keeps the pre-policy threshold bit-identical.
+    if (options_.tenant_weighted_eviction) {
+      const double scale = maintenance_.FailureScale(id);
+      if (scale != 1.0) threshold = threshold * scale;
+    }
     if (owed > threshold) {
       CLOUDCACHE_CHECK(cache_.Remove(id).ok());
       maintenance_.Unregister(id, now);
       amortizer_.Cancel(id);
+      // A failed build wasted the regret that backed it: admission hands
+      // the backers' monetized shares back to unmonetized.
+      admission_.OnStructureFailed(id);
       if (options_.clear_regret_on_failure) ClearRegretEverywhere(id);
       if (outcome != nullptr) {
         outcome->evictions.push_back(id);
@@ -375,11 +447,25 @@ QueryOutcome EconomyEngine::OnQuery(const Query& query,
   QueryOutcome outcome;
   if (tenant_regret_.empty()) {
     active_tenant_regret_ = nullptr;
+    suppress_regret_ = false;
   } else {
     // With attribution on, silently dropping an out-of-range tenant's
     // regret would break the ledgers-partition-the-global invariant.
     CLOUDCACHE_CHECK_LT(query.tenant_id, tenant_regret_.size());
+    active_tenant_ = query.tenant_id;
     active_tenant_regret_ = &tenant_regret_[query.tenant_id];
+    // Admission: re-evaluate the serving tenant's throttle state. The
+    // moment a tenant trips the throttle its standing regret is forfeited
+    // from the shared ledger, so Eq. 3 stops investing on its behalf;
+    // while throttled, this query's regret goes unbooked (the query
+    // itself is served and billed exactly as before).
+    bool newly_throttled = false;
+    suppress_regret_ =
+        admission_.Throttled(query.tenant_id, &newly_throttled);
+    if (newly_throttled && options_.admission.forfeit_standing_regret) {
+      ForfeitTenantRegret(query.tenant_id);
+    }
+    outcome.throttled = suppress_regret_;
   }
   outcome.evictions = std::move(tick_evictions_);
   tick_evictions_.clear();
@@ -458,6 +544,9 @@ QueryOutcome EconomyEngine::OnQuery(const Query& query,
                     now, &outcome);
   }
 
+  if (outcome.served && active_tenant_regret_ != nullptr) {
+    admission_.RecordRevenue(active_tenant_, outcome.payment);
+  }
   AccumulateRegret(set, chosen, outcome.budget_case, budget, now);
   MaybeInvest(now, &outcome);
   return outcome;

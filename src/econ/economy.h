@@ -8,6 +8,7 @@
 #include "src/cache/maintenance.h"
 #include "src/cost/cost_model.h"
 #include "src/econ/account.h"
+#include "src/econ/admission.h"
 #include "src/econ/amortizer.h"
 #include "src/econ/budget.h"
 #include "src/econ/regret.h"
@@ -87,6 +88,29 @@ struct EconomyOptions {
   /// The paper's experiments have the user "accept query execution in the
   /// back-end", i.e. true.
   bool user_accepts_above_budget = true;
+
+  // --- Tenant-economics policies (all inert by default, and inert
+  // whenever tenant attribution is off, so the paper's single-stream
+  // behavior is untouched).
+
+  /// Weighs eviction by per-tenant regret attribution: structures whose
+  /// backing regret spread broadly over tenants get failure-threshold
+  /// slack (they outlive idle spells a single noisy tenant's structure
+  /// would not), and candidate-pool aging prefers to forfeit the
+  /// candidate whose regret is most concentrated in one tenant.
+  bool tenant_weighted_eviction = false;
+  /// Maximum widening of the maintenance-failure threshold: the
+  /// threshold is scaled by 1 + slack * breadth, where breadth in [0, 1]
+  /// is how evenly the regret that triggered the build spread over
+  /// tenants (NormalizedBreadth). 0 disables the widening while keeping
+  /// the pool-aging half of the policy.
+  double eviction_breadth_slack = 1.0;
+  /// How many of the candidate pool's coldest entries the tenant-aware
+  /// aging policy considers when choosing a forfeiture victim.
+  size_t eviction_aging_window = 8;
+  /// Per-tenant admission control (throttles tenants whose accrued
+  /// regret the economy cannot monetize); see AdmissionController.
+  AdmissionOptions admission;
 };
 
 /// Everything that happened while serving (or declining) one query.
@@ -110,6 +134,10 @@ struct QueryOutcome {
   /// Plan-space statistics (after skyline filtering).
   uint32_t num_plans = 0;
   uint32_t num_existing = 0;
+  /// True when the serving tenant was under admission throttling while
+  /// this query ran (the query was still served and billed normally; only
+  /// its regret went unbooked).
+  bool throttled = false;
 };
 
 /// The self-tuned economy of Section IV: prices plans, resolves the
@@ -119,6 +147,19 @@ struct QueryOutcome {
 /// One engine instance owns the cache state, the accounts, and the ledgers
 /// of a single cloud; drive it by calling OnQuery for every arriving query
 /// in non-decreasing time order.
+///
+/// Invariant notes. (1) Epoch discipline: every residency mutation the
+/// engine performs (investment activation, failure eviction, ForceBuild)
+/// goes through CacheState::Add/Remove and therefore bumps the residency
+/// epoch the plan-skeleton cache keys on — any new mutation path must do
+/// the same. (2) Tenant-stream purity: with attribution on, every Eq. 1/2
+/// contribution is booked to exactly one tenant ledger (the serving
+/// tenant's), every global forget is mirrored into all tenant ledgers, and
+/// admission forfeits subtract a tenant's exact entries from the global
+/// ledger — so the tenant ledgers partition the global one at all times.
+/// (3) Policy gating: tenant-weighted eviction and admission read tenant
+/// attribution; with the options off (the defaults) or attribution off,
+/// every decision is bit-identical to the pre-tenancy engine.
 class EconomyEngine {
  public:
   EconomyEngine(const Catalog* catalog, StructureRegistry* registry,
@@ -145,6 +186,10 @@ class EconomyEngine {
   /// Sum of tenant `t`'s ledger (zero when attribution is off or `t` is
   /// out of range — callers can ask unconditionally).
   Money TenantRegretTotal(size_t t) const;
+
+  /// The admission controller (inert unless options.admission.enabled and
+  /// tenants are provisioned).
+  const AdmissionController& admission() const { return admission_; }
 
   /// Serves one query with the user's budget function attached.
   QueryOutcome OnQuery(const Query& query, const BudgetFunction& budget,
@@ -200,6 +245,14 @@ class EconomyEngine {
   Money BuildCostNow(StructureId id) const;
   /// Clears `id` from the global ledger and every tenant ledger.
   void ClearRegretEverywhere(StructureId id);
+  /// How evenly `id`'s accrued regret spreads over the tenant ledgers,
+  /// in [0, 1] (NormalizedBreadth over the per-tenant shares). 0 when
+  /// attribution is off.
+  double BackingBreadth(StructureId id) const;
+  /// Removes tenant `t`'s standing regret from the global ledger and
+  /// clears the tenant's ledger (admission throttling: the economy stops
+  /// investing on the tenant's behalf).
+  void ForfeitTenantRegret(uint32_t tenant);
   /// Executes `plan` bookkeeping: payments, touches, maintenance shares.
   void SettleExecution(const Query& query, const QueryPlan& plan,
                        Money payment, SimTime now, QueryOutcome* outcome);
@@ -221,6 +274,14 @@ class EconomyEngine {
   /// when attribution is off) — set at the top of OnQuery so
   /// AccumulateRegret books contributions without re-deriving the tenant.
   RegretLedger* active_tenant_regret_ = nullptr;
+  /// Admission control (decisions); the engine enforces them.
+  AdmissionController admission_;
+  /// Tenant id of the query currently being served (meaningful only when
+  /// attribution is on) and whether its regret is being suppressed.
+  uint32_t active_tenant_ = 0;
+  bool suppress_regret_ = false;
+  /// Reused per-tenant share buffer for BackingBreadth.
+  mutable std::vector<double> breadth_scratch_;
   Amortizer amortizer_;
   std::vector<PendingBuild> pending_;
   std::vector<bool> pending_flag_;  // Indexed by StructureId.

@@ -1,0 +1,72 @@
+#include "src/econ/fairness.h"
+
+#include <algorithm>
+
+#include "src/sim/metrics.h"
+
+namespace cloudcache {
+
+namespace {
+
+/// Shared degenerate-input handling: true (and *sum filled) when the
+/// values carry any mass at all.
+bool SumIfAnyMass(const std::vector<double>& values, double* sum) {
+  *sum = 0;
+  for (double v : values) *sum += v;
+  return !values.empty() && *sum != 0.0;
+}
+
+}  // namespace
+
+double JainsIndex(const std::vector<double>& values) {
+  double sum = 0;
+  if (!SumIfAnyMass(values, &sum)) return 1.0;
+  double sum_sq = 0;
+  for (double v : values) sum_sq += v * v;
+  return (sum * sum) /
+         (static_cast<double>(values.size()) * sum_sq);
+}
+
+double MaxMinShare(const std::vector<double>& values) {
+  double sum = 0;
+  if (!SumIfAnyMass(values, &sum)) return 1.0;
+  const double minimum = *std::min_element(values.begin(), values.end());
+  const double mean = sum / static_cast<double>(values.size());
+  return minimum / mean;
+}
+
+double MaxMinShareLowerBetter(const std::vector<double>& values) {
+  double sum = 0;
+  if (!SumIfAnyMass(values, &sum)) return 1.0;
+  const double maximum = *std::max_element(values.begin(), values.end());
+  const double mean = sum / static_cast<double>(values.size());
+  return mean / maximum;
+}
+
+double NormalizedBreadth(const std::vector<double>& values) {
+  const double n = static_cast<double>(values.size());
+  if (values.size() < 2) return 0.0;
+  double sum = 0;
+  if (!SumIfAnyMass(values, &sum)) return 0.0;
+  return (n * JainsIndex(values) - 1.0) / (n - 1.0);
+}
+
+FairnessReport ComputeFairness(const std::vector<TenantMetrics>& tenants) {
+  FairnessReport report;
+  if (tenants.empty()) return report;
+  std::vector<double> responses;
+  std::vector<double> billed;
+  responses.reserve(tenants.size());
+  billed.reserve(tenants.size());
+  for (const TenantMetrics& tenant : tenants) {
+    responses.push_back(tenant.MeanResponse());
+    billed.push_back(tenant.operating_cost.Total());
+  }
+  report.response_jain = JainsIndex(responses);
+  report.response_max_min = MaxMinShareLowerBetter(responses);
+  report.billed_jain = JainsIndex(billed);
+  report.billed_max_min = MaxMinShare(billed);
+  return report;
+}
+
+}  // namespace cloudcache

@@ -36,6 +36,17 @@ Money RegretLedger::Clear(StructureId id) {
   return forfeited;
 }
 
+void RegretLedger::Subtract(StructureId id, Money amount) {
+  CLOUDCACHE_CHECK_GE(amount.micros(), 0);
+  if (amount.IsZero()) return;
+  auto it = regret_.find(id);
+  CLOUDCACHE_CHECK(it != regret_.end());
+  CLOUDCACHE_CHECK_GE(it->second.micros(), amount.micros());
+  it->second -= amount;
+  if (it->second.IsZero()) regret_.erase(it);
+  sorted_stale_ = true;
+}
+
 Money RegretLedger::Total() const {
   Money total;
   for (const auto& [id, amount] : regret_) total += amount;

@@ -34,6 +34,20 @@ class RegretLedger {
   /// pool). Returns the forfeited amount.
   Money Clear(StructureId id);
 
+  /// Removes exactly `amount` from `id`'s entry, which must hold at least
+  /// that much (the tenant ledgers partition the global one, so a tenant
+  /// share can always be subtracted from the global entry). Erases the
+  /// entry when it reaches zero. Used when a throttled tenant's standing
+  /// regret is forfeited out of the global ledger.
+  void Subtract(StructureId id, Money amount);
+
+  /// Read-only view of every entry (unordered). Callers that need a
+  /// deterministic order must sort; forfeiture only subtracts per entry,
+  /// which commutes, so iteration order never reaches the metrics.
+  const std::unordered_map<StructureId, Money>& entries() const {
+    return regret_;
+  }
+
   /// Sum over all structures.
   Money Total() const;
 

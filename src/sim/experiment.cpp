@@ -71,8 +71,19 @@ SimMetrics RunExperiment(const Catalog& catalog,
     // Tenancy is the experiment's to decide, not the ablation hook's:
     // the event-driven path provisions identities even for one tenant
     // (so its metrics slice carries regret attribution); the classic
-    // path stays on the zero-overhead pre-tenancy configuration.
-    if (multi_tenant) econ_config.tenants = config.tenancy.tenants;
+    // path stays on the zero-overhead pre-tenancy configuration. The
+    // fairness policies ride the same switch — they read tenant
+    // attribution, so they only engage on the multi-tenant path (the
+    // hook may still tune their ratios/slack/windows).
+    if (multi_tenant) {
+      econ_config.tenants = config.tenancy.tenants;
+      if (config.tenancy.fair_eviction) {
+        econ_config.economy.tenant_weighted_eviction = true;
+      }
+      if (config.tenancy.admission) {
+        econ_config.economy.admission.enabled = true;
+      }
+    }
     scheme = std::make_unique<EconScheme>(&catalog, &config.decision_prices,
                                           indexes, std::move(econ_config));
   }

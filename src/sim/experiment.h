@@ -33,6 +33,19 @@ struct TenancyOptions {
   /// must be bit-identical either way — this knob exists so tests (and
   /// bisections) can pin that equivalence.
   bool force_event_path = false;
+
+  // --- Tenant-fairness policies (both off by default = the PR 3
+  // behavior, bit for bit). They apply only on the multi-tenant path;
+  // tune their knobs (ratios, slack, windows) through
+  // ExperimentConfig::customize_econ like every other economy knob.
+
+  /// Weigh maintenance-failure eviction and candidate-pool aging by how
+  /// broadly each structure's backing regret spreads over tenants
+  /// (EconomyOptions::tenant_weighted_eviction).
+  bool fair_eviction = false;
+  /// Throttle tenants whose unmonetized regret outruns their revenue
+  /// (EconomyOptions::admission.enabled; see AdmissionController).
+  bool admission = false;
 };
 
 /// A full experiment: one scheme driven by one workload configuration.

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/econ/fairness.h"
 #include "src/util/money.h"
 #include "src/util/stats.h"
 
@@ -66,6 +67,10 @@ struct TenantMetrics {
   uint64_t investments = 0;
   uint64_t evictions = 0;
 
+  // --- Queries served while the tenant was under admission throttling
+  // (still served and billed; only their regret went unbooked).
+  uint64_t throttled = 0;
+
   double MeanResponse() const { return response_seconds.mean(); }
   double CacheHitRate() const {
     return served == 0 ? 0.0
@@ -100,6 +105,7 @@ struct SimMetrics {
   // --- Adaptation activity.
   uint64_t investments = 0;
   uint64_t evictions = 0;
+  uint64_t throttled = 0;
 
   // --- Budget case mix (economy schemes only).
   uint64_t case_a = 0;
@@ -118,6 +124,12 @@ struct SimMetrics {
   // simulation path (even for one tenant); empty on the classic
   // single-stream path, whose aggregates above are the whole story.
   std::vector<TenantMetrics> tenants;
+
+  // --- Fairness over the tenant slices (ComputeFairness at run end).
+  // Left at its trivially-fair defaults on the classic path — which is
+  // exactly what a one-tenant merged run computes, preserving the
+  // `--tenants=1` bit-for-bit equivalence.
+  FairnessReport fairness;
 
   /// Mean response time in seconds (0 if nothing served).
   double MeanResponse() const { return response_seconds.mean(); }

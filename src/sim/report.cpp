@@ -80,7 +80,7 @@ TableWriter MakeResponseTimeTable(
 TableWriter MakeTenantTable(const SimMetrics& metrics) {
   TableWriter table({"tenant", "queries", "served", "hit_rate",
                      "mean_resp_s", "billed_$", "revenue_$", "profit_$",
-                     "regret_$"});
+                     "regret_$", "throttled"});
   for (const TenantMetrics& t : metrics.tenants) {
     CLOUDCACHE_CHECK(
         table
@@ -91,10 +91,21 @@ TableWriter MakeTenantTable(const SimMetrics& metrics) {
                      FormatDouble(t.operating_cost.Total(), 2),
                      FormatDouble(t.revenue.ToDollars(), 2),
                      FormatDouble(t.profit.ToDollars(), 2),
-                     FormatDouble(t.final_regret.ToDollars(), 2)})
+                     FormatDouble(t.final_regret.ToDollars(), 2),
+                     std::to_string(t.throttled)})
             .ok());
   }
   return table;
+}
+
+std::string FormatFairness(const SimMetrics& m) {
+  std::ostringstream out;
+  out << "fairness: response jain "
+      << FormatDouble(m.fairness.response_jain, 3) << " (max-min "
+      << FormatDouble(m.fairness.response_max_min, 3) << "), billed jain "
+      << FormatDouble(m.fairness.billed_jain, 3) << " (max-min "
+      << FormatDouble(m.fairness.billed_max_min, 3) << ")\n";
+  return out.str();
 }
 
 TableWriter MakeSchemeSummaryTable(const std::vector<SimMetrics>& runs) {

@@ -31,8 +31,13 @@ TableWriter MakeResponseTimeTable(
 TableWriter MakeSchemeSummaryTable(const std::vector<SimMetrics>& runs);
 
 /// Per-tenant slice of one multi-tenant run: traffic, response, billed
-/// dollars, economy health, and the regret the shared economy holds per
-/// tenant. One row per entry of `metrics.tenants`.
+/// dollars, economy health, throttled-query count, and the regret the
+/// shared economy holds per tenant. One row per entry of
+/// `metrics.tenants`.
 TableWriter MakeTenantTable(const SimMetrics& metrics);
+
+/// One-line fairness summary of a multi-tenant run (Jain's index and
+/// max-min share over per-tenant response times and billed dollars).
+std::string FormatFairness(const SimMetrics& metrics);
 
 }  // namespace cloudcache

@@ -29,6 +29,10 @@ void AccountOutcome(const ServedQuery& served, Counters* c) {
   }
   c->investments += served.investments;
   c->evictions += served.evictions;
+  // Counts queries *served* while the tenant was throttled (the metric's
+  // documented meaning); a declined query under a decline-configured
+  // economy is already counted by the budget-case mix.
+  if (served.served && served.throttled) ++c->throttled;
   if (served.has_budget_case) {
     switch (served.budget_case) {
       case BudgetCase::kCaseA:
@@ -233,6 +237,7 @@ SimMetrics Simulator::RunMultiTenant() {
     metrics.tenants[t].final_regret =
         scheme_->TenantRegret(static_cast<uint32_t>(t));
   }
+  metrics.fairness = ComputeFairness(metrics.tenants);
   return metrics;
 }
 

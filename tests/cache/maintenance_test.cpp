@@ -90,5 +90,19 @@ TEST_F(MaintenanceTest, IndependentClocks) {
   EXPECT_FALSE(ledger_.Owed(1, 100.0).IsZero());
 }
 
+TEST_F(MaintenanceTest, FailureScaleDefaultsToOne) {
+  ledger_.Register(0, FactColumn(), 0.0, Money::FromDollars(1));
+  EXPECT_DOUBLE_EQ(ledger_.FailureScale(0), 1.0);
+  // Untracked structures also read 1.0 so callers can ask blindly.
+  EXPECT_DOUBLE_EQ(ledger_.FailureScale(42), 1.0);
+}
+
+TEST_F(MaintenanceTest, FailureScaleRetainedUntilUnregister) {
+  ledger_.Register(0, FactColumn(), 0.0, Money::FromDollars(1), 1.75);
+  EXPECT_DOUBLE_EQ(ledger_.FailureScale(0), 1.75);
+  ledger_.Unregister(0, 10.0);
+  EXPECT_DOUBLE_EQ(ledger_.FailureScale(0), 1.0);
+}
+
 }  // namespace
 }  // namespace cloudcache

@@ -1,0 +1,121 @@
+#include "src/econ/admission.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudcache {
+namespace {
+
+AdmissionOptions EnabledOptions() {
+  AdmissionOptions options;
+  options.enabled = true;
+  options.throttle_ratio = 2.0;
+  options.readmit_ratio = 1.0;
+  options.min_regret = Money::FromDollars(1.0);
+  return options;
+}
+
+TEST(AdmissionControllerTest, DisabledNeverThrottles) {
+  AdmissionController controller{AdmissionOptions{}};
+  controller.SetTenantCount(2);
+  controller.RecordRegret(0, Money::FromDollars(1'000));
+  EXPECT_FALSE(controller.Throttled(0));
+  // Disabled controllers do not even accumulate.
+  EXPECT_TRUE(controller.accrued(0).IsZero());
+}
+
+TEST(AdmissionControllerTest, ThrottlesWhenUnmonetizedRegretOutrunsRevenue) {
+  AdmissionController controller{EnabledOptions()};
+  controller.SetTenantCount(2);
+  controller.RecordRevenue(0, Money::FromDollars(2.0));
+  controller.RecordRegret(0, Money::FromDollars(3.0));
+  // 3 < 2 * 2: under the ratio.
+  EXPECT_FALSE(controller.Throttled(0));
+  controller.RecordRegret(0, Money::FromDollars(2.0));
+  // 5 > 2 * 2: throttled, and the transition is reported exactly once.
+  bool newly = false;
+  EXPECT_TRUE(controller.Throttled(0, &newly));
+  EXPECT_TRUE(newly);
+  EXPECT_TRUE(controller.Throttled(0, &newly));
+  EXPECT_FALSE(newly);
+  // The other tenant is unaffected.
+  EXPECT_FALSE(controller.Throttled(1));
+}
+
+TEST(AdmissionControllerTest, FloorShieldsColdStartTenants) {
+  AdmissionOptions options = EnabledOptions();
+  options.min_regret = Money::FromDollars(10.0);
+  AdmissionController controller{options};
+  controller.SetTenantCount(1);
+  // Infinite ratio (no revenue at all), but below the floor.
+  controller.RecordRegret(0, Money::FromDollars(9.0));
+  EXPECT_FALSE(controller.Throttled(0));
+  controller.RecordRegret(0, Money::FromDollars(1.0));
+  EXPECT_TRUE(controller.Throttled(0));
+}
+
+TEST(AdmissionControllerTest, RevenueGrowthReadmitsWithHysteresis) {
+  AdmissionController controller{EnabledOptions()};
+  controller.SetTenantCount(1);
+  controller.RecordRevenue(0, Money::FromDollars(1.0));
+  controller.RecordRegret(0, Money::FromDollars(3.0));
+  EXPECT_TRUE(controller.Throttled(0));
+  // Ratio falls to 3/2 — inside the hysteresis band, still throttled.
+  controller.RecordRevenue(0, Money::FromDollars(1.0));
+  EXPECT_TRUE(controller.Throttled(0));
+  // Ratio reaches 3/3 = readmit_ratio: readmitted.
+  controller.RecordRevenue(0, Money::FromDollars(1.0));
+  EXPECT_FALSE(controller.Throttled(0));
+}
+
+TEST(AdmissionControllerTest, MonetizedRegretDoesNotCountAgainstTenant) {
+  AdmissionController controller{EnabledOptions()};
+  controller.SetTenantCount(1);
+  controller.RecordRevenue(0, Money::FromDollars(2.0));
+  controller.RecordRegret(0, Money::FromDollars(5.0));
+  controller.RecordMonetized(0, /*structure=*/7, Money::FromDollars(4.0));
+  EXPECT_EQ(controller.Unmonetized(0), Money::FromDollars(1.0));
+  // 1 < 2 * 2 and the 5-dollar accrual is mostly monetized: admitted.
+  EXPECT_FALSE(controller.Throttled(0));
+}
+
+TEST(AdmissionControllerTest, StructureFailureReclaimsMonetizedShares) {
+  AdmissionController controller{EnabledOptions()};
+  controller.SetTenantCount(2);
+  controller.RecordRevenue(0, Money::FromDollars(2.0));
+  controller.RecordRegret(0, Money::FromDollars(5.0));
+  controller.RecordRegret(1, Money::FromDollars(1.0));
+  controller.RecordMonetized(0, /*structure=*/7, Money::FromDollars(4.0));
+  controller.RecordMonetized(1, /*structure=*/7, Money::FromDollars(1.0));
+  EXPECT_FALSE(controller.Throttled(0));
+  // The structure fails: both backers' shares return to unmonetized, and
+  // tenant 0's 5 > 2 * 2 now trips the throttle.
+  controller.OnStructureFailed(7);
+  EXPECT_EQ(controller.Unmonetized(0), Money::FromDollars(5.0));
+  EXPECT_EQ(controller.Unmonetized(1), Money::FromDollars(1.0));
+  EXPECT_TRUE(controller.Throttled(0));
+  // A second failure of the same id is a no-op (backing already
+  // reclaimed), as is failure of a structure admission never saw.
+  controller.OnStructureFailed(7);
+  controller.OnStructureFailed(99);
+  EXPECT_EQ(controller.Unmonetized(0), Money::FromDollars(5.0));
+}
+
+TEST(AdmissionControllerTest, SetTenantCountResetsState) {
+  AdmissionController controller{EnabledOptions()};
+  controller.SetTenantCount(1);
+  controller.RecordRegret(0, Money::FromDollars(50.0));
+  EXPECT_TRUE(controller.Throttled(0));
+  controller.SetTenantCount(1);
+  EXPECT_FALSE(controller.Throttled(0));
+  EXPECT_TRUE(controller.accrued(0).IsZero());
+}
+
+TEST(AdmissionControllerTest, OutOfRangeTenantIsNeverThrottled) {
+  AdmissionController controller{EnabledOptions()};
+  controller.SetTenantCount(0);
+  controller.RecordRegret(3, Money::FromDollars(50.0));
+  EXPECT_FALSE(controller.Throttled(3));
+}
+
+}  // namespace
+}  // namespace cloudcache

@@ -127,5 +127,38 @@ TEST(RegretLedgerTest, SortedViewSnapshotSurvivesClearDuringIteration) {
   EXPECT_TRUE(ledger.NonZeroDescending().empty());
 }
 
+TEST(RegretLedgerTest, SubtractRemovesExactShare) {
+  RegretLedger ledger;
+  ledger.Add(3, Money::FromMicros(1000));
+  ledger.Subtract(3, Money::FromMicros(400));
+  EXPECT_EQ(ledger.Get(3), Money::FromMicros(600));
+  // Subtracting down to zero erases the entry entirely.
+  ledger.Subtract(3, Money::FromMicros(600));
+  EXPECT_TRUE(ledger.Get(3).IsZero());
+  EXPECT_EQ(ledger.size(), 0u);
+}
+
+TEST(RegretLedgerTest, SubtractInvalidatesSortedView) {
+  RegretLedger ledger;
+  ledger.Add(1, Money::FromMicros(100));
+  ledger.Add(2, Money::FromMicros(200));
+  ASSERT_EQ(ledger.NonZeroDescending().front().first, 2u);
+  ledger.Subtract(2, Money::FromMicros(150));
+  ASSERT_EQ(ledger.NonZeroDescending().size(), 2u);
+  EXPECT_EQ(ledger.NonZeroDescending().front().first, 1u);
+}
+
+TEST(RegretLedgerTest, EntriesViewMatchesTotal) {
+  RegretLedger ledger;
+  ledger.Add(1, Money::FromMicros(100));
+  ledger.Add(2, Money::FromMicros(200));
+  Money sum;
+  for (const auto& [id, amount] : ledger.entries()) {
+    (void)id;
+    sum += amount;
+  }
+  EXPECT_EQ(sum, ledger.Total());
+}
+
 }  // namespace
 }  // namespace cloudcache

@@ -154,6 +154,61 @@ TEST_F(MultiTenantEquivalenceTest, PlanCacheStaysPureUnderMultiTenancy) {
   }
 }
 
+TEST_F(MultiTenantEquivalenceTest, SingleTenantStaysClassicEvenWithPoliciesOn) {
+  // The tenant-economics policies need a population to arbitrate
+  // between: with one tenant they must be fully inert — a lone tenant
+  // must never throttle itself, and breadth-weighted eviction has no
+  // breadth to weigh — so the forced event path stays bit-identical to
+  // the classic path even with both flags (and aggressive knobs) on.
+  ExperimentConfig config = ActiveConfig(SchemeKind::kEconCheap, 5.0);
+  const SimMetrics classic = RunExperiment(*catalog_, *templates_, config);
+
+  ExperimentConfig forced = config;
+  forced.tenancy.force_event_path = true;
+  forced.tenancy.fair_eviction = true;
+  forced.tenancy.admission = true;
+  const auto base_customize = forced.customize_econ;
+  forced.customize_econ = [base_customize](EconScheme::Config& econ) {
+    base_customize(econ);
+    econ.economy.admission.throttle_ratio = 0.001;
+    econ.economy.admission.readmit_ratio = 0.0005;
+    econ.economy.admission.min_regret = Money::FromMicros(1);
+    econ.economy.eviction_breadth_slack = 25.0;
+  };
+  const SimMetrics merged = RunExperiment(*catalog_, *templates_, forced);
+  ExpectBitIdenticalMetrics(classic, merged);
+  EXPECT_EQ(merged.throttled, 0u);
+}
+
+TEST_F(MultiTenantEquivalenceTest, PolicyFlagsOffAreBitIdenticalToBaseline) {
+  // The tenant-economics policies (fairness-weighted eviction, admission
+  // control) ship off by default; with the flags off, a run must be bit
+  // for bit the PR 3 baseline even when every policy *knob* is tuned —
+  // this is the guard against a policy leaking into the flags-off path.
+  ExperimentConfig config = ActiveConfig(SchemeKind::kEconCheap, 5.0);
+  config.tenancy.tenants = 4;
+  config.tenancy.traffic_skew = 1.0;
+  const SimMetrics baseline = RunExperiment(*catalog_, *templates_, config);
+  EXPECT_EQ(baseline.throttled, 0u);
+
+  ExperimentConfig tuned = config;
+  const auto base_customize = tuned.customize_econ;
+  tuned.customize_econ = [base_customize](EconScheme::Config& econ) {
+    base_customize(econ);
+    // Aggressive knobs behind disabled switches: none of this may leak.
+    econ.economy.eviction_breadth_slack = 25.0;
+    econ.economy.eviction_aging_window = 64;
+    econ.economy.admission.throttle_ratio = 0.001;
+    econ.economy.admission.readmit_ratio = 0.0005;
+    econ.economy.admission.min_regret = Money::FromMicros(1);
+    econ.economy.admission.throttled_regret_scale = 0.9;
+    econ.economy.admission.forfeit_standing_regret = false;
+  };
+  const SimMetrics tuned_run = RunExperiment(*catalog_, *templates_, tuned);
+  ExpectBitIdenticalMetrics(baseline, tuned_run);
+  ExpectBitIdenticalTenants(baseline, tuned_run);
+}
+
 TEST_F(MultiTenantEquivalenceTest, TenantSlicesPartitionAggregates) {
   ExperimentConfig config = ActiveConfig(SchemeKind::kEconCheap, 5.0);
   config.tenancy.tenants = 4;

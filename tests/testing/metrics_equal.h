@@ -35,6 +35,7 @@ inline void ExpectBitIdenticalMetrics(const SimMetrics& a,
 
   EXPECT_EQ(a.investments, b.investments);
   EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.throttled, b.throttled);
   EXPECT_EQ(a.case_a, b.case_a);
   EXPECT_EQ(a.case_b, b.case_b);
   EXPECT_EQ(a.case_c, b.case_c);
@@ -57,6 +58,14 @@ inline void ExpectBitIdenticalMetrics(const SimMetrics& a,
 
   EXPECT_EQ(a.final_resident_bytes, b.final_resident_bytes);
   EXPECT_EQ(a.final_extra_nodes, b.final_extra_nodes);
+
+  // The fairness report is a pure function of the tenant slices, and its
+  // defaults are the single-population fixed point — so a classic run
+  // (never computed) and a one-tenant merged run (computed) agree too.
+  EXPECT_EQ(a.fairness.response_jain, b.fairness.response_jain);
+  EXPECT_EQ(a.fairness.response_max_min, b.fairness.response_max_min);
+  EXPECT_EQ(a.fairness.billed_jain, b.fairness.billed_jain);
+  EXPECT_EQ(a.fairness.billed_max_min, b.fairness.billed_max_min);
 
   EXPECT_TRUE(
       ByteIdenticalSeries(a.cost_over_time.times(), b.cost_over_time.times()));
@@ -98,6 +107,7 @@ inline void ExpectBitIdenticalTenants(const SimMetrics& a,
     EXPECT_EQ(ta.case_c, tb.case_c);
     EXPECT_EQ(ta.investments, tb.investments);
     EXPECT_EQ(ta.evictions, tb.evictions);
+    EXPECT_EQ(ta.throttled, tb.throttled);
   }
 }
 

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Checks that intra-repo markdown links resolve to real files.
+
+Scans the *.md files at the repository root and everything under
+docs/ (whatever is on disk — the documentation surfaces this repo
+publishes), extracts [text](target) links, and verifies each relative
+target exists. External links (http/https/mailto) and pure in-page
+anchors (#section) are skipped; a relative target's own #anchor suffix
+is stripped before the existence check. Markdown elsewhere in the tree
+(e.g. tooling skill files) is intentionally out of scope; widen the
+globs in main() if docs grow beyond these two surfaces.
+
+Exit status: 0 when every link resolves, 1 otherwise (broken links are
+listed one per line as file: target).
+"""
+import pathlib
+import re
+import sys
+
+# [text](target) — target captured up to the closing paren; images and
+# reference-style definitions are out of scope for this repo's docs.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> list:
+    broken = []
+    for target in LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append(f"{path.relative_to(root)}: {target}")
+    return broken
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parents[2]
+    candidates = sorted(root.glob("*.md")) + sorted(root.glob("docs/**/*.md"))
+    broken = []
+    for path in candidates:
+        broken.extend(check_file(path, root))
+    for entry in broken:
+        print(f"broken link - {entry}")
+    if not broken:
+        print(f"{len(candidates)} markdown files checked, all links resolve")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

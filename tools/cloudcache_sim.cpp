@@ -49,6 +49,9 @@ struct Args {
   bool plan_cache = true;
   uint32_t tenants = 1;      // Concurrent query streams.
   double tenant_skew = 0.0;  // Zipf skew of per-tenant traffic shares.
+  bool fair_eviction = false;  // Tenant-aware eviction weighting.
+  bool admission = false;      // Per-tenant admission control.
+  double admission_ratio = 2.0;  // Unmonetized-regret / revenue throttle.
   bool sweep = false;     // Run the full scheme x interarrival grid.
   unsigned threads = 0;   // Sweep workers; 0 = hardware concurrency.
   std::string csv;        // Credit/cost timeline CSV.
@@ -79,6 +82,9 @@ void Usage(const char* argv0) {
       "  --tenants=N           concurrent query streams sharing the cache\n"
       "                        (1; >1 merges streams event-driven)\n"
       "  --tenant-skew=X       Zipf skew of per-tenant traffic shares (0)\n"
+      "  --fair-eviction       weigh eviction by tenant regret attribution\n"
+      "  --admission           throttle tenants with unmonetizable regret\n"
+      "  --admission-ratio=X   unmonetized-regret/revenue throttle point (2)\n"
       "  --sweep               run all 4 schemes x 4 paper intervals\n"
       "  --threads=N           sweep worker threads (0 = all cores)\n"
       "  --csv=PATH            write credit/cost timeline CSV\n"
@@ -117,6 +123,11 @@ std::optional<Args> Parse(int argc, char** argv) {
       args.tenants =
           static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
     else if (Flag(argv[i], "--tenant-skew", &v)) args.tenant_skew = std::stod(v);
+    else if (std::strcmp(argv[i], "--fair-eviction") == 0)
+      args.fair_eviction = true;
+    else if (std::strcmp(argv[i], "--admission") == 0) args.admission = true;
+    else if (Flag(argv[i], "--admission-ratio", &v))
+      args.admission_ratio = std::stod(v);
     else if (std::strcmp(argv[i], "--sweep") == 0) args.sweep = true;
     else if (Flag(argv[i], "--threads", &v))
       args.threads =
@@ -167,6 +178,17 @@ int main(int argc, char** argv) {
   }
   config.tenancy.tenants = args.tenants;
   config.tenancy.traffic_skew = args.tenant_skew;
+  config.tenancy.fair_eviction = args.fair_eviction;
+  config.tenancy.admission = args.admission;
+  if (args.admission_ratio <= 0) {
+    std::fprintf(stderr, "--admission-ratio must be > 0\n");
+    return 2;
+  }
+  if ((args.fair_eviction || args.admission) && args.tenants < 2) {
+    std::fprintf(stderr,
+                 "note: --fair-eviction/--admission read tenant regret "
+                 "attribution; with --tenants=1 they have no effect\n");
+  }
 
   if (!args.trace_out.empty()) {
     Result<std::vector<ResolvedTemplate>> resolved =
@@ -196,6 +218,8 @@ int main(int argc, char** argv) {
     econ.economy.amortization_horizon = args.horizon;
     econ.economy.initial_credit = Money::FromDollars(args.initial_credit);
     econ.economy.model_build_latency = args.build_latency;
+    econ.economy.admission.throttle_ratio = args.admission_ratio;
+    econ.economy.admission.readmit_ratio = args.admission_ratio / 2;
     econ.enumerator.enable_plan_cache = args.plan_cache;
   };
 
@@ -256,9 +280,12 @@ int main(int argc, char** argv) {
   const SimMetrics metrics = std::move(results[0].metrics);
   std::fputs(FormatRunDetail(metrics).c_str(), stdout);
   if (metrics.tenants.size() > 1) {
-    std::printf("\nPer-tenant breakdown (%zu tenants, traffic skew %g)\n",
-                metrics.tenants.size(), args.tenant_skew);
+    std::printf("\nPer-tenant breakdown (%zu tenants, traffic skew %g%s%s)\n",
+                metrics.tenants.size(), args.tenant_skew,
+                args.fair_eviction ? ", fair-eviction" : "",
+                args.admission ? ", admission" : "");
     std::fputs(MakeTenantTable(metrics).ToAscii().c_str(), stdout);
+    std::fputs(FormatFairness(metrics).c_str(), stdout);
   }
 
   if (!args.csv.empty()) {
