@@ -90,6 +90,20 @@ EconScheme::EconScheme(const Catalog* catalog,
     }
     engine_->SetTenantCount(config_.tenants);
   }
+  if (!config_.tenant_budgets.empty()) {
+    // Budget-shape overrides need tenant identities to attach to.
+    CLOUDCACHE_CHECK_GE(config_.tenants, 1u);
+    std::vector<BudgetModelOptions> shapes(config_.tenants, config_.budget);
+    for (const TenantBudgetShape& shape : config_.tenant_budgets) {
+      CLOUDCACHE_CHECK_LT(shape.tenant, config_.tenants);
+      shapes[shape.tenant].price_multiplier *= shape.price_scale;
+      shapes[shape.tenant].tmax_multiplier *= shape.tmax_scale;
+    }
+    tenant_budget_models_.reserve(config_.tenants);
+    for (uint32_t t = 0; t < config_.tenants; ++t) {
+      tenant_budget_models_.emplace_back(shapes[t]);
+    }
+  }
 }
 
 ServedQuery EconScheme::OnQuery(const Query& query, SimTime now) {
@@ -106,7 +120,10 @@ ServedQuery EconScheme::OnQuery(const Query& query, SimTime now) {
   }
   Rng& budget_rng =
       tenant_rngs_.empty() ? rng_ : tenant_rngs_[query.tenant_id];
-  const std::unique_ptr<BudgetFunction> budget = budget_model_.Make(
+  const BudgetModel& budget_model =
+      tenant_budget_models_.empty() ? budget_model_
+                                    : tenant_budget_models_[query.tenant_id];
+  const std::unique_ptr<BudgetFunction> budget = budget_model.Make(
       backend_est.cost, backend_est.time_seconds, budget_rng);
 
   // Snapshot residency before the engine invests, so the reported build

@@ -39,6 +39,19 @@ struct BudgetModelOptions {
   double jitter = 0.25;
 };
 
+/// Per-tenant override of the budget synthesizer's shape: scales the
+/// price/tmax multipliers for one tenant, so a multi-tenant run can model
+/// heterogeneous users directly — a tenant with price_scale well below 1
+/// is genuinely unmonetizable (its budgets rarely cover even the back-end
+/// quote), the population the admission controller exists to recognize.
+struct TenantBudgetShape {
+  uint32_t tenant = 0;
+  /// Multiplies BudgetModelOptions::price_multiplier for this tenant.
+  double price_scale = 1.0;
+  /// Multiplies BudgetModelOptions::tmax_multiplier for this tenant.
+  double tmax_scale = 1.0;
+};
+
 /// Synthesizes per-query budget functions from a reference quote.
 class BudgetModel {
  public:
@@ -82,6 +95,10 @@ struct ServedQuery {
   bool throttled = false;
 };
 
+/// Cluster shape report (src/cluster/metrics.h); forward-declared so the
+/// scheme layer does not depend on the cluster layer's headers.
+struct ClusterMetrics;
+
 /// A caching scheme the simulator can drive: the four contenders of
 /// Section VII-A all implement this.
 class Scheme {
@@ -93,10 +110,13 @@ class Scheme {
   /// Serves one query arriving at `now` (non-decreasing across calls).
   virtual ServedQuery OnQuery(const Query& query, SimTime now) = 0;
 
-  /// Cache contents (for disk-rent metering and reporting).
+  /// Cache contents (for single-node reporting; the anchor node of a
+  /// cluster). Rent metering goes through the Total* views below so a
+  /// multi-node scheme is billed for every node it operates.
   virtual const CacheState& cache() const = 0;
 
-  /// Cloud credit CR, if the scheme runs an economy.
+  /// Cloud credit CR, if the scheme runs an economy (summed over nodes
+  /// for a cluster).
   virtual Money credit() const { return Money(); }
 
   /// Regret the economy currently holds on behalf of `tenant` (zero for
@@ -107,11 +127,58 @@ class Scheme {
   }
 
   /// Books a metered infrastructure bill against the scheme's account (a
-  /// no-op for schemes without an account).
+  /// no-op for schemes without an account; a cluster bills the node that
+  /// served the most recent query).
   virtual void ChargeExpenditure(Money amount, SimTime now) {
     (void)amount;
     (void)now;
   }
+
+  // --- Cluster-aware metering surface. Single-node schemes inherit the
+  // defaults, which read the one cache — the simulator always meters
+  // through these, so the arithmetic (and the bits) of single-node runs
+  // is exactly the pre-cluster metering.
+
+  /// Disk bytes resident across every node the scheme operates.
+  virtual uint64_t TotalResidentBytes() const {
+    return cache().resident_bytes();
+  }
+  /// Extra CPU nodes booted across every node the scheme operates.
+  virtual uint32_t TotalExtraCpuNodes() const {
+    return cache().extra_cpu_nodes();
+  }
+  /// Cluster cache nodes rented beyond the always-on coordinator; each is
+  /// billed at the node-reservation rate times the cluster's rent
+  /// multiplier. 0 for single-node schemes, so their rent metering is
+  /// untouched.
+  virtual uint32_t RentedNodes() const { return 0; }
+
+  /// Standing (unmonetized) regret the scheme's economy holds — the
+  /// elasticity controller's scale-out signal. Zero without an economy.
+  virtual Money StandingRegret() const { return Money(); }
+
+  /// Builds `key` in this scheme's cache, paying from its own account
+  /// (cluster scale-in migrates surviving structures through this).
+  /// Unimplemented for schemes without an economy.
+  virtual Status AdoptStructure(const StructureKey& key, SimTime now) {
+    (void)key;
+    (void)now;
+    return Status::FailedPrecondition("scheme cannot adopt structures");
+  }
+
+  /// Deposits a released node's remaining credit into this scheme's
+  /// account (no-op without an account), conserving the cluster's books
+  /// across scale-in.
+  virtual void AbsorbCredit(Money amount, SimTime now) {
+    (void)amount;
+    (void)now;
+  }
+
+  /// Fills the cluster shape of SimMetrics at run end. The default leaves
+  /// `out` untouched (ClusterMetrics::active stays false), so single-node
+  /// runs never acquire a cluster footprint. Implementations must not
+  /// touch `out->node_rent_dollars` — the simulator owns that field.
+  virtual void DescribeCluster(ClusterMetrics* out) const { (void)out; }
 };
 
 /// The four schemes of the paper's evaluation (Section VII-A).
@@ -145,6 +212,11 @@ class EconScheme : public Scheme {
     /// single tenant, so its metrics slice carries real attribution;
     /// once provisioned, every query's tenant_id must be in range.
     uint32_t tenants = 0;
+    /// Per-tenant budget-shape overrides (requires tenants >= 1; each
+    /// entry's tenant must be in range). Tenants without an entry keep
+    /// the base `budget` shape. Empty (the default) keeps the one shared
+    /// synthesizer — the pre-override code path, bit for bit.
+    std::vector<TenantBudgetShape> tenant_budgets;
   };
 
   /// Presets matching the paper's variants.
@@ -164,6 +236,13 @@ class EconScheme : public Scheme {
     return engine_->TenantRegretTotal(tenant);
   }
   void ChargeExpenditure(Money amount, SimTime now) override;
+  Money StandingRegret() const override { return engine_->regret().Total(); }
+  Status AdoptStructure(const StructureKey& key, SimTime now) override {
+    return engine_->ForceBuild(key, now);
+  }
+  void AbsorbCredit(Money amount, SimTime now) override {
+    engine_->mutable_account().DepositRevenue(amount, now);
+  }
 
   EconomyEngine& engine() { return *engine_; }
   const EconomyEngine& engine() const { return *engine_; }
@@ -174,6 +253,10 @@ class EconScheme : public Scheme {
   CostModel model_;
   std::unique_ptr<EconomyEngine> engine_;
   BudgetModel budget_model_;
+  /// Per-tenant budget synthesizers, populated only when
+  /// config_.tenant_budgets carries overrides; otherwise every tenant
+  /// shares budget_model_ exactly as before the overrides existed.
+  std::vector<BudgetModel> tenant_budget_models_;
   Rng rng_;
   /// Per-tenant budget jitter streams (config_.tenants > 1 only): tenant
   /// t's budgets are a pure function of MixSeed(config seed, t), so a

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/money.h"
+
+namespace cloudcache {
+
+/// Per-node slice of a cluster run: what one cache node served and earned.
+/// Node `ordinal` is the rent ordinal the node was created with — ordinals
+/// are never reused, so a slice identifies a node across scale events.
+struct NodeMetrics {
+  uint32_t ordinal = 0;
+
+  // --- Traffic routed to this node.
+  uint64_t queries = 0;
+  uint64_t served = 0;
+  uint64_t served_in_cache = 0;
+
+  // --- Economic identity of the node's own economy.
+  Money revenue;
+  Money profit;
+  Money final_credit;
+
+  // --- Final cache shape.
+  uint64_t final_resident_bytes = 0;
+
+  /// Simulation second the node was rented (0 for initial nodes).
+  double rented_at_seconds = 0;
+};
+
+/// Cluster shape of a run (SimMetrics::cluster). `active` stays false on
+/// the single-node path, where every other field keeps its zero default —
+/// so classic runs remain bit-identical without ever consulting the
+/// cluster layer. Defined here, in the cluster layer, so the sim layer
+/// depends on cluster and never the other way around.
+struct ClusterMetrics {
+  bool active = false;
+  uint32_t final_nodes = 0;
+  uint32_t peak_nodes = 0;
+
+  // --- Elasticity events.
+  uint64_t scale_out_events = 0;
+  uint64_t scale_in_events = 0;
+  /// Structures moved to a surviving node during scale-in, and survivors
+  /// the destination could not afford (or already held).
+  uint64_t migrations = 0;
+  uint64_t migration_failures = 0;
+
+  /// Metered dollars spent renting cluster nodes beyond the always-on
+  /// coordinator (filled by the simulator, also included in
+  /// operating_cost.cpu_dollars).
+  double node_rent_dollars = 0;
+
+  /// Live nodes at run end (released nodes' traffic stays in the
+  /// aggregates; their slices are gone with the node).
+  std::vector<NodeMetrics> nodes;
+};
+
+}  // namespace cloudcache

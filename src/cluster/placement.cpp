@@ -1,0 +1,77 @@
+#include "src/cluster/placement.h"
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace cloudcache {
+
+namespace {
+
+// Distinct salts keep template-affinity streams apart from every other
+// MixSeed discipline in the tree (sweep cells, tenant seeds, node seeds).
+constexpr uint64_t kTemplateSalt = 0x706c6163656d6e74ull;  // "placemnt"
+constexpr uint64_t kAdHocSalt = 0x61642d686f637175ull;     // "ad-hocqu"
+
+}  // namespace
+
+uint64_t PlacementRouter::MissingBytes(const Query& query,
+                                       const CacheState& node) const {
+  uint64_t missing = 0;
+  for (ColumnId column : query.AccessedColumns()) {
+    if (!node.ColumnResident(column)) {
+      missing += catalog_->ColumnBytes(column);
+    }
+  }
+  return missing;
+}
+
+uint64_t PlacementRouter::AffinityHash(const Query& query) {
+  if (query.template_id >= 0) {
+    return MixSeed(kTemplateSalt, static_cast<uint64_t>(query.template_id));
+  }
+  const std::vector<ColumnId>& accessed = query.AccessedColumns();
+  const uint64_t anchor =
+      accessed.empty() ? static_cast<uint64_t>(query.table)
+                       : static_cast<uint64_t>(accessed.front());
+  return MixSeed(kAdHocSalt, MixSeed(query.table, anchor));
+}
+
+size_t PlacementRouter::Route(const Query& query,
+                              const std::vector<const CacheState*>& nodes) {
+  CLOUDCACHE_CHECK(!nodes.empty());
+  if (nodes.size() == 1) return 0;
+
+  // Score every node once (into the reused buffer), tracking the minimum
+  // and how many nodes share it.
+  scores_.clear();
+  uint64_t best = MissingBytes(query, *nodes[0]);
+  scores_.push_back(best);
+  size_t best_index = 0;
+  size_t tied = 1;
+  for (size_t n = 1; n < nodes.size(); ++n) {
+    const uint64_t score = MissingBytes(query, *nodes[n]);
+    scores_.push_back(score);
+    if (score < best) {
+      best = score;
+      best_index = n;
+      tied = 1;
+    } else if (score == best) {
+      ++tied;
+    }
+  }
+  if (tied == 1) return best_index;
+
+  // The hash picks among the tied nodes in index order, so the choice
+  // depends only on the query and the tied set, never on which node
+  // happened to be scanned first.
+  size_t pick = AffinityHash(query) % tied;
+  for (size_t n = best_index; n < nodes.size(); ++n) {
+    if (scores_[n] == best) {
+      if (pick == 0) return n;
+      --pick;
+    }
+  }
+  return best_index;  // Unreachable; the tied count counted these nodes.
+}
+
+}  // namespace cloudcache

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cache/cache_state.h"
+#include "src/catalog/schema.h"
+#include "src/query/query.h"
+
+namespace cloudcache {
+
+/// Deterministic cost-aware query routing across cluster nodes.
+///
+/// The dominant cost difference between executing a query on one node or
+/// another is the backend traffic its residency gap forces: accessed
+/// columns the node has cached are served from its local disk, columns it
+/// lacks push work to the backend and ship results over the WAN. The
+/// router therefore scores each node by the bytes of the query's accessed
+/// columns that are NOT resident there — an estimate of the marginal
+/// transfer that node would have to buy to serve the query in cache — and
+/// routes to the minimum (the node whose resident structures minimize
+/// estimated execution cost).
+///
+/// Ties — most importantly the everything-cold start, where every node
+/// scores the full footprint — break by a hash of the query's template,
+/// so each template develops an affinity node: its queries keep landing
+/// on one node, that node's economy accumulates the template's regret,
+/// and the structures it then builds win future routes on merit rather
+/// than by hash. The hash never consults an RNG and the router holds no
+/// mutable state, so a route is a pure function of (query, node
+/// residencies): bit-identical across repeats and sweep thread counts.
+class PlacementRouter {
+ public:
+  explicit PlacementRouter(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Bytes of `query`'s accessed columns not resident on `node` — the
+  /// router's estimated marginal cost of serving the query there.
+  uint64_t MissingBytes(const Query& query, const CacheState& node) const;
+
+  /// Index into `nodes` of the serving node: minimum MissingBytes, ties
+  /// broken by AffinityHash modulo the tied count. `nodes` must be
+  /// non-empty; with one node this is 0 without any scoring. Non-const
+  /// only for the reused score buffer — the route itself is a pure
+  /// function of (query, node residencies).
+  size_t Route(const Query& query,
+               const std::vector<const CacheState*>& nodes);
+
+  /// Template-affinity tie-break hash: a pure function of the query's
+  /// template id (or, for ad-hoc queries, its driving table and first
+  /// accessed column).
+  static uint64_t AffinityHash(const Query& query);
+
+ private:
+  const Catalog* catalog_;
+  /// Per-route node scores, reused across calls so the routed hot path
+  /// allocates nothing and never scans a node's residency twice.
+  std::vector<uint64_t> scores_;
+};
+
+}  // namespace cloudcache

@@ -47,50 +47,79 @@ SimMetrics RunExperiment(const Catalog& catalog,
 
   const bool multi_tenant =
       config.tenancy.tenants > 1 || config.tenancy.force_event_path;
+  const bool clustered = config.cluster.nodes > 1 ||
+                         config.cluster.elastic ||
+                         config.cluster.force_cluster_path;
+
+  // Builds the scheme for one cache node. Ordinal 0 carries the
+  // experiment's own seed — on the single-node path it IS the classic
+  // scheme, which is what keeps `--nodes=1` bit-identical to the
+  // pre-cluster baseline — while rented/extra nodes derive their seeds
+  // from their never-reused ordinal (salted away from the tenant-stream
+  // MixSeed discipline), so every node's budget-jitter streams are a pure
+  // function of the configuration.
+  const auto node_factory = [&catalog, &indexes, &config,
+                             multi_tenant](uint32_t ordinal) {
+    std::unique_ptr<Scheme> scheme;
+    if (config.scheme == SchemeKind::kBypassYield) {
+      BypassYieldScheme::Options options;
+      if (config.customize_bypass) config.customize_bypass(options);
+      scheme = std::make_unique<BypassYieldScheme>(&catalog, options);
+    } else {
+      EconScheme::Config econ_config;
+      switch (config.scheme) {
+        case SchemeKind::kEconCol:
+          econ_config = EconScheme::EconColConfig();
+          break;
+        case SchemeKind::kEconFast:
+          econ_config = EconScheme::EconFastConfig();
+          break;
+        default:
+          econ_config = EconScheme::EconCheapConfig();
+          break;
+      }
+      constexpr uint64_t kNodeSeedSalt = 0x636c757374657231ull;  // cluster
+      econ_config.seed = ordinal == 0
+                             ? config.seed
+                             : MixSeed(config.seed, kNodeSeedSalt + ordinal);
+      if (config.customize_econ) config.customize_econ(econ_config);
+      // Tenancy is the experiment's to decide, not the ablation hook's:
+      // the event-driven path provisions identities even for one tenant
+      // (so its metrics slice carries regret attribution); the classic
+      // path stays on the zero-overhead pre-tenancy configuration. The
+      // fairness policies ride the same switch — they read tenant
+      // attribution, so they only engage on the multi-tenant path (the
+      // hook may still tune their ratios/slack/windows). So do the
+      // per-tenant budget shapes, which need tenant identities.
+      if (multi_tenant) {
+        econ_config.tenants = config.tenancy.tenants;
+        if (config.tenancy.fair_eviction) {
+          econ_config.economy.tenant_weighted_eviction = true;
+        }
+        if (config.tenancy.admission) {
+          econ_config.economy.admission.enabled = true;
+        }
+        econ_config.tenant_budgets = config.tenancy.tenant_budgets;
+      }
+      scheme = std::make_unique<EconScheme>(&catalog, &config.decision_prices,
+                                            indexes, std::move(econ_config));
+    }
+    return scheme;
+  };
 
   std::unique_ptr<Scheme> scheme;
-  if (config.scheme == SchemeKind::kBypassYield) {
-    BypassYieldScheme::Options options;
-    if (config.customize_bypass) config.customize_bypass(options);
-    scheme = std::make_unique<BypassYieldScheme>(&catalog, options);
+  if (clustered) {
+    scheme = std::make_unique<ClusterScheme>(
+        &catalog, &config.decision_prices, config.cluster, node_factory);
   } else {
-    EconScheme::Config econ_config;
-    switch (config.scheme) {
-      case SchemeKind::kEconCol:
-        econ_config = EconScheme::EconColConfig();
-        break;
-      case SchemeKind::kEconFast:
-        econ_config = EconScheme::EconFastConfig();
-        break;
-      default:
-        econ_config = EconScheme::EconCheapConfig();
-        break;
-    }
-    econ_config.seed = config.seed;
-    if (config.customize_econ) config.customize_econ(econ_config);
-    // Tenancy is the experiment's to decide, not the ablation hook's:
-    // the event-driven path provisions identities even for one tenant
-    // (so its metrics slice carries regret attribution); the classic
-    // path stays on the zero-overhead pre-tenancy configuration. The
-    // fairness policies ride the same switch — they read tenant
-    // attribution, so they only engage on the multi-tenant path (the
-    // hook may still tune their ratios/slack/windows).
-    if (multi_tenant) {
-      econ_config.tenants = config.tenancy.tenants;
-      if (config.tenancy.fair_eviction) {
-        econ_config.economy.tenant_weighted_eviction = true;
-      }
-      if (config.tenancy.admission) {
-        econ_config.economy.admission.enabled = true;
-      }
-    }
-    scheme = std::make_unique<EconScheme>(&catalog, &config.decision_prices,
-                                          indexes, std::move(econ_config));
+    scheme = node_factory(0);
   }
+  SimulatorOptions sim_options = config.sim;
+  sim_options.node_rent_multiplier = config.cluster.node_rent_multiplier;
 
   if (!multi_tenant) {
     WorkloadGenerator workload(&catalog, *resolved, config.workload);
-    Simulator simulator(&catalog, scheme.get(), &workload, config.sim);
+    Simulator simulator(&catalog, scheme.get(), &workload, sim_options);
     return simulator.Run();
   }
 
@@ -107,7 +136,7 @@ SimMetrics RunExperiment(const Catalog& catalog,
     generator_ptrs.push_back(generators.back().get());
   }
   Simulator simulator(&catalog, scheme.get(), std::move(generator_ptrs),
-                      config.sim);
+                      sim_options);
   return simulator.Run();
 }
 

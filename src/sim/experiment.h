@@ -7,6 +7,7 @@
 #include "src/baseline/bypass_yield.h"
 #include "src/baseline/scheme.h"
 #include "src/catalog/schema.h"
+#include "src/cluster/cluster.h"
 #include "src/query/templates.h"
 #include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
@@ -46,6 +47,12 @@ struct TenancyOptions {
   /// Throttle tenants whose unmonetized regret outruns their revenue
   /// (EconomyOptions::admission.enabled; see AdmissionController).
   bool admission = false;
+
+  /// Per-tenant budget-shape overrides (heterogeneous users): scales the
+  /// budget synthesizer's price/tmax multipliers for the named tenants.
+  /// Applies only on the multi-tenant path, like the policies above;
+  /// empty keeps every tenant on the one shared shape, bit for bit.
+  std::vector<TenantBudgetShape> tenant_budgets;
 };
 
 /// A full experiment: one scheme driven by one workload configuration.
@@ -53,6 +60,10 @@ struct ExperimentConfig {
   SchemeKind scheme = SchemeKind::kEconCheap;
   WorkloadOptions workload;
   TenancyOptions tenancy;
+  /// Cluster shape: node count, elasticity, node rent. The defaults
+  /// (one node, elastic off) run the pre-cluster single-node path,
+  /// bit for bit.
+  ClusterOptions cluster;
   SimulatorOptions sim;
   /// Decision prices for the economy schemes (bypass-yield always decides
   /// at network-only prices regardless).

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/metrics.h"
 #include "src/econ/fairness.h"
 #include "src/util/money.h"
 #include "src/util/stats.h"
@@ -130,6 +131,10 @@ struct SimMetrics {
   // exactly what a one-tenant merged run computes, preserving the
   // `--tenants=1` bit-for-bit equivalence.
   FairnessReport fairness;
+
+  // --- Cluster shape (Scheme::DescribeCluster at run end). Inert —
+  // active = false, all zeros, no node slices — on the single-node path.
+  ClusterMetrics cluster;
 
   /// Mean response time in seconds (0 if nothing served).
   double MeanResponse() const { return response_seconds.mean(); }

@@ -98,6 +98,41 @@ TableWriter MakeTenantTable(const SimMetrics& metrics) {
   return table;
 }
 
+TableWriter MakeNodeTable(const SimMetrics& metrics) {
+  TableWriter table({"node", "queries", "served", "hit_rate", "revenue_$",
+                     "profit_$", "credit_$", "resident_gb", "rented_at_s"});
+  for (const NodeMetrics& n : metrics.cluster.nodes) {
+    const double hit_rate =
+        n.served == 0 ? 0.0
+                      : static_cast<double>(n.served_in_cache) /
+                            static_cast<double>(n.served);
+    CLOUDCACHE_CHECK(
+        table
+            .AddRow({std::to_string(n.ordinal), std::to_string(n.queries),
+                     std::to_string(n.served), FormatDouble(hit_rate, 3),
+                     FormatDouble(n.revenue.ToDollars(), 2),
+                     FormatDouble(n.profit.ToDollars(), 2),
+                     FormatDouble(n.final_credit.ToDollars(), 2),
+                     FormatDouble(
+                         static_cast<double>(n.final_resident_bytes) / 1e9,
+                         1),
+                     FormatDouble(n.rented_at_seconds, 0)})
+            .ok());
+  }
+  return table;
+}
+
+std::string FormatCluster(const SimMetrics& m) {
+  std::ostringstream out;
+  out << "cluster: " << m.cluster.final_nodes << " nodes (peak "
+      << m.cluster.peak_nodes << "), " << m.cluster.scale_out_events
+      << " rented / " << m.cluster.scale_in_events << " released, "
+      << m.cluster.migrations << " migrations ("
+      << m.cluster.migration_failures << " failed), node rent $"
+      << FormatDouble(m.cluster.node_rent_dollars, 2) << "\n";
+  return out.str();
+}
+
 std::string FormatFairness(const SimMetrics& m) {
   std::ostringstream out;
   out << "fairness: response jain "

@@ -40,4 +40,12 @@ TableWriter MakeTenantTable(const SimMetrics& metrics);
 /// max-min share over per-tenant response times and billed dollars).
 std::string FormatFairness(const SimMetrics& metrics);
 
+/// Per-node slice of a cluster run: routed traffic, hit rate, revenue,
+/// profit, credit, and resident bytes. One row per live node at run end.
+TableWriter MakeNodeTable(const SimMetrics& metrics);
+
+/// One-line cluster summary (final/peak node count, scale events,
+/// migrations, metered node rent).
+std::string FormatCluster(const SimMetrics& metrics);
+
 }  // namespace cloudcache

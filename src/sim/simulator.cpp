@@ -78,16 +78,29 @@ void Simulator::MeterRent(SimTime now, SimMetrics* metrics) {
   if (dt <= 0) return;
   last_meter_time_ = now;
   const PriceList& p = options_.metered_prices;
-  const CacheState& cache = scheme_->cache();
 
   // Rent is metered in double dollars: per-interval amounts on small
   // configurations can be far below one micro-dollar, and rounding each
-  // interval through Money would silently zero them out.
-  const double disk_dollars = static_cast<double>(cache.resident_bytes()) *
-                              dt * p.disk_byte_second_dollars;
-  const double reservation_dollars =
-      static_cast<double>(cache.extra_cpu_nodes()) * dt *
+  // interval through Money would silently zero them out. The quantities
+  // come through the scheme's cluster-aware totals, so a multi-node
+  // scheme pays for every node it operates; single-node schemes report
+  // their one cache and the arithmetic is exactly the pre-cluster path.
+  const double disk_dollars =
+      static_cast<double>(scheme_->TotalResidentBytes()) * dt *
+      p.disk_byte_second_dollars;
+  double reservation_dollars =
+      static_cast<double>(scheme_->TotalExtraCpuNodes()) * dt *
       p.cpu_second_dollars * p.cpu_reserve_fraction;
+  // Rented cluster nodes (beyond the always-on coordinator) bill at the
+  // reservation rate scaled by the cluster's rent multiplier.
+  const uint32_t rented = scheme_->RentedNodes();
+  if (rented > 0) {
+    const double node_rent_dollars =
+        static_cast<double>(rented) * dt * p.cpu_second_dollars *
+        p.cpu_reserve_fraction * options_.node_rent_multiplier;
+    metrics->cluster.node_rent_dollars += node_rent_dollars;
+    reservation_dollars += node_rent_dollars;
+  }
   metrics->operating_cost.disk_dollars += disk_dollars;
   metrics->operating_cost.cpu_dollars += reservation_dollars;
   // The account charge accumulates fractional micro-dollars and releases
@@ -163,7 +176,13 @@ void Simulator::ProcessQuery(const Query& query, uint64_t i,
 }
 
 SimMetrics Simulator::Run() {
-  return tenant_workloads_.empty() ? RunSingleStream() : RunMultiTenant();
+  SimMetrics metrics =
+      tenant_workloads_.empty() ? RunSingleStream() : RunMultiTenant();
+  // Cluster shape, if the scheme operates one (no-op default leaves the
+  // classic single-node runs without a cluster footprint). The simulator
+  // already accumulated cluster.node_rent_dollars while metering.
+  scheme_->DescribeCluster(&metrics.cluster);
+  return metrics;
 }
 
 SimMetrics Simulator::RunSingleStream() {
@@ -181,8 +200,8 @@ SimMetrics Simulator::RunSingleStream() {
   }
 
   metrics.final_credit = scheme_->credit();
-  metrics.final_resident_bytes = scheme_->cache().resident_bytes();
-  metrics.final_extra_nodes = scheme_->cache().extra_cpu_nodes();
+  metrics.final_resident_bytes = scheme_->TotalResidentBytes();
+  metrics.final_extra_nodes = scheme_->TotalExtraCpuNodes();
   return metrics;
 }
 
@@ -231,8 +250,8 @@ SimMetrics Simulator::RunMultiTenant() {
   }
 
   metrics.final_credit = scheme_->credit();
-  metrics.final_resident_bytes = scheme_->cache().resident_bytes();
-  metrics.final_extra_nodes = scheme_->cache().extra_cpu_nodes();
+  metrics.final_resident_bytes = scheme_->TotalResidentBytes();
+  metrics.final_extra_nodes = scheme_->TotalExtraCpuNodes();
   for (size_t t = 0; t < metrics.tenants.size(); ++t) {
     metrics.tenants[t].final_regret =
         scheme_->TenantRegret(static_cast<uint32_t>(t));

@@ -23,6 +23,10 @@ struct SimulatorOptions {
   /// Cumulative-cost / credit timelines keep one point per this many
   /// queries.
   uint64_t timeline_stride = 500;
+  /// Rent of one rented cluster node (Scheme::RentedNodes) as a multiple
+  /// of the node-reservation rate. Irrelevant — and never consulted — for
+  /// single-node schemes, which rent no cluster nodes.
+  double node_rent_multiplier = 1.0;
 };
 
 /// Discrete-event driver: feeds a workload through a Scheme and meters
@@ -68,8 +72,9 @@ class Simulator {
   /// stride boundaries of the merged index `i`.
   void ProcessQuery(const Query& query, uint64_t i, SimMetrics* metrics,
                     TenantMetrics* tenant);
-  /// Integrates disk + node-reservation rent from last_meter_time_ to now.
-  /// Rent is shared-infrastructure spending (one cache, one node pool), so
+  /// Integrates disk + node-reservation rent (plus rented-cluster-node
+  /// rent, when the scheme operates extra cache nodes) from
+  /// last_meter_time_ to now. Rent is shared-infrastructure spending, so
   /// it lands only on the run-wide breakdown, never on a tenant slice.
   void MeterRent(SimTime now, SimMetrics* metrics);
   /// Prices one query's execution + builds into the breakdown (and into

@@ -1,0 +1,137 @@
+#include "src/cluster/elasticity.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudcache {
+namespace {
+
+ElasticityOptions FastOptions() {
+  ElasticityOptions options;
+  options.check_interval_queries = 100;
+  options.sustain_windows = 2;
+  options.cooldown_windows = 1;
+  options.cold_share = 0.05;
+  options.min_nodes = 1;
+  options.max_nodes = 3;
+  return options;
+}
+
+/// A window whose regret either clears or misses the projected rent, with
+/// balanced traffic over `nodes`.
+ElasticityWindow MakeWindow(size_t nodes, bool hot) {
+  ElasticityWindow window;
+  window.standing_regret = Money::FromDollars(hot ? 10.0 : 0.0);
+  window.projected_rent_dollars = 1.0;
+  window.routed.assign(nodes, 100);
+  window.window_queries = 100 * nodes;
+  return window;
+}
+
+TEST(ElasticityControllerTest, RentsOnlyAfterSustainedRegret) {
+  ElasticityController controller(FastOptions());
+  // One hot window is a spike, not a signal.
+  EXPECT_EQ(controller.Step(MakeWindow(1, true)).decision,
+            ElasticDecision::kHold);
+  // The second consecutive hot window trips the sustain threshold.
+  EXPECT_EQ(controller.Step(MakeWindow(1, true)).decision,
+            ElasticDecision::kRent);
+}
+
+TEST(ElasticityControllerTest, CoolWindowResetsTheStreak) {
+  ElasticityController controller(FastOptions());
+  EXPECT_EQ(controller.Step(MakeWindow(1, true)).decision,
+            ElasticDecision::kHold);
+  EXPECT_EQ(controller.Step(MakeWindow(1, false)).decision,
+            ElasticDecision::kHold);
+  // The streak restarted: one more hot window is not enough.
+  EXPECT_EQ(controller.Step(MakeWindow(1, true)).decision,
+            ElasticDecision::kHold);
+  EXPECT_EQ(controller.Step(MakeWindow(1, true)).decision,
+            ElasticDecision::kRent);
+}
+
+TEST(ElasticityControllerTest, CooldownDelaysTheNextEvent) {
+  ElasticityController controller(FastOptions());
+  controller.Step(MakeWindow(1, true));
+  ASSERT_EQ(controller.Step(MakeWindow(1, true)).decision,
+            ElasticDecision::kRent);
+  // Cooldown window: the regret persists but no action fires; the streak
+  // still advances underneath, so the rent lands right after cooldown.
+  EXPECT_EQ(controller.Step(MakeWindow(2, true)).decision,
+            ElasticDecision::kHold);
+  EXPECT_EQ(controller.Step(MakeWindow(2, true)).decision,
+            ElasticDecision::kRent);
+}
+
+TEST(ElasticityControllerTest, MaxNodesCapsScaleOut) {
+  ElasticityOptions options = FastOptions();
+  options.cooldown_windows = 0;
+  ElasticityController controller(options);
+  controller.Step(MakeWindow(3, true));
+  // At the ceiling, sustained regret changes nothing.
+  EXPECT_EQ(controller.Step(MakeWindow(3, true)).decision,
+            ElasticDecision::kHold);
+  EXPECT_EQ(controller.Step(MakeWindow(3, true)).decision,
+            ElasticDecision::kHold);
+}
+
+TEST(ElasticityControllerTest, ReleasesTheSustainedColdNode) {
+  ElasticityOptions options = FastOptions();
+  ElasticityController controller(options);
+  ElasticityWindow window = MakeWindow(3, false);
+  window.routed = {150, 149, 1};  // Node 2 under 5% of 300.
+  window.window_queries = 300;
+  EXPECT_EQ(controller.Step(window).decision, ElasticDecision::kHold);
+  const ElasticAction action = controller.Step(window);
+  EXPECT_EQ(action.decision, ElasticDecision::kRelease);
+  EXPECT_EQ(action.release_index, 2u);
+}
+
+TEST(ElasticityControllerTest, NeverReleasesTheCoordinator) {
+  ElasticityOptions options = FastOptions();
+  ElasticityController controller(options);
+  ElasticityWindow window = MakeWindow(2, false);
+  window.routed = {0, 200};  // The coordinator itself is cold.
+  window.window_queries = 200;
+  EXPECT_EQ(controller.Step(window).decision, ElasticDecision::kHold);
+  EXPECT_EQ(controller.Step(window).decision, ElasticDecision::kHold);
+}
+
+TEST(ElasticityControllerTest, MinNodesFloorsScaleIn) {
+  ElasticityOptions options = FastOptions();
+  options.min_nodes = 2;
+  ElasticityController controller(options);
+  ElasticityWindow window = MakeWindow(2, false);
+  window.routed = {200, 0};
+  window.window_queries = 200;
+  EXPECT_EQ(controller.Step(window).decision, ElasticDecision::kHold);
+  // Node 1 is sustained-cold, but the fleet is at its floor.
+  EXPECT_EQ(controller.Step(window).decision, ElasticDecision::kHold);
+}
+
+TEST(ElasticityControllerTest, ColdestNodeWinsTheRelease) {
+  ElasticityOptions options = FastOptions();
+  ElasticityController controller(options);
+  ElasticityWindow window = MakeWindow(3, false);
+  window.routed = {296, 3, 1};  // Both 1 and 2 cold; 2 is colder.
+  window.window_queries = 300;
+  controller.Step(window);
+  const ElasticAction action = controller.Step(window);
+  EXPECT_EQ(action.decision, ElasticDecision::kRelease);
+  EXPECT_EQ(action.release_index, 2u);
+}
+
+TEST(ElasticityControllerTest, ReleaseWinsOverRentWhenBothFire) {
+  // High regret AND a dead node: dropping the dead node is free, renting
+  // costs rent from the first second — the controller releases first.
+  ElasticityOptions options = FastOptions();
+  ElasticityController controller(options);
+  ElasticityWindow window = MakeWindow(2, true);
+  window.routed = {199, 1};
+  window.window_queries = 200;
+  controller.Step(window);
+  EXPECT_EQ(controller.Step(window).decision, ElasticDecision::kRelease);
+}
+
+}  // namespace
+}  // namespace cloudcache

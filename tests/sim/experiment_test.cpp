@@ -154,6 +154,56 @@ TEST_F(ExperimentTest, TenantTrafficSharesPreserveAggregateLoad) {
       TenantWorkloadOptions(base, solo, 0).interarrival_seconds, 10.0);
 }
 
+TEST_F(ExperimentTest, NeutralTenantBudgetOverridesAreBitIdentical) {
+  // Overrides at scale 1.0 build per-tenant synthesizers whose options
+  // equal the shared one; every budget draw computes the same doubles, so
+  // the runs must agree to the bit — the guard against the override path
+  // perturbing tenants it does not change.
+  ExperimentConfig config = SmallConfig(SchemeKind::kEconCheap);
+  config.tenancy.tenants = 2;
+  const SimMetrics baseline = RunExperiment(*catalog_, *templates_, config);
+
+  ExperimentConfig neutral = config;
+  neutral.tenancy.tenant_budgets = {{0, 1.0, 1.0}, {1, 1.0, 1.0}};
+  const SimMetrics overridden =
+      RunExperiment(*catalog_, *templates_, neutral);
+  EXPECT_EQ(baseline.revenue.micros(), overridden.revenue.micros());
+  EXPECT_EQ(baseline.profit.micros(), overridden.profit.micros());
+  ASSERT_EQ(baseline.tenants.size(), overridden.tenants.size());
+  for (size_t t = 0; t < baseline.tenants.size(); ++t) {
+    EXPECT_EQ(baseline.tenants[t].revenue.micros(),
+              overridden.tenants[t].revenue.micros());
+    EXPECT_EQ(baseline.tenants[t].case_a, overridden.tenants[t].case_a);
+  }
+}
+
+TEST_F(ExperimentTest, TenantBudgetOverridesShapeThatTenantOnly) {
+  // Squeezing tenant 1's willingness to pay moves its budget mass below
+  // the back-end quote: its case-A share grows and its revenue drops,
+  // while tenant 0 — identical stream, untouched shape — keeps drawing
+  // the same budgets from its own jitter stream.
+  ExperimentConfig config = SmallConfig(SchemeKind::kEconCheap);
+  config.sim.num_queries = 600;
+  config.tenancy.tenants = 2;
+  const SimMetrics base = RunExperiment(*catalog_, *templates_, config);
+
+  ExperimentConfig squeezed = config;
+  squeezed.tenancy.tenant_budgets = {{1, 0.3, 1.0}};
+  const SimMetrics shaped = RunExperiment(*catalog_, *templates_, squeezed);
+
+  ASSERT_EQ(base.tenants.size(), 2u);
+  ASSERT_EQ(shaped.tenants.size(), 2u);
+  // The workload derivation is untouched: tenant 0 sees the same stream
+  // (its *outcomes* may shift — the tenants share one cache, and tenant
+  // 1's collapsed demand changes what gets built).
+  EXPECT_EQ(base.tenants[0].queries, shaped.tenants[0].queries);
+  // Tenant 1's budgets collapsed below the quote: more case A, less
+  // revenue.
+  EXPECT_GT(shaped.tenants[1].case_a, base.tenants[1].case_a);
+  EXPECT_LT(shaped.tenants[1].revenue.micros(),
+            base.tenants[1].revenue.micros());
+}
+
 TEST_F(ExperimentTest, MultiTenantExperimentEndToEnd) {
   ExperimentConfig config = SmallConfig(SchemeKind::kEconCheap);
   config.tenancy.tenants = 3;

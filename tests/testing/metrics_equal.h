@@ -77,6 +77,35 @@ inline void ExpectBitIdenticalMetrics(const SimMetrics& a,
                                   b.credit_over_time.values()));
 }
 
+/// Asserts the cluster shapes of two cluster runs are identical — event
+/// counters, metered node rent to the double bit, and every per-node
+/// slice.
+inline void ExpectBitIdenticalCluster(const SimMetrics& a,
+                                      const SimMetrics& b) {
+  EXPECT_EQ(a.cluster.active, b.cluster.active);
+  EXPECT_EQ(a.cluster.final_nodes, b.cluster.final_nodes);
+  EXPECT_EQ(a.cluster.peak_nodes, b.cluster.peak_nodes);
+  EXPECT_EQ(a.cluster.scale_out_events, b.cluster.scale_out_events);
+  EXPECT_EQ(a.cluster.scale_in_events, b.cluster.scale_in_events);
+  EXPECT_EQ(a.cluster.migrations, b.cluster.migrations);
+  EXPECT_EQ(a.cluster.migration_failures, b.cluster.migration_failures);
+  EXPECT_EQ(a.cluster.node_rent_dollars, b.cluster.node_rent_dollars);
+  ASSERT_EQ(a.cluster.nodes.size(), b.cluster.nodes.size());
+  for (size_t n = 0; n < a.cluster.nodes.size(); ++n) {
+    const NodeMetrics& na = a.cluster.nodes[n];
+    const NodeMetrics& nb = b.cluster.nodes[n];
+    EXPECT_EQ(na.ordinal, nb.ordinal);
+    EXPECT_EQ(na.queries, nb.queries);
+    EXPECT_EQ(na.served, nb.served);
+    EXPECT_EQ(na.served_in_cache, nb.served_in_cache);
+    EXPECT_EQ(na.revenue.micros(), nb.revenue.micros());
+    EXPECT_EQ(na.profit.micros(), nb.profit.micros());
+    EXPECT_EQ(na.final_credit.micros(), nb.final_credit.micros());
+    EXPECT_EQ(na.final_resident_bytes, nb.final_resident_bytes);
+    EXPECT_EQ(na.rented_at_seconds, nb.rented_at_seconds);
+  }
+}
+
 /// Asserts the per-tenant slices of two multi-tenant runs are identical,
 /// field by field, to the last micro-dollar and double bit.
 inline void ExpectBitIdenticalTenants(const SimMetrics& a,

@@ -11,13 +11,17 @@
 //   cloudcache_sim --scheme=econ-fast --catalog=sdss --csv=credit.csv
 //   cloudcache_sim --sweep --queries=40000 --threads=8   (Fig. 4/5 grid)
 //   cloudcache_sim --tenants=4 --tenant-skew=1.0   (multi-tenant economy)
+//   cloudcache_sim --nodes=2 --elastic=on          (elastic cache cluster)
 //   cloudcache_sim --trace-out=stream.csv --queries=50000   (record only)
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/catalog/sdss.h"
 #include "src/catalog/tpch.h"
@@ -52,6 +56,11 @@ struct Args {
   bool fair_eviction = false;  // Tenant-aware eviction weighting.
   bool admission = false;      // Per-tenant admission control.
   double admission_ratio = 2.0;  // Unmonetized-regret / revenue throttle.
+  std::vector<TenantBudgetShape> tenant_budgets;  // --tenant-budget=t:p[:t].
+  uint32_t nodes = 1;            // Cluster cache nodes.
+  bool elastic = false;          // Economic scale-out/in.
+  double node_rent_multiplier = 1.0;  // Rented-node rent scale.
+  uint32_t max_nodes = 4;        // Elasticity ceiling.
   bool sweep = false;     // Run the full scheme x interarrival grid.
   unsigned threads = 0;   // Sweep workers; 0 = hardware concurrency.
   std::string csv;        // Credit/cost timeline CSV.
@@ -85,6 +94,12 @@ void Usage(const char* argv0) {
       "  --fair-eviction       weigh eviction by tenant regret attribution\n"
       "  --admission           throttle tenants with unmonetizable regret\n"
       "  --admission-ratio=X   unmonetized-regret/revenue throttle point (2)\n"
+      "  --tenant-budget=T:P[:M]  scale tenant T's budget price multiplier\n"
+      "                        by P (and t_max by M); repeatable\n"
+      "  --nodes=N             cluster cache nodes (1 = classic single node)\n"
+      "  --elastic=on|off      economic node scale-out/in (off)\n"
+      "  --node-rent-multiplier=X  rented-node rent vs reservation rate (1)\n"
+      "  --max-nodes=N         elasticity ceiling (4)\n"
       "  --sweep               run all 4 schemes x 4 paper intervals\n"
       "  --threads=N           sweep worker threads (0 = all cores)\n"
       "  --csv=PATH            write credit/cost timeline CSV\n"
@@ -128,6 +143,57 @@ std::optional<Args> Parse(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--admission") == 0) args.admission = true;
     else if (Flag(argv[i], "--admission-ratio", &v))
       args.admission_ratio = std::stod(v);
+    else if (Flag(argv[i], "--tenant-budget", &v)) {
+      // T:P[:M] — tenant index, price-multiplier scale, optional tmax
+      // scale. Every field is validated: a stray non-numeric tenant must
+      // not silently squeeze tenant 0.
+      const auto reject = [] {
+        std::fprintf(stderr,
+                     "--tenant-budget wants <tenant>:<price>[:<tmax>] "
+                     "(numeric fields)\n");
+        return std::nullopt;
+      };
+      TenantBudgetShape shape;
+      const size_t first = v.find(':');
+      if (first == std::string::npos || first == 0) return reject();
+      const std::string tenant_field = v.substr(0, first);
+      char* end = nullptr;
+      const unsigned long tenant =
+          std::strtoul(tenant_field.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') return reject();
+      shape.tenant = static_cast<uint32_t>(tenant);
+      const size_t second = v.find(':', first + 1);
+      const std::string price_field =
+          v.substr(first + 1, second == std::string::npos
+                                  ? std::string::npos
+                                  : second - first - 1);
+      if (price_field.empty()) return reject();
+      shape.price_scale = std::strtod(price_field.c_str(), &end);
+      if (end == nullptr || *end != '\0') return reject();
+      if (second != std::string::npos) {
+        const std::string tmax_field = v.substr(second + 1);
+        if (tmax_field.empty()) return reject();
+        shape.tmax_scale = std::strtod(tmax_field.c_str(), &end);
+        if (end == nullptr || *end != '\0') return reject();
+      }
+      args.tenant_budgets.push_back(shape);
+    }
+    else if (Flag(argv[i], "--nodes", &v))
+      args.nodes =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    else if (Flag(argv[i], "--elastic", &v)) {
+      if (v == "on") args.elastic = true;
+      else if (v == "off") args.elastic = false;
+      else {
+        std::fprintf(stderr, "--elastic wants on|off\n");
+        return std::nullopt;
+      }
+    }
+    else if (Flag(argv[i], "--node-rent-multiplier", &v))
+      args.node_rent_multiplier = std::stod(v);
+    else if (Flag(argv[i], "--max-nodes", &v))
+      args.max_nodes =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
     else if (std::strcmp(argv[i], "--sweep") == 0) args.sweep = true;
     else if (Flag(argv[i], "--threads", &v))
       args.threads =
@@ -189,6 +255,42 @@ int main(int argc, char** argv) {
                  "note: --fair-eviction/--admission read tenant regret "
                  "attribution; with --tenants=1 they have no effect\n");
   }
+  for (const TenantBudgetShape& shape : args.tenant_budgets) {
+    if (shape.tenant >= args.tenants) {
+      std::fprintf(stderr,
+                   "--tenant-budget tenant %u out of range (tenants=%u)\n",
+                   shape.tenant, args.tenants);
+      return 2;
+    }
+    // The negated comparison rejects NaN too (NaN > 0 is false).
+    if (!(shape.price_scale > 0) || !std::isfinite(shape.price_scale) ||
+        !(shape.tmax_scale > 0) || !std::isfinite(shape.tmax_scale)) {
+      std::fprintf(stderr,
+                   "--tenant-budget scales must be finite and > 0\n");
+      return 2;
+    }
+  }
+  if (!args.tenant_budgets.empty() && args.tenants < 2) {
+    std::fprintf(stderr,
+                 "note: --tenant-budget applies on the multi-tenant path; "
+                 "with --tenants=1 it has no effect\n");
+  }
+  config.tenancy.tenant_budgets = args.tenant_budgets;
+  if (args.nodes == 0) {
+    std::fprintf(stderr, "--nodes must be >= 1\n");
+    return 2;
+  }
+  if (args.node_rent_multiplier <= 0) {
+    std::fprintf(stderr, "--node-rent-multiplier must be > 0\n");
+    return 2;
+  }
+  config.cluster.nodes = args.nodes;
+  config.cluster.elastic = args.elastic;
+  config.cluster.node_rent_multiplier = args.node_rent_multiplier;
+  config.cluster.elasticity.max_nodes =
+      std::max(args.max_nodes, args.nodes);
+  // One amortization horizon prices structure builds and node rent alike.
+  config.cluster.elasticity.amortization_horizon = args.horizon;
 
   if (!args.trace_out.empty()) {
     Result<std::vector<ResolvedTemplate>> resolved =
@@ -286,6 +388,12 @@ int main(int argc, char** argv) {
                 args.admission ? ", admission" : "");
     std::fputs(MakeTenantTable(metrics).ToAscii().c_str(), stdout);
     std::fputs(FormatFairness(metrics).c_str(), stdout);
+  }
+  if (metrics.cluster.active) {
+    std::printf("\nPer-node breakdown (%s)\n",
+                args.elastic ? "elastic" : "fixed fleet");
+    std::fputs(MakeNodeTable(metrics).ToAscii().c_str(), stdout);
+    std::fputs(FormatCluster(metrics).c_str(), stdout);
   }
 
   if (!args.csv.empty()) {
