@@ -30,6 +30,52 @@ std::unique_ptr<BudgetFunction> BudgetModel::Make(Money reference_price,
   return std::make_unique<StepBudget>(amount, t_max);
 }
 
+const BudgetFunction& BudgetModel::MakeInto(Money reference_price,
+                                            double reference_seconds,
+                                            Rng& rng,
+                                            BudgetScratch* scratch) const {
+  const double jitter =
+      rng.NextUniform(-options_.jitter, options_.jitter);
+  const double multiplier =
+      std::max(0.0, options_.price_multiplier + jitter);
+  const Money amount = reference_price * multiplier;
+  const double t_max =
+      std::max(1e-6, reference_seconds * options_.tmax_multiplier);
+  if (scratch->fn == nullptr || scratch->shape != options_.shape) {
+    scratch->shape = options_.shape;
+    switch (options_.shape) {
+      case BudgetModelOptions::Shape::kStep:
+        scratch->fn = std::make_unique<StepBudget>(amount, t_max);
+        break;
+      case BudgetModelOptions::Shape::kLinear:
+        scratch->fn = std::make_unique<LinearBudget>(amount, t_max);
+        break;
+      case BudgetModelOptions::Shape::kConvex:
+        scratch->fn = std::make_unique<ConvexBudget>(amount, t_max);
+        break;
+      case BudgetModelOptions::Shape::kConcave:
+        scratch->fn = std::make_unique<ConcaveBudget>(amount, t_max);
+        break;
+    }
+    return *scratch->fn;
+  }
+  switch (scratch->shape) {
+    case BudgetModelOptions::Shape::kStep:
+      static_cast<StepBudget*>(scratch->fn.get())->Reset(amount, t_max);
+      break;
+    case BudgetModelOptions::Shape::kLinear:
+      static_cast<LinearBudget*>(scratch->fn.get())->Reset(amount, t_max);
+      break;
+    case BudgetModelOptions::Shape::kConvex:
+      static_cast<ConvexBudget*>(scratch->fn.get())->Reset(amount, t_max);
+      break;
+    case BudgetModelOptions::Shape::kConcave:
+      static_cast<ConcaveBudget*>(scratch->fn.get())->Reset(amount, t_max);
+      break;
+  }
+  return *scratch->fn;
+}
+
 const char* SchemeKindToString(SchemeKind kind) {
   switch (kind) {
     case SchemeKind::kBypassYield:
@@ -123,15 +169,16 @@ ServedQuery EconScheme::OnQuery(const Query& query, SimTime now) {
   const BudgetModel& budget_model =
       tenant_budget_models_.empty() ? budget_model_
                                     : tenant_budget_models_[query.tenant_id];
-  const std::unique_ptr<BudgetFunction> budget = budget_model.Make(
-      backend_est.cost, backend_est.time_seconds, budget_rng);
+  const BudgetFunction& budget = budget_model.MakeInto(
+      backend_est.cost, backend_est.time_seconds, budget_rng,
+      &budget_scratch_);
 
   // Snapshot residency before the engine invests, so the reported build
   // usage reflects what actually had to be transferred. The snapshot
   // buffer is reused across queries (assignment recycles its storage).
   residency_scratch_ = engine_->cache().column_residency();
 
-  const QueryOutcome outcome = engine_->OnQuery(query, *budget, now);
+  const QueryOutcome outcome = engine_->OnQuery(query, budget, now);
 
   ServedQuery out;
   out.served = outcome.served;

@@ -52,6 +52,15 @@ struct TenantBudgetShape {
   double tmax_scale = 1.0;
 };
 
+/// Reusable storage for BudgetModel::MakeInto: the synthesized function
+/// object is recycled across queries whenever the requested shape matches
+/// the one already held, so steady-state budget synthesis allocates
+/// nothing.
+struct BudgetScratch {
+  BudgetModelOptions::Shape shape = BudgetModelOptions::Shape::kStep;
+  std::unique_ptr<BudgetFunction> fn;
+};
+
 /// Synthesizes per-query budget functions from a reference quote.
 class BudgetModel {
  public:
@@ -62,6 +71,13 @@ class BudgetModel {
   std::unique_ptr<BudgetFunction> Make(Money reference_price,
                                        double reference_seconds,
                                        Rng& rng) const;
+
+  /// Allocation-free form: parameters land in `scratch`'s recycled
+  /// function object (same rng draws, same values as Make). The returned
+  /// reference is valid until the next MakeInto on the same scratch.
+  const BudgetFunction& MakeInto(Money reference_price,
+                                 double reference_seconds, Rng& rng,
+                                 BudgetScratch* scratch) const;
 
   const BudgetModelOptions& options() const { return options_; }
 
@@ -265,6 +281,9 @@ class EconScheme : public Scheme {
   std::vector<Rng> tenant_rngs_;
   /// Reused pre-query column-residency snapshot (build-usage metering).
   std::vector<bool> residency_scratch_;
+  /// Recycled per-query budget function (all tenant models share the
+  /// config's shape, so one scratch serves every stream).
+  BudgetScratch budget_scratch_;
 };
 
 /// Builds the scheme `kind` with the paper's configuration: the economy

@@ -36,7 +36,7 @@ StructureId CandidatePool::PopVictim() {
     }
   }
   const StructureId id = victim->id;
-  index_.erase(id);
+  present_[id] = 0;
   entries_.erase(victim);
   return id;
 }
@@ -44,19 +44,25 @@ StructureId CandidatePool::PopVictim() {
 const std::vector<StructureId>& CandidatePool::Touch(StructureId id,
                                                     SimTime now) {
   evicted_.clear();
-  auto it = index_.find(id);
-  if (it != index_.end()) {
-    it->second->last_touch = now;
-    entries_.splice(entries_.begin(), entries_, it->second);
+  if (Contains(id)) {
+    const auto it = index_[id];
+    it->last_touch = now;
+    entries_.splice(entries_.begin(), entries_, it);
     return evicted_;
   }
   entries_.push_front(Entry{id, now});
+  if (id >= present_.size()) {
+    present_.resize(id + 1, 0);
+    index_.resize(id + 1);
+  }
+  present_[id] = 1;
   index_[id] = entries_.begin();
   while (entries_.size() > capacity_) {
     if (!victim_scorer_) {
       // Classic strict LRU stays on the original tight path.
-      evicted_.push_back(entries_.back().id);
-      index_.erase(entries_.back().id);
+      const StructureId victim = entries_.back().id;
+      evicted_.push_back(victim);
+      present_[victim] = 0;
       entries_.pop_back();
     } else {
       evicted_.push_back(PopVictim());
@@ -66,14 +72,9 @@ const std::vector<StructureId>& CandidatePool::Touch(StructureId id,
 }
 
 void CandidatePool::Erase(StructureId id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return;
-  entries_.erase(it->second);
-  index_.erase(it);
-}
-
-bool CandidatePool::Contains(StructureId id) const {
-  return index_.count(id) > 0;
+  if (!Contains(id)) return;
+  entries_.erase(index_[id]);
+  present_[id] = 0;
 }
 
 std::vector<StructureId> CandidatePool::MruOrder() const {

@@ -3,7 +3,6 @@
 #include <cstddef>
 #include <functional>
 #include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "src/structure/structure.h"
@@ -54,7 +53,9 @@ class CandidatePool {
   /// Removes `id` from the pool (e.g. because it was just built).
   void Erase(StructureId id);
 
-  bool Contains(StructureId id) const;
+  bool Contains(StructureId id) const {
+    return id < present_.size() && present_[id];
+  }
   size_t size() const { return entries_.size(); }
   size_t capacity() const { return capacity_; }
 
@@ -72,7 +73,12 @@ class CandidatePool {
 
   size_t capacity_;
   std::list<Entry> entries_;  // Front = most recently used.
-  std::unordered_map<StructureId, std::list<Entry>::iterator> index_;
+  /// Flat id-indexed handle map (StructureIds are small dense integers):
+  /// index_[id] is valid iff present_[id]. The per-query Touch of an
+  /// already-tracked candidate — the hot path — is then one array load
+  /// plus a splice, with no hashing.
+  std::vector<std::list<Entry>::iterator> index_;
+  std::vector<char> present_;
   std::vector<StructureId> evicted_;  // Touch's reused out-buffer.
   /// Tenant-aware aging (null = classic strict LRU).
   std::function<double(StructureId)> victim_scorer_;

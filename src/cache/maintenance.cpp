@@ -11,7 +11,8 @@ void MaintenanceLedger::Register(StructureId id, const StructureKey& key,
                                  double failure_scale) {
   CLOUDCACHE_CHECK(!IsTracked(id));
   CLOUDCACHE_CHECK_GE(failure_scale, 1.0);
-  clocks_[id] = Clock{key, now, build_cost, failure_scale};
+  clocks_[id] = Clock{key, now, build_cost, failure_scale,
+                      StructureBytes(model_->catalog(), key)};
 }
 
 double MaintenanceLedger::FailureScale(StructureId id) const {
@@ -29,8 +30,7 @@ Money MaintenanceLedger::Unregister(StructureId id, SimTime now) {
   auto it = clocks_.find(id);
   CLOUDCACHE_CHECK(it != clocks_.end());
   const Money written_off =
-      model_->MaintenanceCost(it->second.key,
-                              std::max(0.0, now - it->second.paid_until));
+      PriceGap(it->second, std::max(0.0, now - it->second.paid_until));
   clocks_.erase(it);
   return written_off;
 }
@@ -38,8 +38,7 @@ Money MaintenanceLedger::Unregister(StructureId id, SimTime now) {
 Money MaintenanceLedger::Owed(StructureId id, SimTime now) const {
   auto it = clocks_.find(id);
   CLOUDCACHE_CHECK(it != clocks_.end());
-  return model_->MaintenanceCost(it->second.key,
-                                 std::max(0.0, now - it->second.paid_until));
+  return PriceGap(it->second, std::max(0.0, now - it->second.paid_until));
 }
 
 Money MaintenanceLedger::OwedCapped(StructureId id, SimTime now,
@@ -47,8 +46,7 @@ Money MaintenanceLedger::OwedCapped(StructureId id, SimTime now,
   auto it = clocks_.find(id);
   CLOUDCACHE_CHECK(it != clocks_.end());
   const double gap = std::max(0.0, now - it->second.paid_until);
-  return model_->MaintenanceCost(it->second.key,
-                                 std::min(gap, cap_seconds));
+  return PriceGap(it->second, std::min(gap, cap_seconds));
 }
 
 Money MaintenanceLedger::Pay(StructureId id, SimTime now,
@@ -57,8 +55,7 @@ Money MaintenanceLedger::Pay(StructureId id, SimTime now,
   CLOUDCACHE_CHECK(it != clocks_.end());
   const double gap = std::max(0.0, now - it->second.paid_until);
   const double covered = std::min(gap, cap_seconds);
-  const Money collected =
-      model_->MaintenanceCost(it->second.key, covered);
+  const Money collected = PriceGap(it->second, covered);
   it->second.paid_until += covered;
   return collected;
 }

@@ -97,7 +97,16 @@ class MaintenanceLedger {
     SimTime paid_until = 0;
     Money build_cost;
     double failure_scale = 1.0;
+    /// StructureBytes(catalog, key), computed once at Register so the
+    /// per-query rent pricers skip the catalog walk (the footprint of a
+    /// registered structure never changes).
+    uint64_t bytes = 0;
   };
+
+  /// Rent accrued over `gap` seconds, priced through the cached footprint.
+  Money PriceGap(const Clock& clock, double gap) const {
+    return model_->MaintenanceCostSized(clock.key, clock.bytes, gap);
+  }
 
   const CostModel* model_;
   std::unordered_map<StructureId, Clock> clocks_;

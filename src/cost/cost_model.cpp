@@ -39,11 +39,11 @@ double CostModel::ParallelCpuFactor(double parallel_fraction,
   return (1.0 - f) + f * overhead;
 }
 
-ExecutionEstimate CostModel::EstimateExecution(const Query& query,
-                                               const PlanSpec& spec) const {
+CostModel::ExecutionBase CostModel::EstimateExecutionBase(
+    const Query& query, const PlanSpec& spec, uint64_t accessed_width,
+    double clustered_fraction) const {
   const Table& table = catalog_->table(query.table);
   const auto total_rows = static_cast<double>(table.row_count);
-  const std::vector<ColumnId>& accessed = query.AccessedColumns();
   const PriceList& p = *prices_;
 
   // Rows the executor actually touches and bytes it reads, by access path.
@@ -56,16 +56,11 @@ ExecutionEstimate CostModel::EstimateExecution(const Query& query,
       // its optimizer takes whichever access path touches less I/O —
       // random index fetches for selective queries, a clustered region
       // scan for broad ones (the standard index-vs-scan crossover).
-      const double width =
-          static_cast<double>(WidthOf(*catalog_, accessed));
+      const double width = static_cast<double>(accessed_width);
       const double probe_rows = total_rows * query.CombinedSelectivity();
       const double probe_bytes =
           probe_rows * width * p.random_io_multiplier;
-      double scan_fraction = 1.0;
-      for (const Predicate& pred : query.predicates) {
-        if (pred.clustered) scan_fraction *= pred.selectivity;
-      }
-      const double scan_rows = total_rows * scan_fraction;
+      const double scan_rows = total_rows * clustered_fraction;
       const double scan_bytes = scan_rows * width;
       if (probe_bytes <= scan_bytes) {
         touched_rows = probe_rows;
@@ -81,13 +76,8 @@ ExecutionEstimate CostModel::EstimateExecution(const Query& query,
     case PlanSpec::Access::kCacheScan: {
       // Clustered predicates prune the scanned region; the remaining
       // predicates are evaluated on the fly.
-      double scan_fraction = 1.0;
-      for (const Predicate& pred : query.predicates) {
-        if (pred.clustered) scan_fraction *= pred.selectivity;
-      }
-      touched_rows = total_rows * scan_fraction;
-      bytes_read = touched_rows *
-                   static_cast<double>(WidthOf(*catalog_, accessed));
+      touched_rows = total_rows * clustered_fraction;
+      bytes_read = touched_rows * static_cast<double>(accessed_width);
       io_multiplier = 1.0;
       break;
     }
@@ -100,13 +90,11 @@ ExecutionEstimate CostModel::EstimateExecution(const Query& query,
       touched_rows = total_rows * probe_sel;
       if (spec.covering) {
         // Entries read straight out of the index leaves: key + locator.
-        const uint64_t entry =
-            WidthOf(*catalog_, accessed) + 8;  // 8-byte row locator.
+        const uint64_t entry = accessed_width + 8;  // 8-byte row locator.
         bytes_read = touched_rows * static_cast<double>(entry);
         io_multiplier = 1.0;
       } else {
-        bytes_read = touched_rows *
-                     static_cast<double>(WidthOf(*catalog_, accessed));
+        bytes_read = touched_rows * static_cast<double>(accessed_width);
         io_multiplier = p.random_io_multiplier;
       }
       break;
@@ -119,25 +107,36 @@ ExecutionEstimate CostModel::EstimateExecution(const Query& query,
       (touched_rows * query.cpu_multiplier +
        static_cast<double>(query.result_rows)) /
       1e6;
-  const double cpu_serial = p.lcpu * p.fcpu * qtot_m;
+
+  ExecutionBase base;
+  base.cpu_serial = p.lcpu * p.fcpu * qtot_m;
 
   // I/O: logical operations after the fio calibration.
   const double ops_raw = bytes_read / p.io_bytes_per_op * p.fio;
-  const auto io_ops =
-      static_cast<uint64_t>(std::ceil(ops_raw * io_multiplier));
-  const double io_seconds =
-      static_cast<double>(io_ops) * p.io_seconds_per_op;
+  base.io_ops = static_cast<uint64_t>(std::ceil(ops_raw * io_multiplier));
+  base.io_seconds = static_cast<double>(base.io_ops) * p.io_seconds_per_op;
+  return base;
+}
 
-  ExecutionEstimate est;
+ExecutionEstimate CostModel::FinalizeExecution(
+    const Query& query, const PlanSpec& spec,
+    const ExecutionBase& base) const {
   const bool in_cache = spec.access != PlanSpec::Access::kBackend;
   const uint32_t nodes = in_cache ? std::max(1u, spec.cpu_nodes) : 1;
-  const double time_factor = ParallelTimeFactor(query.parallel_fraction,
-                                                nodes);
-  const double cpu_factor = ParallelCpuFactor(query.parallel_fraction,
-                                              nodes);
-  est.time_seconds = (cpu_serial + io_seconds) * time_factor;
-  est.cpu_seconds = cpu_serial * cpu_factor;
-  est.io_ops = io_ops;
+  return FinalizeExecutionWithFactors(
+      query, spec, base, ParallelTimeFactor(query.parallel_fraction, nodes),
+      ParallelCpuFactor(query.parallel_fraction, nodes));
+}
+
+ExecutionEstimate CostModel::FinalizeExecutionWithFactors(
+    const Query& query, const PlanSpec& spec, const ExecutionBase& base,
+    double time_factor, double cpu_factor) const {
+  const PriceList& p = *prices_;
+  ExecutionEstimate est;
+  const bool in_cache = spec.access != PlanSpec::Access::kBackend;
+  est.time_seconds = (base.cpu_serial + base.io_seconds) * time_factor;
+  est.cpu_seconds = base.cpu_serial * cpu_factor;
+  est.io_ops = base.io_ops;
   est.wan_bytes = 0;
 
   // Eq. 8: CeC = lcpu * fcpu * qtot * c + fio * io * iotot.
@@ -153,6 +152,62 @@ ExecutionEstimate CostModel::EstimateExecution(const Query& query,
     est.cost += p.CpuCost(transfer_cpu) + p.NetworkCost(query.result_bytes);
   }
   return est;
+}
+
+ExecutionEstimate CostModel::EstimateExecution(const Query& query,
+                                               const PlanSpec& spec) const {
+  const std::vector<ColumnId>& accessed = query.AccessedColumns();
+  double clustered_fraction = 1.0;
+  for (const Predicate& pred : query.predicates) {
+    if (pred.clustered) clustered_fraction *= pred.selectivity;
+  }
+  return FinalizeExecution(
+      query, spec,
+      EstimateExecutionBase(query, spec, WidthOf(*catalog_, accessed),
+                            clustered_fraction));
+}
+
+void CostModel::BatchEstimator::Reset(const Query& query) {
+  query_ = &query;
+  accessed_width_ = WidthOf(*model_->catalog_, query.AccessedColumns());
+  clustered_fraction_ = 1.0;
+  for (const Predicate& pred : query.predicates) {
+    if (pred.clustered) clustered_fraction_ *= pred.selectivity;
+  }
+  has_family_ = false;
+  // Factors depend on query.parallel_fraction: forget the previous
+  // query's memo (capacity is kept).
+  time_factors_.clear();
+  cpu_factors_.clear();
+}
+
+ExecutionEstimate CostModel::BatchEstimator::Estimate(const PlanSpec& spec) {
+  CLOUDCACHE_CHECK(query_ != nullptr);
+  if (!has_family_ || spec.access != family_access_ ||
+      spec.covering != family_covering_ ||
+      spec.covered_predicates != family_covered_) {
+    base_ = model_->EstimateExecutionBase(*query_, spec, accessed_width_,
+                                          clustered_fraction_);
+    family_access_ = spec.access;
+    family_covering_ = spec.covering;
+    family_covered_ = spec.covered_predicates;
+    has_family_ = true;
+  }
+  const bool in_cache = spec.access != PlanSpec::Access::kBackend;
+  const uint32_t nodes = in_cache ? std::max(1u, spec.cpu_nodes) : 1;
+  if (nodes >= time_factors_.size()) {
+    time_factors_.resize(nodes + 1, -1.0);
+    cpu_factors_.resize(nodes + 1, -1.0);
+  }
+  if (time_factors_[nodes] < 0.0) {
+    time_factors_[nodes] =
+        model_->ParallelTimeFactor(query_->parallel_fraction, nodes);
+    cpu_factors_[nodes] =
+        model_->ParallelCpuFactor(query_->parallel_fraction, nodes);
+  }
+  return model_->FinalizeExecutionWithFactors(*query_, spec, base_,
+                                              time_factors_[nodes],
+                                              cpu_factors_[nodes]);
 }
 
 Money CostModel::CpuNodeBuildCost() const {
@@ -280,6 +335,11 @@ BuildUsage CostModel::EstimateBuildUsage(
 
 Money CostModel::MaintenanceCost(const StructureKey& key,
                                  double seconds) const {
+  return MaintenanceCostSized(key, StructureBytes(*catalog_, key), seconds);
+}
+
+Money CostModel::MaintenanceCostSized(const StructureKey& key,
+                                      uint64_t bytes, double seconds) const {
   CLOUDCACHE_CHECK_GE(seconds, 0.0);
   switch (key.type) {
     case StructureType::kCpuNode:
@@ -289,7 +349,7 @@ Money CostModel::MaintenanceCost(const StructureKey& key,
     case StructureType::kColumn:
     case StructureType::kIndex:
       // Eq. 13 / Eq. 15: size * cd per unit time.
-      return prices_->DiskCost(StructureBytes(*catalog_, key), seconds);
+      return prices_->DiskCost(bytes, seconds);
   }
   return Money();
 }

@@ -89,6 +89,61 @@ class CostModel {
   ExecutionEstimate EstimateExecution(const Query& query,
                                       const PlanSpec& spec) const;
 
+  /// The spec-independent intermediates of EstimateExecution for one plan
+  /// family — a (access, covered_predicates, covering) shape. Every
+  /// cpu_nodes variant of the family shares these exactly; only the
+  /// parallel time/cpu factors and the WAN terms differ per variant.
+  struct ExecutionBase {
+    double cpu_serial = 0;
+    uint64_t io_ops = 0;
+    double io_seconds = 0;
+  };
+
+  /// Batched estimation over one query instance.
+  ///
+  /// The enumerator prices every skeleton of a query with the same
+  /// instance selectivities, and skeletons arrive grouped by plan family
+  /// (EmitNodeVariants emits the node-count variants consecutively). The
+  /// estimator computes the per-query invariants (accessed width, the
+  /// clustered-scan fraction) once, re-derives the ExecutionBase only
+  /// when the family changes, and finalizes each variant from the shared
+  /// base — producing bit-identical results to calling EstimateExecution
+  /// per spec, because the identical floating-point expressions run on
+  /// identical inputs, just fewer times.
+  class BatchEstimator {
+   public:
+    explicit BatchEstimator(const CostModel* model) : model_(model) {}
+
+    /// Starts a new query instance: recomputes the per-query invariants
+    /// and forgets the cached family. The query must outlive the batch.
+    void Reset(const Query& query);
+
+    /// Same bits as model->EstimateExecution(query, spec) for the query
+    /// of the last Reset().
+    ExecutionEstimate Estimate(const PlanSpec& spec);
+
+   private:
+    const CostModel* model_;
+    const Query* query_ = nullptr;
+    /// Sum of the accessed columns' storage widths (bytes).
+    uint64_t accessed_width_ = 0;
+    /// Product of the clustered predicates' selectivities.
+    double clustered_fraction_ = 1.0;
+    /// Family memo (valid while the spec shape matches).
+    bool has_family_ = false;
+    PlanSpec::Access family_access_ = PlanSpec::Access::kBackend;
+    std::vector<size_t> family_covered_;
+    bool family_covering_ = false;
+    ExecutionBase base_;
+    /// Per-query parallel-factor memo, indexed by effective node count:
+    /// ParallelTimeFactor/ParallelCpuFactor depend only on the query's
+    /// parallel fraction and the node count, and every plan family
+    /// re-finalizes the same handful of node counts. Sentinel < 0 means
+    /// "not computed for this query yet" (real factors are positive).
+    mutable std::vector<double> time_factors_;
+    mutable std::vector<double> cpu_factors_;
+  };
+
   /// Speedup-normalized elapsed-time factor of running on `nodes` CPU
   /// nodes a job with the given parallel fraction: the SDSS scaling law of
   /// [17] generalized as time(k)/time(1) = (1-f) + f*(1+a(k-1))/k.
@@ -128,6 +183,13 @@ class CostModel {
   /// disk rent for columns/indexes, reservation rent for CPU nodes.
   Money MaintenanceCost(const StructureKey& key, double seconds) const;
 
+  /// MaintenanceCost with the structure's disk footprint already in hand.
+  /// `bytes` must equal StructureBytes(catalog, key); callers on the
+  /// per-query rent path (the maintenance ledger) cache it once at
+  /// registration instead of re-walking the catalog per pricing call.
+  Money MaintenanceCostSized(const StructureKey& key, uint64_t bytes,
+                             double seconds) const;
+
   /// The synthetic sort query whose execution cost approximates index
   /// construction ("select <keys> from T order by <keys>", Section V-C).
   Query MakeIndexBuildQuery(const StructureKey& index) const;
@@ -136,6 +198,31 @@ class CostModel {
   const PriceList& prices() const { return *prices_; }
 
  private:
+  /// Access-path + CPU phase of EstimateExecution: everything that does
+  /// not depend on spec.cpu_nodes. `accessed_width` is the byte sum of
+  /// the query's accessed columns and `clustered_fraction` the product of
+  /// its clustered predicates' selectivities — hoisted so the batch path
+  /// computes each once per query; the expressions below them replicate
+  /// the single-shot path exactly (bit-identical by construction).
+  ExecutionBase EstimateExecutionBase(const Query& query,
+                                      const PlanSpec& spec,
+                                      uint64_t accessed_width,
+                                      double clustered_fraction) const;
+  /// Variant phase: parallel factors, pricing, and WAN terms.
+  ExecutionEstimate FinalizeExecution(const Query& query,
+                                      const PlanSpec& spec,
+                                      const ExecutionBase& base) const;
+  /// FinalizeExecution with the parallel factors supplied by the caller
+  /// (the batch path memoizes them per (query, node count)); the factors
+  /// must be exactly Parallel{Time,Cpu}Factor(query.parallel_fraction, n)
+  /// for the spec's effective node count, so the arithmetic below is
+  /// bit-identical to the self-computing overload.
+  ExecutionEstimate FinalizeExecutionWithFactors(const Query& query,
+                                                 const PlanSpec& spec,
+                                                 const ExecutionBase& base,
+                                                 double time_factor,
+                                                 double cpu_factor) const;
+
   const Catalog* catalog_;
   const PriceList* prices_;
 };

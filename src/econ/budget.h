@@ -33,6 +33,11 @@ class BudgetFunction {
  protected:
   explicit BudgetFunction(double t_max) : t_max_(t_max) {}
 
+  /// For subclasses whose parameters can be re-bound in place (the budget
+  /// synthesizer recycles one function object per query instead of
+  /// allocating).
+  void set_t_max(double t_max) { t_max_ = t_max; }
+
   /// Shape on (0, t_max]; implemented by subclasses.
   virtual Money Evaluate(double t) const = 0;
 
@@ -45,6 +50,12 @@ class StepBudget : public BudgetFunction {
  public:
   StepBudget(Money amount, double t_max);
 
+  /// Re-binds the parameters in place (object recycling).
+  void Reset(Money amount, double t_max) {
+    amount_ = amount;
+    set_t_max(t_max);
+  }
+
  protected:
   Money Evaluate(double t) const override;
 
@@ -56,6 +67,11 @@ class StepBudget : public BudgetFunction {
 class LinearBudget : public BudgetFunction {
  public:
   LinearBudget(Money amount, double t_max);
+
+  void Reset(Money amount, double t_max) {
+    amount_ = amount;
+    set_t_max(t_max);
+  }
 
  protected:
   Money Evaluate(double t) const override;
@@ -70,6 +86,11 @@ class ConvexBudget : public BudgetFunction {
  public:
   ConvexBudget(Money amount, double t_max);
 
+  void Reset(Money amount, double t_max) {
+    amount_ = amount;
+    set_t_max(t_max);
+  }
+
  protected:
   Money Evaluate(double t) const override;
 
@@ -82,6 +103,11 @@ class ConvexBudget : public BudgetFunction {
 class ConcaveBudget : public BudgetFunction {
  public:
   ConcaveBudget(Money amount, double t_max);
+
+  void Reset(Money amount, double t_max) {
+    amount_ = amount;
+    set_t_max(t_max);
+  }
 
  protected:
   Money Evaluate(double t) const override;

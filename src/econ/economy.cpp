@@ -110,9 +110,9 @@ void EconomyEngine::ForfeitTenantRegret(uint32_t tenant) {
   // ledgers a partition of the global one; per-entry subtraction
   // commutes, so the map's iteration order never reaches the metrics.
   RegretLedger& ledger = tenant_regret_[tenant];
-  for (const auto& [id, amount] : ledger.entries()) {
+  ledger.ForEachNonZero([this](StructureId id, Money amount) {
     regret_.Subtract(id, amount);
-  }
+  });
   ledger = RegretLedger();
 }
 
@@ -134,24 +134,83 @@ Money EconomyEngine::BuildCostNow(StructureId id) const {
   return model_->BuildCost(registry_->key(id), cache_.column_residency());
 }
 
+Money EconomyEngine::MemoBuildCostNow(StructureId id) const {
+  // Stamp = epoch + 1 so 0 means "never computed"; any residency mutation
+  // bumps the epoch and invalidates every entry at once.
+  const uint64_t stamp = cache_.epoch() + 1;
+  if (id >= build_cost_stamp_.size()) {
+    build_cost_stamp_.resize(registry_->size(), 0);
+    build_cost_value_.resize(registry_->size(), Money());
+  }
+  if (build_cost_stamp_[id] != stamp) {
+    build_cost_stamp_[id] = stamp;
+    build_cost_value_[id] = BuildCostNow(id);
+  }
+  return build_cost_value_[id];
+}
+
 void EconomyEngine::PriceCarriedCharges(PlanSet* set, SimTime now) const {
+  // Per-structure charges repeat heavily across the plan set: a column
+  // appears in the scan plan, every non-covering index plan, and all of
+  // their node variants. Each is computed at most once per call:
+  //  * a resident structure's charge reads the amortizer and maintenance
+  //    ledgers, which move between queries — memoized under a per-call
+  //    tick;
+  //  * a hypothetical structure's advertised build share depends only on
+  //    column residency, which moves exactly with CacheState::epoch —
+  //    memoized under the epoch (+1 so 0 means "never computed") and
+  //    reused across queries, skipping the whole Eq. 10-14 build-cost
+  //    walk (including the synthetic sort query of Eq. 14).
+  // Money is exact int64, so summing memoized per-structure values in
+  // plan order is bit-identical to the original per-plan recomputation.
+  const uint64_t tick = ++charge_tick_;
+  const uint64_t epoch_stamp = cache_.epoch() + 1;
+  const size_t universe = registry_->size();
+  if (charge_stamp_.size() < universe) {
+    charge_stamp_.resize(universe, 0);
+    charge_value_.resize(universe, Money());
+    hypo_epoch_stamp_.resize(universe, 0);
+    hypo_share_.resize(universe, Money());
+  }
+  // Node variants of one plan family carry the same structure list and
+  // arrive consecutively; their carried sum is identical (each structure's
+  // memoized value is stable within this call), so it is computed once per
+  // family and copied forward.
+  const std::vector<StructureId>* prev_structures = nullptr;
+  Money prev_carried;
   for (QueryPlan& plan : set->plans) {
+    if (prev_structures != nullptr &&
+        plan.structures == *prev_structures) {
+      plan.carried_charges = prev_carried;
+      continue;
+    }
     Money carried;
     for (StructureId id : plan.structures) {
-      if (cache_.IsResident(id)) {
-        // Eq. 5-7 share plus the rent owed since the last payer
-        // (footnote 3), capped per use.
-        carried += amortizer_.PendingShare(id);
-        carried += maintenance_.OwedCapped(
-            id, now, options_.maintenance_recovery_cap_seconds);
-      } else {
-        // Hypothetical structure: advertise the share its build cost
-        // would contribute to this plan's price if it existed.
-        carried += EvenShare(BuildCostNow(id),
-                             options_.amortization_horizon, 0);
+      if (charge_stamp_[id] != tick) {
+        charge_stamp_[id] = tick;
+        if (cache_.IsResident(id)) {
+          // Eq. 5-7 share plus the rent owed since the last payer
+          // (footnote 3), capped per use.
+          charge_value_[id] =
+              amortizer_.PendingShare(id) +
+              maintenance_.OwedCapped(
+                  id, now, options_.maintenance_recovery_cap_seconds);
+        } else {
+          // Hypothetical structure: advertise the share its build cost
+          // would contribute to this plan's price if it existed.
+          if (hypo_epoch_stamp_[id] != epoch_stamp) {
+            hypo_epoch_stamp_[id] = epoch_stamp;
+            hypo_share_[id] = EvenShare(MemoBuildCostNow(id),
+                                        options_.amortization_horizon, 0);
+          }
+          charge_value_[id] = hypo_share_[id];
+        }
       }
+      carried += charge_value_[id];
     }
     plan.carried_charges = carried;
+    prev_structures = &plan.structures;
+    prev_carried = carried;
   }
 }
 
@@ -198,7 +257,9 @@ size_t EconomyEngine::SelectPlan(const std::vector<QueryPlan>& plans,
   return best;
 }
 
-void EconomyEngine::AccumulateRegret(const PlanSet& set, size_t chosen_index,
+void EconomyEngine::AccumulateRegret(const std::vector<QueryPlan>& plans,
+                                     const std::vector<size_t>& skyline,
+                                     size_t chosen_index,
                                      BudgetCase budget_case,
                                      const BudgetFunction& budget,
                                      SimTime /*now*/) {
@@ -207,10 +268,11 @@ void EconomyEngine::AccumulateRegret(const PlanSet& set, size_t chosen_index,
   Money reference;
   bool have_reference = false;
   if (chosen_index != std::numeric_limits<size_t>::max()) {
-    reference = set.plans[chosen_index].Price();
+    reference = plans[chosen_index].Price();
     have_reference = true;
   } else {
-    for (const QueryPlan& plan : set.plans) {
+    for (size_t j : skyline) {
+      const QueryPlan& plan = plans[j];
       if (!plan.IsExisting()) continue;
       if (!have_reference || plan.Price() < reference) {
         reference = plan.Price();
@@ -220,9 +282,9 @@ void EconomyEngine::AccumulateRegret(const PlanSet& set, size_t chosen_index,
   }
   if (!have_reference) return;
 
-  for (size_t j = 0; j < set.plans.size(); ++j) {
+  for (size_t j : skyline) {
     if (j == chosen_index) continue;
-    const QueryPlan& plan = set.plans[j];
+    const QueryPlan& plan = plans[j];
     if (plan.IsExisting()) continue;  // Regret targets PQpos only.
     Money amount;
     switch (budget_case) {
@@ -284,6 +346,39 @@ void EconomyEngine::MaybeInvest(SimTime now, QueryOutcome* outcome) {
   const Money credit = account_.credit();
   if (!credit.IsPositive()) return;
 
+  // Fast path: Eq. 3 fires only when some eligible structure's standing
+  // regret clears round(regret / (a * CR)) >= 1 — and, for a conservative
+  // provider, only when the credit also covers that structure's build
+  // cost. One flat ledger scan decides that before paying for the sorted
+  // descending view below. Skipping the full pass when nothing qualifies
+  // is bit-identical: with no investment the credit — and with it every
+  // per-entry check — never changes across the loop, so every iteration
+  // would just `continue` with no side effects. The affordability check
+  // mirrors the loop's conservative guard exactly (same epoch, so the
+  // memoized build cost is the same bits); without it, one standing
+  // high-regret-but-unaffordable candidate would force the full sorted
+  // pass on every query.
+  const Money scaled_credit = credit * options_.regret_fraction_a;
+  const bool any_candidate =
+      regret_.AnyNonZero([&](StructureId id, Money regret_value) {
+        if (cache_.IsResident(id)) return false;
+        if (id < pending_flag_.size() && pending_flag_[id]) return false;
+        const StructureKey& key = registry_->key(id);
+        if (key.type == StructureType::kCpuNode) {
+          if (key.ordinal >= options_.max_extra_nodes) return false;
+          if (key.ordinal > cache_.extra_cpu_nodes()) return false;
+        }
+        if (std::llround(regret_value.Ratio(scaled_credit)) < 1) {
+          return false;
+        }
+        if (options_.conservative_provider &&
+            credit < MemoBuildCostNow(id)) {
+          return false;
+        }
+        return true;
+      });
+  if (!any_candidate) return;
+
   for (const auto& [id, regret_value] : regret_.NonZeroDescending()) {
     if (cache_.IsResident(id)) continue;
     if (id < pending_flag_.size() && pending_flag_[id]) continue;
@@ -302,7 +397,7 @@ void EconomyEngine::MaybeInvest(SimTime now, QueryOutcome* outcome) {
         regret_value.Ratio(current_credit * options_.regret_fraction_a);
     if (std::llround(invest_in) < 1) continue;
 
-    const Money build_cost = BuildCostNow(id);
+    const Money build_cost = MemoBuildCostNow(id);
     if (options_.conservative_provider && current_credit < build_cost) {
       continue;  // Never gamble credit the cloud does not have.
     }
@@ -382,7 +477,7 @@ void EconomyEngine::EvictFailedStructures(SimTime now,
     if (build_cost.IsZero()) {
       // Column shipped as part of an index build: judge it by what it
       // would cost to rebuild on its own.
-      build_cost = BuildCostNow(id);
+      build_cost = MemoBuildCostNow(id);
     }
     Money threshold = build_cost * options_.maintenance_failure_fraction;
     // Tenant-aware slack stamped at build time; scales other than 1.0
@@ -472,27 +567,46 @@ QueryOutcome EconomyEngine::OnQuery(const Query& query,
   ActivatePending(now);
   EvictFailedStructures(now, &outcome);
 
-  // The whole decision pipeline below runs on reused member buffers
-  // (enumerated_, plan_set_, the index scratches) so the steady state
-  // allocates nothing per query.
-  enumerator_.Enumerate(query, cache_, &enumerated_);
-  PriceCarriedCharges(&enumerated_, now);
-  SkylineFilterInto(enumerated_, &plan_set_, &skyline_scratch_);
-  PlanSet& set = plan_set_;
-  outcome.num_plans = static_cast<uint32_t>(set.plans.size());
+  // The whole decision pipeline below runs on reused buffers (the
+  // enumerator's shared per-template plan set plus the economy's index
+  // scratches) so the steady state allocates nothing per query. On a
+  // plan-cache hit EnumerateShared re-prices the cached plans in place,
+  // the skyline yields survivor INDICES into that shared set, and every
+  // downstream step reads plans through those indices — no plan is
+  // copied on the decision path (only the chosen one, into the outcome).
+  PlanSet* enumerated = enumerator_.EnumerateShared(query, cache_);
+  PriceCarriedCharges(enumerated, now);
+  SkylineIndicesInto(*enumerated, &skyline_indices_, &skyline_scratch_);
+  const std::vector<QueryPlan>& plans = enumerated->plans;
+  const std::vector<size_t>& skyline = skyline_indices_;
+  outcome.num_plans = static_cast<uint32_t>(skyline.size());
 
-  // Keep the candidate pool's LRU clock fresh for every hypothetical
-  // structure that appeared in a plan; candidates that fall off the cold
-  // end forfeit their regret (Section IV-B).
-  for (const QueryPlan& plan : set.plans) {
+  // One pass over the survivors does three jobs (each preserving skyline
+  // order, so every downstream tie-break is unchanged):
+  //  * keep the candidate pool's LRU clock fresh for every hypothetical
+  //    structure that appeared in a plan — candidates that fall off the
+  //    cold end forfeit their regret (Section IV-B);
+  //  * partition into executable (PQexist) indices;
+  //  * classify affordability once per plan (budget.At is a virtual call
+  //    — evaluating it a second time for the executable subset would be
+  //    pure waste).
+  existing_scratch_.clear();
+  affordable_existing_scratch_.clear();
+  size_t affordable_count = 0;
+  for (size_t idx : skyline) {
+    const QueryPlan& plan = plans[idx];
     for (StructureId id : plan.missing) {
       for (StructureId evicted : pool_.Touch(id, now)) {
         ClearRegretEverywhere(evicted);
       }
     }
+    const bool affordable = Affordable(plan, budget);
+    affordable_count += affordable;
+    if (plan.IsExisting()) {
+      existing_scratch_.push_back(idx);
+      if (affordable) affordable_existing_scratch_.push_back(idx);
+    }
   }
-
-  set.ExistingIndicesInto(&existing_scratch_);
   const std::vector<size_t>& existing = existing_scratch_;
   outcome.num_existing = static_cast<uint32_t>(existing.size());
   CLOUDCACHE_CHECK(!existing.empty());  // The backend plan always exists.
@@ -502,21 +616,11 @@ QueryOutcome EconomyEngine::OnQuery(const Query& query,
   // budget": no *executable* plan is affordable (a hypothetical plan that
   // would be affordable if built cannot serve the query today, and its
   // missed cheapness is exactly what Eq. 1's regret records).
-  size_t affordable_count = 0;
-  for (const QueryPlan& plan : set.plans) {
-    if (Affordable(plan, budget)) ++affordable_count;
-  }
-  affordable_existing_scratch_.clear();
-  for (size_t idx : existing) {
-    if (Affordable(set.plans[idx], budget)) {
-      affordable_existing_scratch_.push_back(idx);
-    }
-  }
   const std::vector<size_t>& affordable_existing =
       affordable_existing_scratch_;
   if (affordable_existing.empty()) {
     outcome.budget_case = BudgetCase::kCaseA;
-  } else if (affordable_count == set.plans.size()) {
+  } else if (affordable_count == skyline.size()) {
     outcome.budget_case = BudgetCase::kCaseB;
   } else {
     outcome.budget_case = BudgetCase::kCaseC;
@@ -525,29 +629,28 @@ QueryOutcome EconomyEngine::OnQuery(const Query& query,
   size_t chosen = std::numeric_limits<size_t>::max();
   if (!affordable_existing.empty()) {
     // Cases B and C: pick per the policy and collect B_Q(t_i).
-    chosen = SelectPlan(set.plans, affordable_existing, budget);
-    const Money payment =
-        budget.At(set.plans[chosen].TimeSeconds());
-    SettleExecution(query, set.plans[chosen], payment, now, &outcome);
+    chosen = SelectPlan(plans, affordable_existing, budget);
+    const Money payment = budget.At(plans[chosen].TimeSeconds());
+    SettleExecution(query, plans[chosen], payment, now, &outcome);
   } else if (options_.user_accepts_above_budget) {
     // Case A (or C with no affordable executable plan): the user is shown
     // the menu and — per the paper's experimental setup — accepts the
     // cheapest executable offer at its quoted price. No profit.
     size_t cheapest = existing.front();
     for (size_t idx : existing) {
-      if (set.plans[idx].Price() < set.plans[cheapest].Price()) {
+      if (plans[idx].Price() < plans[cheapest].Price()) {
         cheapest = idx;
       }
     }
     chosen = cheapest;
-    SettleExecution(query, set.plans[chosen], set.plans[chosen].Price(),
+    SettleExecution(query, plans[chosen], plans[chosen].Price(),
                     now, &outcome);
   }
 
   if (outcome.served && active_tenant_regret_ != nullptr) {
     admission_.RecordRevenue(active_tenant_, outcome.payment);
   }
-  AccumulateRegret(set, chosen, outcome.budget_case, budget, now);
+  AccumulateRegret(plans, skyline, chosen, outcome.budget_case, budget, now);
   MaybeInvest(now, &outcome);
   return outcome;
 }

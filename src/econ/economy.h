@@ -232,10 +232,12 @@ class EconomyEngine {
   size_t SelectPlan(const std::vector<QueryPlan>& plans,
                     const std::vector<size_t>& candidates,
                     const BudgetFunction& budget) const;
-  /// Regret accounting for the rejected hypothetical plans (Eq. 1/2).
-  void AccumulateRegret(const PlanSet& set, size_t chosen_index,
-                        BudgetCase budget_case, const BudgetFunction& budget,
-                        SimTime now);
+  /// Regret accounting for the rejected hypothetical plans (Eq. 1/2),
+  /// over the skyline survivors (`skyline` holds indices into `plans`).
+  void AccumulateRegret(const std::vector<QueryPlan>& plans,
+                        const std::vector<size_t>& skyline,
+                        size_t chosen_index, BudgetCase budget_case,
+                        const BudgetFunction& budget, SimTime now);
   /// Checks Eq. 3 over all candidates and builds what qualifies.
   void MaybeInvest(SimTime now, QueryOutcome* outcome);
   /// Evicts structures whose unpaid maintenance exceeds the failure
@@ -243,6 +245,13 @@ class EconomyEngine {
   void EvictFailedStructures(SimTime now, QueryOutcome* outcome);
   /// Build-cost of `id` given current column residency.
   Money BuildCostNow(StructureId id) const;
+  /// BuildCostNow memoized under the residency epoch: column residency —
+  /// the only input that varies — moves exactly with CacheState::epoch, so
+  /// within an epoch the memo returns the same bits as a fresh
+  /// computation. The invest fast path and the failure scan hit this every
+  /// query; index build costs (Eq. 14's synthetic sort query) are the
+  /// expensive case it elides.
+  Money MemoBuildCostNow(StructureId id) const;
   /// Clears `id` from the global ledger and every tenant ledger.
   void ClearRegretEverywhere(StructureId id);
   /// How evenly `id`'s accrued regret spreads over the tenant ledgers,
@@ -290,14 +299,27 @@ class EconomyEngine {
   /// every eviction.
   std::vector<StructureId> tick_evictions_;
   /// Per-query scratch, reused across OnQuery calls so the steady-state
-  /// decision loop allocates nothing: the raw enumeration, the
-  /// skyline-filtered set, the skyline's index buffer, and the
-  /// executable / affordable-executable index lists.
-  PlanSet enumerated_;
-  PlanSet plan_set_;
+  /// decision loop allocates nothing: the skyline survivor indices, the
+  /// skyline's key buffers, and the executable / affordable-executable
+  /// index lists. All of them index into the enumerator's shared
+  /// per-template plan set — no plan is ever copied on the decision path
+  /// (only the chosen plan is copied once, into the outcome).
+  std::vector<size_t> skyline_indices_;
   SkylineScratch skyline_scratch_;
   std::vector<size_t> existing_scratch_;
   std::vector<size_t> affordable_existing_scratch_;
+  /// PriceCarriedCharges memos, indexed by StructureId (see the .cpp).
+  /// charge_* carries the per-call resident/hypothetical charge under a
+  /// per-call tick; hypo_* persists a hypothetical structure's advertised
+  /// build share across queries under the residency epoch.
+  mutable uint64_t charge_tick_ = 0;
+  mutable std::vector<uint64_t> charge_stamp_;
+  mutable std::vector<Money> charge_value_;
+  mutable std::vector<uint64_t> hypo_epoch_stamp_;
+  mutable std::vector<Money> hypo_share_;
+  /// MemoBuildCostNow's epoch-stamped cache, indexed by StructureId.
+  mutable std::vector<uint64_t> build_cost_stamp_;
+  mutable std::vector<Money> build_cost_value_;
 };
 
 }  // namespace cloudcache

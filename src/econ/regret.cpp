@@ -9,7 +9,10 @@ namespace cloudcache {
 void RegretLedger::Add(StructureId id, Money amount) {
   CLOUDCACHE_CHECK_GE(amount.micros(), 0);
   if (amount.IsZero()) return;
-  regret_[id] += amount;
+  if (id >= amounts_.size()) amounts_.resize(id + 1, Money());
+  if (amounts_[id].IsZero()) ++nonzero_;
+  amounts_[id] += amount;
+  total_ += amount;
   sorted_stale_ = true;
 }
 
@@ -23,43 +26,37 @@ void RegretLedger::Distribute(const std::vector<StructureId>& structures,
 }
 
 Money RegretLedger::Get(StructureId id) const {
-  auto it = regret_.find(id);
-  return it == regret_.end() ? Money() : it->second;
+  return id < amounts_.size() ? amounts_[id] : Money();
 }
 
 Money RegretLedger::Clear(StructureId id) {
-  auto it = regret_.find(id);
-  if (it == regret_.end()) return Money();
-  const Money forfeited = it->second;
-  regret_.erase(it);
-  if (!forfeited.IsZero()) sorted_stale_ = true;
+  if (id >= amounts_.size() || amounts_[id].IsZero()) return Money();
+  const Money forfeited = amounts_[id];
+  amounts_[id] = Money();
+  --nonzero_;
+  total_ -= forfeited;
+  sorted_stale_ = true;
   return forfeited;
 }
 
 void RegretLedger::Subtract(StructureId id, Money amount) {
   CLOUDCACHE_CHECK_GE(amount.micros(), 0);
   if (amount.IsZero()) return;
-  auto it = regret_.find(id);
-  CLOUDCACHE_CHECK(it != regret_.end());
-  CLOUDCACHE_CHECK_GE(it->second.micros(), amount.micros());
-  it->second -= amount;
-  if (it->second.IsZero()) regret_.erase(it);
+  CLOUDCACHE_CHECK_LT(id, amounts_.size());
+  CLOUDCACHE_CHECK_GE(amounts_[id].micros(), amount.micros());
+  amounts_[id] -= amount;
+  if (amounts_[id].IsZero()) --nonzero_;
+  total_ -= amount;
   sorted_stale_ = true;
-}
-
-Money RegretLedger::Total() const {
-  Money total;
-  for (const auto& [id, amount] : regret_) total += amount;
-  return total;
 }
 
 const std::vector<std::pair<StructureId, Money>>&
 RegretLedger::NonZeroDescending() const {
   if (sorted_stale_) {
     sorted_.clear();
-    for (const auto& entry : regret_) {
-      if (!entry.second.IsZero()) sorted_.push_back(entry);
-    }
+    ForEachNonZero([this](StructureId id, Money amount) {
+      sorted_.emplace_back(id, amount);
+    });
     std::sort(sorted_.begin(), sorted_.end(),
               [](const auto& a, const auto& b) {
                 if (a.second != b.second) return a.second > b.second;

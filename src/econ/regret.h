@@ -1,6 +1,6 @@
 #pragma once
 
-#include <unordered_map>
+#include <cstddef>
 #include <utility>
 #include <vector>
 
@@ -19,6 +19,13 @@ namespace cloudcache {
 ///
 /// Amounts are exact Money; a plan's regret is split over its structures
 /// with EvenShare so no micro-dollar is lost or invented.
+///
+/// Layout: StructureIds are small dense integers (registry interning
+/// hands them out consecutively), so the ledger is a flat structure-of-
+/// arrays — one Money per id — rather than a hash map. The decision loop
+/// touches the ledger hundreds of times per query (Eq. 1/2 distribution
+/// over every non-chosen plan), and the flat scan layout turns each of
+/// those touches into one array write.
 class RegretLedger {
  public:
   /// Adds regret to one structure. Negative additions are a bug.
@@ -36,20 +43,36 @@ class RegretLedger {
 
   /// Removes exactly `amount` from `id`'s entry, which must hold at least
   /// that much (the tenant ledgers partition the global one, so a tenant
-  /// share can always be subtracted from the global entry). Erases the
-  /// entry when it reaches zero. Used when a throttled tenant's standing
-  /// regret is forfeited out of the global ledger.
+  /// share can always be subtracted from the global entry). Used when a
+  /// throttled tenant's standing regret is forfeited out of the global
+  /// ledger.
   void Subtract(StructureId id, Money amount);
 
-  /// Read-only view of every entry (unordered). Callers that need a
-  /// deterministic order must sort; forfeiture only subtracts per entry,
-  /// which commutes, so iteration order never reaches the metrics.
-  const std::unordered_map<StructureId, Money>& entries() const {
-    return regret_;
+  /// Visits every non-zero entry as fn(id, amount), in ascending id
+  /// order. Forfeiture only subtracts per entry, which commutes, so
+  /// visit order never reaches the metrics — but the order is
+  /// deterministic anyway (the flat array has one).
+  template <typename Fn>
+  void ForEachNonZero(Fn&& fn) const {
+    for (StructureId id = 0; id < amounts_.size(); ++id) {
+      if (!amounts_[id].IsZero()) fn(id, amounts_[id]);
+    }
   }
 
-  /// Sum over all structures.
-  Money Total() const;
+  /// True iff pred(id, amount) holds for some non-zero entry; stops at
+  /// the first hit (ascending-id scan). The investment loop's fast path:
+  /// one flat scan decides whether Eq. 3 could fire at all before paying
+  /// for the sorted descending view.
+  template <typename Pred>
+  bool AnyNonZero(Pred&& pred) const {
+    for (StructureId id = 0; id < amounts_.size(); ++id) {
+      if (!amounts_[id].IsZero() && pred(id, amounts_[id])) return true;
+    }
+    return false;
+  }
+
+  /// Sum over all structures (maintained incrementally; O(1)).
+  Money Total() const { return total_; }
 
   /// All entries with non-zero regret, descending by amount (ties by id).
   ///
@@ -61,10 +84,14 @@ class RegretLedger {
   /// so the investment loop may Clear entries while iterating it.
   const std::vector<std::pair<StructureId, Money>>& NonZeroDescending() const;
 
-  size_t size() const { return regret_.size(); }
+  /// Number of structures with non-zero regret.
+  size_t size() const { return nonzero_; }
 
  private:
-  std::unordered_map<StructureId, Money> regret_;
+  /// Flat per-id amounts (index = StructureId); zero means "no entry".
+  std::vector<Money> amounts_;
+  Money total_;
+  size_t nonzero_ = 0;
   /// Cached NonZeroDescending view (lazily rebuilt; see above).
   mutable std::vector<std::pair<StructureId, Money>> sorted_;
   mutable bool sorted_stale_ = true;

@@ -22,7 +22,10 @@ void NormalizeStructures(std::vector<StructureId>* structures) {
 PlanEnumerator::PlanEnumerator(const CostModel* model,
                                StructureRegistry* registry,
                                EnumeratorOptions options)
-    : model_(model), registry_(registry), options_(std::move(options)) {
+    : model_(model),
+      registry_(registry),
+      options_(std::move(options)),
+      batch_(model) {
   CLOUDCACHE_CHECK(std::find(options_.node_options.begin(),
                              options_.node_options.end(),
                              1u) != options_.node_options.end());
@@ -40,7 +43,7 @@ void PlanEnumerator::SetIndexCandidates(
     CLOUDCACHE_CHECK(key.type == StructureType::kIndex);
     index_candidates_.push_back(registry_->Intern(key));
   }
-  ++generation_;  // Every cached skeleton list is now stale.
+  ++generation_;  // Every cached plan list is now stale.
 }
 
 bool PlanEnumerator::SignatureMatches(const TemplateCacheEntry& entry,
@@ -61,45 +64,44 @@ bool PlanEnumerator::SignatureMatches(const TemplateCacheEntry& entry,
 void PlanEnumerator::EmitNodeVariants(const CacheState& cache,
                                       const PlanSpec& spec,
                                       const std::vector<StructureId>& structures,
-                                      std::vector<PlanSkeleton>* out,
+                                      std::vector<QueryPlan>* out,
                                       size_t* used) const {
   // `structures` must arrive sorted and deduplicated (the callers own the
   // scratch buffer and normalize it once per plan family).
   for (uint32_t nodes : options_.node_options) {
     if (nodes > 1 && !options_.allow_parallel) break;
-    PlanSkeleton& sk = AcquireSlot(out, used, &skeleton_spares_);
-    sk.spec = spec;
-    sk.spec.cpu_nodes = nodes;
-    sk.structures.assign(structures.begin(), structures.end());
+    QueryPlan& plan = AcquireSlot(out, used, &build_spares_);
+    plan.spec = spec;
+    plan.spec.cpu_nodes = nodes;
+    plan.structures.assign(structures.begin(), structures.end());
     // Extra nodes beyond the always-on one are structures in their own
     // right (BuildN/MaintN apply to them).
     for (uint32_t extra = 0; extra + 1 < nodes; ++extra) {
-      sk.structures.push_back(registry_->Intern(CpuNodeKey(extra)));
+      plan.structures.push_back(registry_->Intern(CpuNodeKey(extra)));
     }
-    sk.missing.clear();
-    for (StructureId id : sk.structures) {
-      if (!cache.IsResident(id)) sk.missing.push_back(id);
+    plan.missing.clear();
+    for (StructureId id : plan.structures) {
+      if (!cache.IsResident(id)) plan.missing.push_back(id);
     }
-    if (!sk.missing.empty() && !options_.include_hypothetical) {
+    if (!plan.missing.empty() && !options_.include_hypothetical) {
       --*used;  // Drop the variant; the slot is recycled by the next one.
     }
   }
 }
 
-void PlanEnumerator::BuildSkeletons(const Query& query,
-                                    const CacheState& cache,
-                                    std::vector<PlanSkeleton>* out) const {
+void PlanEnumerator::BuildPlans(const Query& query, const CacheState& cache,
+                                std::vector<QueryPlan>* out) const {
   size_t used = 0;
 
   // 1. The back-end plan: always available, employs no cache structures.
   {
-    PlanSkeleton& sk = AcquireSlot(out, &used, &skeleton_spares_);
-    sk.spec.access = PlanSpec::Access::kBackend;
-    sk.spec.covered_predicates.clear();
-    sk.spec.covering = false;
-    sk.spec.cpu_nodes = 1;
-    sk.structures.clear();
-    sk.missing.clear();
+    QueryPlan& plan = AcquireSlot(out, &used, &build_spares_);
+    plan.spec.access = PlanSpec::Access::kBackend;
+    plan.spec.covered_predicates.clear();
+    plan.spec.covering = false;
+    plan.spec.cpu_nodes = 1;
+    plan.structures.clear();
+    plan.missing.clear();
   }
 
   const std::vector<ColumnId>& accessed = query.AccessedColumns();
@@ -164,15 +166,15 @@ void PlanEnumerator::BuildSkeletons(const Query& query,
       EmitNodeVariants(cache, spec, structures_scratch_, out, &used);
     }
   }
-  ReleaseSurplus(out, used, &skeleton_spares_);
+  ReleaseSurplus(out, used, &build_spares_);
 }
 
-void PlanEnumerator::Enumerate(const Query& query, const CacheState& cache,
-                               PlanSet* out) const {
-  const std::vector<PlanSkeleton>* skeletons;
+PlanSet* PlanEnumerator::EnumerateShared(const Query& query,
+                                         const CacheState& cache) const {
+  PlanSet* set;
   if (!options_.enable_plan_cache || query.template_id < 0) {
-    BuildSkeletons(query, cache, &adhoc_skeletons_);
-    skeletons = &adhoc_skeletons_;
+    BuildPlans(query, cache, &adhoc_plans_.plans);
+    set = &adhoc_plans_;
   } else {
     TemplateCacheEntry& entry = template_cache_[query.template_id];
     if (entry.valid && entry.cache == &cache &&
@@ -181,7 +183,7 @@ void PlanEnumerator::Enumerate(const Query& query, const CacheState& cache,
       ++cache_hits_;
     } else {
       ++cache_misses_;
-      BuildSkeletons(query, cache, &entry.skeletons);
+      BuildPlans(query, cache, &entry.plans.plans);
       entry.cache = &cache;
       entry.epoch = cache.epoch();
       entry.generation = generation_;
@@ -193,19 +195,29 @@ void PlanEnumerator::Enumerate(const Query& query, const CacheState& cache,
         entry.predicate_columns.push_back(p.column);
       }
     }
-    skeletons = &entry.skeletons;
+    set = &entry.plans;
   }
 
-  // Price the skeletons for this query instance. Estimates depend on the
-  // instance's selectivities and result shape, so they are never cached.
-  size_t used = 0;
-  for (const PlanSkeleton& sk : *skeletons) {
-    QueryPlan& plan = AcquireSlot(&out->plans, &used, &plan_spares_);
-    plan.spec = sk.spec;
-    plan.structures = sk.structures;
-    plan.missing = sk.missing;
+  // Price the cached plans for this query instance, in place. Estimates
+  // depend on the instance's selectivities and result shape, so they are
+  // never cached — but plans arrive grouped by family, so the batch
+  // estimator shares the access-path computation across each family's
+  // node variants. The structure-dependent fields are untouched: on a
+  // cache hit this loop is the ONLY per-query work.
+  batch_.Reset(query);
+  for (QueryPlan& plan : set->plans) {
     plan.carried_charges = Money();
-    plan.execution = model_->EstimateExecution(query, plan.spec);
+    plan.execution = batch_.Estimate(plan.spec);
+  }
+  return set;
+}
+
+void PlanEnumerator::Enumerate(const Query& query, const CacheState& cache,
+                               PlanSet* out) const {
+  const PlanSet* shared = EnumerateShared(query, cache);
+  size_t used = 0;
+  for (const QueryPlan& plan : shared->plans) {
+    AcquireSlot(&out->plans, &used, &plan_spares_) = plan;
   }
   ReleaseSurplus(&out->plans, used, &plan_spares_);
 }

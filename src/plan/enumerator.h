@@ -22,24 +22,13 @@ struct EnumeratorOptions {
   /// Whether to emit hypothetical (PQpos) plans at all; the bypass-yield
   /// baseline has no regret machinery and turns this off.
   bool include_hypothetical = true;
-  /// Kill switch for the per-template plan-skeleton cache. The cache is
-  /// semantically invisible (skeletons are invalidated on every residency
-  /// epoch or candidate-generation change, and execution estimates are
-  /// always recomputed per query); disabling it exists for A/B perf
-  /// measurement and for the bit-identical-metrics regression test.
+  /// Kill switch for the per-template plan cache. The cache is
+  /// semantically invisible (cached plans are invalidated on every
+  /// residency epoch or candidate-generation change, and execution
+  /// estimates are always recomputed per query); disabling it exists for
+  /// A/B perf measurement and for the bit-identical-metrics regression
+  /// test.
   bool enable_plan_cache = true;
-};
-
-/// The structure-dependent part of a candidate plan: everything Enumerate
-/// derives that does NOT depend on the query instance's selectivities —
-/// the spec shape, the employed structures, and which of them are absent.
-/// Skeletons of one template are identical across its query instances, so
-/// they are cached per template and only re-derived when cache residency
-/// (CacheState::epoch) or the candidate pool (candidate_generation) moves.
-struct PlanSkeleton {
-  PlanSpec spec;
-  std::vector<StructureId> structures;
-  std::vector<StructureId> missing;
 };
 
 /// Enumerates the candidate plan set PQ for a query (Section IV-B):
@@ -59,20 +48,21 @@ struct PlanSkeleton {
 /// the economy first adds carried charges (Ca, owed maintenance), then
 /// applies SkylineFilter.
 ///
-/// Hot path: queries of the same template share their plan skeletons, so
-/// Enumerate is usually a cache hit that only re-runs
-/// CostModel::EstimateExecution (per-instance selectivities) on the cached
-/// skeletons. An entry is keyed by Query::template_id and revalidated
-/// against (CacheState::epoch, candidate generation, the query's column
-/// signature); ad hoc queries (template_id < 0) always take the
-/// derive-from-scratch path.
+/// Hot path: queries of the same template share the structure-dependent
+/// part of their plans (spec shape, employed structures, which are
+/// absent), so those are materialized once per template and cached; a
+/// cache hit only re-runs CostModel::EstimateExecution (per-instance
+/// selectivities) over the cached plans in place. An entry is keyed by
+/// Query::template_id and revalidated against (CacheState::epoch,
+/// candidate generation, the query's column signature); ad hoc queries
+/// (template_id < 0) always take the derive-from-scratch path.
 class PlanEnumerator {
  public:
   PlanEnumerator(const CostModel* model, StructureRegistry* registry,
                  EnumeratorOptions options);
 
   /// Registers the advisor's index candidate pool (interning the keys).
-  /// Bumps the candidate generation, invalidating all cached skeletons.
+  /// Bumps the candidate generation, invalidating all cached plans.
   void SetIndexCandidates(const std::vector<StructureKey>& candidates);
 
   /// The interned candidate index ids.
@@ -84,49 +74,64 @@ class PlanEnumerator {
   PlanSet Enumerate(const Query& query, const CacheState& cache) const;
 
   /// Buffer-reusing variant: fills `out` (clearing previous contents but
-  /// recycling its plan slots and their inner vectors), so steady-state
-  /// enumeration allocates nothing. `out` must not alias internal state.
+  /// recycling its plan slots and their inner vectors). `out` must not
+  /// alias internal state.
   void Enumerate(const Query& query, const CacheState& cache,
                  PlanSet* out) const;
 
+  /// Zero-copy variant for the per-query decision loop: returns the
+  /// enumerator-OWNED plan set, freshly priced for this query instance.
+  /// On a template-cache hit no plan vectors are touched at all — only
+  /// `execution` and `carried_charges` are rewritten in place. The
+  /// pointee is valid until the next call on this enumerator; callers may
+  /// mutate the per-query scalar fields (`execution`, `carried_charges`)
+  /// but must NOT touch `spec`/`structures`/`missing`, which are the
+  /// cached template state.
+  PlanSet* EnumerateShared(const Query& query, const CacheState& cache) const;
+
   const EnumeratorOptions& options() const { return options_; }
 
-  /// Monotonic counter bumped by SetIndexCandidates; part of the skeleton
+  /// Monotonic counter bumped by SetIndexCandidates; part of the plan
   /// cache key.
   uint64_t candidate_generation() const { return generation_; }
 
-  /// Skeleton-cache observability (for tests and benchmarks).
+  /// Plan-cache observability (for tests and benchmarks).
   uint64_t plan_cache_hits() const { return cache_hits_; }
   uint64_t plan_cache_misses() const { return cache_misses_; }
   size_t plan_cache_size() const { return template_cache_.size(); }
 
  private:
   struct TemplateCacheEntry {
-    /// Identity of the CacheState the skeletons were derived against —
+    /// Identity of the CacheState the plans were derived against —
     /// epochs of two different caches are not comparable, so a caller
     /// alternating caches (A/B harnesses) must miss, not collide.
     const CacheState* cache = nullptr;
     uint64_t epoch = 0;
     uint64_t generation = 0;
     bool valid = false;
-    /// Structural signature of the query the skeletons were derived from;
+    /// Structural signature of the query the plans were derived from;
     /// a template id must always map to one structure, but trace replay
     /// can in principle reuse ids across shapes, so a mismatch falls back
     /// to re-derivation instead of serving wrong plans.
     TableId table = 0;
     std::vector<ColumnId> output_columns;
     std::vector<ColumnId> predicate_columns;
-    std::vector<PlanSkeleton> skeletons;
+    /// The materialized plan set. `spec`/`structures`/`missing` are
+    /// template state filled on (re)build; `execution`/`carried_charges`
+    /// are per-query and rewritten by every EnumerateShared call.
+    PlanSet plans;
   };
 
-  /// Derives the full skeleton list for `query` into `out` (slot-reusing).
-  void BuildSkeletons(const Query& query, const CacheState& cache,
-                      std::vector<PlanSkeleton>* out) const;
+  /// Derives the full plan list for `query` into `out` (slot-reusing).
+  /// Fills only the structure-dependent fields; `execution` and
+  /// `carried_charges` are left stale for the per-query pricing pass.
+  void BuildPlans(const Query& query, const CacheState& cache,
+                  std::vector<QueryPlan>* out) const;
 
-  /// Adds per-node-count skeleton variants of a cache plan to `out`.
+  /// Adds per-node-count variants of a cache plan to `out`.
   void EmitNodeVariants(const CacheState& cache, const PlanSpec& spec,
                         const std::vector<StructureId>& structures,
-                        std::vector<PlanSkeleton>* out, size_t* used) const;
+                        std::vector<QueryPlan>* out, size_t* used) const;
 
   bool SignatureMatches(const TemplateCacheEntry& entry,
                         const Query& query) const;
@@ -137,16 +142,20 @@ class PlanEnumerator {
   std::vector<StructureId> index_candidates_;
   uint64_t generation_ = 0;
 
-  /// Skeleton cache + scratch. Mutable: Enumerate is logically const (the
+  /// Plan cache + scratch. Mutable: Enumerate is logically const (the
   /// plan set it returns is a pure function of (query, cache, candidates))
   /// and an enumerator is owned by one single-threaded engine. The spare
   /// pools park surplus output elements when a smaller template follows a
   /// larger one, so mixed-template steady state stays allocation-free.
   mutable std::unordered_map<int, TemplateCacheEntry> template_cache_;
-  mutable std::vector<PlanSkeleton> adhoc_skeletons_;
+  mutable PlanSet adhoc_plans_;
   mutable std::vector<StructureId> structures_scratch_;
-  mutable std::vector<PlanSkeleton> skeleton_spares_;
+  /// Spare slots for BuildPlans targets (cache entries, adhoc set).
+  mutable std::vector<QueryPlan> build_spares_;
+  /// Spare slots for the copying Enumerate overloads' `out` sets.
   mutable std::vector<QueryPlan> plan_spares_;
+  /// Shares the per-family ExecutionBase across a query's node variants.
+  mutable CostModel::BatchEstimator batch_;
   mutable uint64_t cache_hits_ = 0;
   mutable uint64_t cache_misses_ = 0;
 };

@@ -23,18 +23,38 @@ std::vector<size_t> SkylineIndices(const std::vector<QueryPlan>& plans);
 /// parks surplus output plans when the survivor count shrinks, preserving
 /// their inner-vector capacity for the next query.
 struct SkylineScratch {
-  std::vector<size_t> partition;
+  /// Packed sort key of one plan: the dominance sort runs over one dense
+  /// array of these instead of chasing QueryPlan objects per compare.
+  struct Key {
+    double time;
+    int64_t price;
+    size_t index;
+  };
+
+  std::vector<Key> existing_keys;
+  std::vector<Key> possible_keys;
+  std::vector<Key> frontier;
   std::vector<QueryPlan> spare_slots;
 };
 
 /// Applies the skyline to each partition of `in` separately — existing and
 /// possible plans are skylined independently, because PQexist must retain
 /// an executable frontier even when hypothetical plans dominate it — and
-/// writes the survivors into `out` (existing first, each partition in
-/// ascending-time order). `out`'s plan slots and inner vectors are
-/// recycled; `in` and `out` must be distinct objects.
+/// copies the survivors into `out` (existing first, each partition in
+/// ascending-time order). `in` is left untouched, so callers may pass the
+/// enumerator's shared per-template plan set; `out`'s plan slots and inner
+/// vectors are recycled across calls (only the survivors pay a copy).
+/// `in` and `out` must be distinct objects.
 void SkylineFilterInto(const PlanSet& in, PlanSet* out,
                        SkylineScratch* scratch);
+
+/// Zero-copy form for the per-query decision loop: fills `out` with the
+/// survivors' indices into `in.plans` (existing partition first, each in
+/// ascending-time order — the same survivors, in the same order, as
+/// SkylineFilterInto) without touching any plan. The caller keeps reading
+/// plans through `in`, so no plan vectors are copied at all.
+void SkylineIndicesInto(const PlanSet& in, std::vector<size_t>* out,
+                        SkylineScratch* scratch);
 
 /// Convenience value-returning form of SkylineFilterInto.
 PlanSet SkylineFilter(PlanSet set);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "src/sim/node_parallel.h"
 #include "src/sim/sweep.h"
 #include "src/structure/index_advisor.h"
 #include "src/util/logging.h"
@@ -119,6 +120,16 @@ SimMetrics RunExperiment(const Catalog& catalog,
 
   if (!multi_tenant) {
     WorkloadGenerator workload(&catalog, *resolved, config.workload);
+    // The windowed parallel driver applies to clustered single-stream
+    // runs when threads are requested; everything else stays on the
+    // classic serial driver (the multi-tenant merge is a serial
+    // discipline by construction).
+    if (clustered && sim_options.parallel_threads > 0) {
+      auto* cluster = static_cast<ClusterScheme*>(scheme.get());
+      ParallelNodeSimulator simulator(&catalog, cluster, &workload,
+                                      sim_options);
+      return simulator.Run();
+    }
     Simulator simulator(&catalog, scheme.get(), &workload, sim_options);
     return simulator.Run();
   }

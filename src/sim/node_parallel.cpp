@@ -1,0 +1,268 @@
+#include "src/sim/node_parallel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace cloudcache {
+
+ParallelNodeSimulator::ParallelNodeSimulator(const Catalog* catalog,
+                                             ClusterScheme* cluster,
+                                             WorkloadGenerator* workload,
+                                             SimulatorOptions options)
+    : catalog_(catalog),
+      cluster_(cluster),
+      workload_(workload),
+      options_(options),
+      pool_(std::max<uint32_t>(1, options.parallel_threads)) {
+  CLOUDCACHE_CHECK(cluster_ != nullptr);
+  CLOUDCACHE_CHECK(workload_ != nullptr);
+}
+
+ParallelNodeSimulator::RentSlice ParallelNodeSimulator::AccrueNodeRent(
+    size_t index, SimTime now) {
+  RentSlice slice;
+  NodeBooks& books = books_[index];
+  const double dt = now - books.metered_until;
+  if (dt <= 0) return slice;
+  books.metered_until = now;
+
+  const PriceList& p = options_.metered_prices;
+  Scheme& node = cluster_->mutable_node(index);
+  slice.disk_dollars = static_cast<double>(node.TotalResidentBytes()) * dt *
+                       p.disk_byte_second_dollars;
+  slice.reservation_dollars =
+      static_cast<double>(node.TotalExtraCpuNodes()) * dt *
+      p.cpu_second_dollars * p.cpu_reserve_fraction;
+  // Every node beyond the coordinator is a rented cluster node; it pays
+  // its own surcharge over its own metered gaps (the classic driver bills
+  // the fleet-wide surcharge to whichever node served last).
+  if (index > 0) {
+    slice.surcharge_dollars = dt * p.cpu_second_dollars *
+                              p.cpu_reserve_fraction *
+                              options_.node_rent_multiplier;
+    slice.reservation_dollars += slice.surcharge_dollars;
+  }
+
+  books.pending_rent_dollars +=
+      slice.disk_dollars + slice.reservation_dollars;
+  const Money charge = Money::FromDollars(books.pending_rent_dollars);
+  if (!charge.IsZero()) {
+    books.pending_rent_dollars -= charge.ToDollars();
+    node.ChargeExpenditure(charge, now);
+  }
+  return slice;
+}
+
+void ParallelNodeSimulator::ServeSlice(size_t index,
+                                       QueryRecord* const* records,
+                                       size_t count) {
+  Scheme& node = cluster_->mutable_node(index);
+  CostModel& metered = *metered_models_[index];
+  const PriceList& p = options_.metered_prices;
+
+  for (size_t k = 0; k < count; ++k) {
+    QueryRecord& rec = *records[k];
+    const SimTime now = rec.query.arrival_time;
+
+    const RentSlice rent = AccrueNodeRent(index, now);
+    rec.rent_disk_dollars = rent.disk_dollars;
+    rec.rent_reservation_dollars = rent.reservation_dollars;
+    rec.rent_node_dollars = rent.surcharge_dollars;
+
+    rec.served = cluster_->ServeOnNode(index, rec.query, now);
+
+    // Metered execution + build bill: the Simulator::MeterQuery
+    // arithmetic, with the charge going straight to the serving node
+    // (bypassing the cluster's serial last-served billing hook).
+    Money charged;
+    if (rec.served.served) {
+      const ExecutionEstimate m =
+          metered.EstimateExecution(rec.query, rec.served.spec);
+      rec.bill.cpu_dollars += p.CpuCost(m.cpu_seconds).ToDollars();
+      rec.bill.io_dollars += p.IoCost(m.io_ops).ToDollars();
+      rec.bill.network_dollars += p.NetworkCost(m.wan_bytes).ToDollars();
+      charged += p.CpuCost(m.cpu_seconds) + p.IoCost(m.io_ops) +
+                 p.NetworkCost(m.wan_bytes);
+      rec.wan_bytes += m.wan_bytes;
+    }
+    const BuildUsage& usage = rec.served.build_usage;
+    if (usage.cpu_seconds > 0 || usage.wan_bytes > 0 || usage.io_ops > 0) {
+      rec.bill.cpu_dollars += p.CpuCost(usage.cpu_seconds).ToDollars();
+      rec.bill.network_dollars += p.NetworkCost(usage.wan_bytes).ToDollars();
+      rec.bill.io_dollars += p.IoCost(usage.io_ops).ToDollars();
+      rec.wan_bytes += usage.wan_bytes;
+    }
+    if (!charged.IsZero()) node.ChargeExpenditure(charged, now);
+    rec.credit_after = node.credit();
+  }
+}
+
+void ParallelNodeSimulator::MergeRecord(const QueryRecord& rec,
+                                        SimMetrics* metrics) {
+  const SimTime now = rec.query.arrival_time;
+
+  // Same per-query sequence as Simulator::ProcessQuery: rent components
+  // first, then the execution/build bill, then the outcome counters.
+  if (rec.rent_node_dollars > 0) {
+    metrics->cluster.node_rent_dollars += rec.rent_node_dollars;
+  }
+  metrics->operating_cost.disk_dollars += rec.rent_disk_dollars;
+  metrics->operating_cost.cpu_dollars += rec.rent_reservation_dollars;
+  metrics->operating_cost += rec.bill;
+  metrics->wan_bytes += rec.wan_bytes;
+
+  AccountOutcome(rec.served, metrics);
+  if (rec.served.served) {
+    metrics->response_sketch.Add(rec.served.execution.time_seconds);
+  }
+  books_[rec.node].credit = rec.credit_after;
+
+  if (options_.timeline_stride != 0 &&
+      (rec.index % options_.timeline_stride == 0 ||
+       rec.index + 1 == options_.num_queries)) {
+    metrics->cost_over_time.Add(now, metrics->operating_cost.Total());
+    Money credit;
+    for (const NodeBooks& books : books_) credit += books.credit;
+    metrics->credit_over_time.Add(now, credit.ToDollars());
+  }
+}
+
+void ParallelNodeSimulator::SyncRentTo(SimTime close, SimMetrics* metrics) {
+  for (size_t n = 0; n < books_.size(); ++n) {
+    const RentSlice rent = AccrueNodeRent(n, close);
+    if (rent.surcharge_dollars > 0) {
+      metrics->cluster.node_rent_dollars += rent.surcharge_dollars;
+    }
+    metrics->operating_cost.disk_dollars += rent.disk_dollars;
+    metrics->operating_cost.cpu_dollars += rent.reservation_dollars;
+    books_[n].credit = cluster_->node(n).credit();
+  }
+}
+
+void ParallelNodeSimulator::ApplyFleetChange(
+    const ClusterScheme::WindowEnd& end, SimTime close) {
+  switch (end.decision) {
+    case ElasticDecision::kHold:
+      break;
+    case ElasticDecision::kRent: {
+      // A fresh node accrues rent from the rental instant and estimates
+      // with its own metered model.
+      NodeBooks books;
+      books.metered_until = close;
+      books.credit = cluster_->node(cluster_->num_nodes() - 1).credit();
+      books_.push_back(books);
+      metered_models_.push_back(
+          std::make_unique<CostModel>(catalog_, &options_.metered_prices));
+      break;
+    }
+    case ElasticDecision::kRelease: {
+      // The heir absorbed the victim's remaining credit inside the
+      // cluster; its sub-micro-dollar rent residue follows the same
+      // books so scale-in never forgives metered rent.
+      const double residue =
+          books_[end.released_index].pending_rent_dollars;
+      books_.erase(books_.begin() +
+                   static_cast<std::ptrdiff_t>(end.released_index));
+      metered_models_.erase(metered_models_.begin() +
+                            static_cast<std::ptrdiff_t>(end.released_index));
+      books_[end.heir_index].pending_rent_dollars += residue;
+      books_[end.heir_index].credit =
+          cluster_->node(end.heir_index).credit();
+      break;
+    }
+  }
+}
+
+void ParallelNodeSimulator::FlushResidualRent() {
+  // Same rounded-up close of the books as Simulator::FlushResidualRent,
+  // node by node.
+  for (size_t n = 0; n < books_.size(); ++n) {
+    NodeBooks& books = books_[n];
+    if (books.pending_rent_dollars <= 0) continue;
+    const Money charge = Money::FromMicros(static_cast<int64_t>(
+        std::ceil(books.pending_rent_dollars * 1e6)));
+    books.pending_rent_dollars = 0;
+    if (!charge.IsZero()) {
+      cluster_->mutable_node(n).ChargeExpenditure(charge, last_close_);
+    }
+  }
+}
+
+SimMetrics ParallelNodeSimulator::Run() {
+  SimMetrics metrics;
+  metrics.scheme_name = cluster_->name();
+
+  // The window IS the elasticity check interval, so full windows land the
+  // controller exactly where the serial path's modulo check fires.
+  const uint64_t window_size =
+      cluster_->options().elasticity.check_interval_queries;
+
+  const SimTime start = workload_->PeekNextArrival();
+  last_close_ = start;
+  books_.assign(cluster_->num_nodes(), NodeBooks{});
+  metered_models_.clear();
+  for (size_t n = 0; n < cluster_->num_nodes(); ++n) {
+    books_[n].metered_until = start;
+    books_[n].credit = cluster_->node(n).credit();
+    metered_models_.push_back(
+        std::make_unique<CostModel>(catalog_, &options_.metered_prices));
+  }
+
+  std::vector<QueryRecord> window;
+  std::vector<std::vector<QueryRecord*>> slices;
+  std::vector<std::future<void>> futures;
+  uint64_t processed = 0;
+  while (processed < options_.num_queries) {
+    const uint64_t count =
+        std::min<uint64_t>(window_size, options_.num_queries - processed);
+    window.clear();
+    window.reserve(count);
+    for (uint64_t k = 0; k < count; ++k) {
+      QueryRecord rec;
+      rec.query = workload_->Next();
+      rec.index = processed + k;
+      window.push_back(std::move(rec));
+    }
+
+    // Route the whole window against the window-start residencies (no
+    // node has served yet, so every route sees the same frozen fleet).
+    slices.assign(cluster_->num_nodes(), {});
+    for (QueryRecord& rec : window) {
+      rec.node = cluster_->RouteQuery(rec.query);
+      slices[rec.node].push_back(&rec);
+    }
+
+    // One task per non-empty slice; tasks share no mutable state.
+    futures.clear();
+    for (size_t n = 0; n < slices.size(); ++n) {
+      if (slices[n].empty()) continue;
+      futures.push_back(pool_.Submit([this, n, &slices] {
+        ServeSlice(n, slices[n].data(), slices[n].size());
+      }));
+    }
+    for (std::future<void>& future : futures) future.get();
+
+    // Merge in global arrival order, then close the window serially.
+    for (const QueryRecord& rec : window) MergeRecord(rec, &metrics);
+    const SimTime close = window.back().query.arrival_time;
+    last_close_ = close;
+    SyncRentTo(close, &metrics);
+    const ClusterScheme::WindowEnd end = cluster_->EndWindow(
+        close, window.front().query.arrival_time, close, count);
+    ApplyFleetChange(end, close);
+    processed += count;
+  }
+
+  FlushResidualRent();
+  metrics.final_credit = cluster_->credit();
+  metrics.final_resident_bytes = cluster_->TotalResidentBytes();
+  metrics.final_extra_nodes = cluster_->TotalExtraCpuNodes();
+  cluster_->DescribeCluster(&metrics.cluster);
+  return metrics;
+}
+
+}  // namespace cloudcache

@@ -133,5 +133,30 @@ TEST(ElasticityControllerTest, ReleaseWinsOverRentWhenBothFire) {
   EXPECT_EQ(controller.Step(window).decision, ElasticDecision::kRelease);
 }
 
+TEST(ElasticityControllerTest, PostReleaseWindowsStartColdStreaksFresh) {
+  // After a release the survivors shift down into the victim's indices,
+  // so per-index streak history would attach to the wrong nodes; the
+  // release must restart every streak (the cold_streaks_.assign path).
+  ElasticityOptions options = FastOptions();
+  options.cooldown_windows = 0;  // Isolate the reset from the cooldown.
+  ElasticityController controller(options);
+  ElasticityWindow three = MakeWindow(3, false);
+  three.routed = {290, 5, 5};  // Nodes 1 and 2 both under 5% of 300.
+  three.window_queries = 300;
+  EXPECT_EQ(controller.Step(three).decision, ElasticDecision::kHold);
+  const ElasticAction release = controller.Step(three);
+  ASSERT_EQ(release.decision, ElasticDecision::kRelease);
+  EXPECT_EQ(release.release_index, 2u);
+
+  // Node 1 was just as sustained-cold as the victim, but its streak was
+  // reset with the fleet: one more cold window is a fresh streak of one
+  // — a hold — not an instant second release off inherited history.
+  ElasticityWindow two = MakeWindow(2, false);
+  two.routed = {195, 5};
+  two.window_queries = 200;
+  EXPECT_EQ(controller.Step(two).decision, ElasticDecision::kHold);
+  EXPECT_EQ(controller.Step(two).decision, ElasticDecision::kRelease);
+}
+
 }  // namespace
 }  // namespace cloudcache

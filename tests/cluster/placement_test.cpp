@@ -106,6 +106,30 @@ TEST_F(PlacementTest, AdHocQueriesRouteDeterministically) {
   EXPECT_EQ(router_.Route(query, {&a, &b}), first);
 }
 
+TEST_F(PlacementTest, TieBreakIgnoresNodeScanOrder) {
+  // Three nodes tied at the best score plus one worse-scoring spectator:
+  // the tie-break must elect the same member of the tied set no matter
+  // where the spectator sits in the scan (the hash walks tied nodes
+  // only, so the pick is a function of the query and the tied set).
+  CacheState w1(&registry_), w2(&registry_), w3(&registry_);
+  CacheState cold(&registry_);
+  AddColumn(w1, "fact.f_key");
+  AddColumn(w2, "fact.f_key");
+  AddColumn(w3, "fact.f_key");
+  for (int t = 0; t < 8; ++t) {
+    Query query = MakeTinyQuery(catalog_);
+    query.template_id = t;
+    // Which of the three tied warm nodes wins with no spectator at all.
+    const size_t base = router_.Route(query, {&w1, &w2, &w3});
+    ASSERT_LT(base, 3u);
+    // The cold spectator shifts positions, never the elected node.
+    EXPECT_EQ(router_.Route(query, {&cold, &w1, &w2, &w3}), base + 1);
+    EXPECT_EQ(router_.Route(query, {&w1, &cold, &w2, &w3}),
+              base == 0 ? 0u : base + 1);
+    EXPECT_EQ(router_.Route(query, {&w1, &w2, &w3, &cold}), base);
+  }
+}
+
 TEST_F(PlacementTest, ResidencyBeatsAffinity) {
   // A template's affinity hash may point at node 0, but once node 1 holds
   // the columns, cost wins: the route follows the residency.

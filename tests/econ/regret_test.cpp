@@ -148,16 +148,22 @@ TEST(RegretLedgerTest, SubtractInvalidatesSortedView) {
   EXPECT_EQ(ledger.NonZeroDescending().front().first, 1u);
 }
 
-TEST(RegretLedgerTest, EntriesViewMatchesTotal) {
+TEST(RegretLedgerTest, ForEachNonZeroMatchesTotal) {
   RegretLedger ledger;
   ledger.Add(1, Money::FromMicros(100));
   ledger.Add(2, Money::FromMicros(200));
+  ledger.Add(5, Money::FromMicros(50));
+  ledger.Clear(5);  // Cleared entries must not be visited.
   Money sum;
-  for (const auto& [id, amount] : ledger.entries()) {
-    (void)id;
+  std::vector<StructureId> visited;
+  ledger.ForEachNonZero([&](StructureId id, Money amount) {
+    visited.push_back(id);
     sum += amount;
-  }
+  });
   EXPECT_EQ(sum, ledger.Total());
+  ASSERT_EQ(visited.size(), 2u);  // Ascending id order.
+  EXPECT_EQ(visited[0], 1u);
+  EXPECT_EQ(visited[1], 2u);
 }
 
 }  // namespace

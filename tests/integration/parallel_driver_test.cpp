@@ -1,0 +1,184 @@
+// Pins for the windowed parallel node driver (src/sim/node_parallel.h).
+//
+// The driver's contract has two exact equivalences and one determinism
+// guarantee, all asserted bit-for-bit here:
+//
+//  1. Collapse: a one-node cluster under the windowed driver replays the
+//     classic serial Simulator exactly — routing is trivial, the single
+//     node's rent books ARE the global books, and the merge replays the
+//     classic per-query sequence in arrival order.
+//  2. Thread-count invariance: the window partition is a pure function of
+//     (stream, window-start residencies) and the merge is serial in
+//     global arrival order, so ANY worker count produces the same bits.
+//  3. Shared invariants survive the new schedule: plan-skeleton caches
+//     stay pure memoizations, node slices partition the traffic, and the
+//     elasticity controller still rents under sustained load.
+
+#include <gtest/gtest.h>
+
+#include "src/catalog/tpch.h"
+#include "src/sim/experiment.h"
+#include "tests/testing/metrics_equal.h"
+
+namespace cloudcache {
+namespace {
+
+using cloudcache::testing::ExpectBitIdenticalCluster;
+using cloudcache::testing::ExpectBitIdenticalMetrics;
+
+class ParallelDriverTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog(MakeTpchCatalog(100.0));
+    templates_ = new std::vector<QueryTemplate>(MakeTpchTemplates());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+    delete templates_;
+    templates_ = nullptr;
+  }
+
+  /// Active economy on the forced cluster path (same shape as the
+  /// cluster equivalence suite: investments and evictions within the
+  /// short run, so caches churn and routing has residency to see).
+  static ExperimentConfig ActiveConfig(SchemeKind scheme, double interval) {
+    ExperimentConfig config;
+    config.scheme = scheme;
+    config.workload.interarrival_seconds = interval;
+    config.workload.seed = 31;
+    config.seed = 32;
+    config.sim.num_queries = 1'500;
+    config.cluster.force_cluster_path = true;
+    config.customize_econ = [](EconScheme::Config& econ) {
+      econ.economy.regret_fraction_a = 0.001;
+      econ.economy.conservative_provider = false;
+      econ.economy.initial_credit = Money::FromDollars(20);
+      econ.economy.model_build_latency = false;
+    };
+    return config;
+  }
+
+  /// Elastic fleet whose controller provably moves within the run.
+  static ExperimentConfig ElasticConfig(SchemeKind scheme) {
+    ExperimentConfig config = ActiveConfig(scheme, 1.0);
+    config.sim.num_queries = 6'000;
+    config.cluster.nodes = 1;
+    config.cluster.elastic = true;
+    config.cluster.node_rent_multiplier = 0.25;
+    config.cluster.elasticity.check_interval_queries = 200;
+    config.cluster.elasticity.sustain_windows = 2;
+    config.cluster.elasticity.cooldown_windows = 2;
+    config.cluster.elasticity.max_nodes = 3;
+    return config;
+  }
+
+  static Catalog* catalog_;
+  static std::vector<QueryTemplate>* templates_;
+};
+
+Catalog* ParallelDriverTest::catalog_ = nullptr;
+std::vector<QueryTemplate>* ParallelDriverTest::templates_ = nullptr;
+
+TEST_F(ParallelDriverTest, SingleNodeWindowedMatchesClassicSerial) {
+  // The collapse pin: on one node the windowed driver must reproduce the
+  // classic serial driver bit for bit — every count, micro-dollar,
+  // double, and timeline byte. (The classic forced-cluster path is
+  // itself pinned to the plain scheme by the cluster equivalence suite,
+  // so transitively the windowed one-node run equals the paper's
+  // single-node loop.)
+  for (SchemeKind scheme : PaperSchemes()) {
+    for (double interval : {1.0, 10.0}) {
+      SCOPED_TRACE(std::string(SchemeKindToString(scheme)) + " @ " +
+                   std::to_string(interval) + "s");
+      ExperimentConfig config = ActiveConfig(scheme, interval);
+      const SimMetrics classic = RunExperiment(*catalog_, *templates_, config);
+      config.sim.parallel_threads = 2;
+      const SimMetrics windowed = RunExperiment(*catalog_, *templates_, config);
+      ExpectBitIdenticalMetrics(classic, windowed);
+      ExpectBitIdenticalCluster(classic, windowed);
+    }
+  }
+}
+
+TEST_F(ParallelDriverTest, FixedFleetBitIdenticalAcrossThreadCounts) {
+  // Determinism pin, fixed fleet: the schedule is defined by the windowed
+  // discipline, not by the worker count.
+  ExperimentConfig config = ActiveConfig(SchemeKind::kEconCheap, 2.0);
+  config.cluster.nodes = 3;
+  config.sim.parallel_threads = 1;
+  const SimMetrics one = RunExperiment(*catalog_, *templates_, config);
+  config.sim.parallel_threads = 2;
+  const SimMetrics two = RunExperiment(*catalog_, *templates_, config);
+  config.sim.parallel_threads = 4;
+  const SimMetrics four = RunExperiment(*catalog_, *templates_, config);
+  ExpectBitIdenticalMetrics(one, two);
+  ExpectBitIdenticalCluster(one, two);
+  ExpectBitIdenticalMetrics(one, four);
+  ExpectBitIdenticalCluster(one, four);
+
+  // The router actually spread the windowed traffic: the per-node slices
+  // partition the stream and no node sat silent.
+  ASSERT_EQ(one.cluster.nodes.size(), 3u);
+  uint64_t routed = 0, served = 0;
+  for (const NodeMetrics& node : one.cluster.nodes) {
+    EXPECT_GT(node.queries, 0u);
+    routed += node.queries;
+    served += node.served;
+  }
+  EXPECT_EQ(routed, one.queries);
+  EXPECT_EQ(served, one.served);
+}
+
+TEST_F(ParallelDriverTest, ElasticFleetBitIdenticalAcrossThreadCounts) {
+  // Determinism pin, elastic fleet: scale events land at window closes,
+  // so renting and releasing nodes mid-run must not perturb the
+  // thread-count invariance.
+  ExperimentConfig config = ElasticConfig(SchemeKind::kEconCheap);
+  config.sim.parallel_threads = 1;
+  const SimMetrics one = RunExperiment(*catalog_, *templates_, config);
+  config.sim.parallel_threads = 3;
+  const SimMetrics three = RunExperiment(*catalog_, *templates_, config);
+  ExpectBitIdenticalMetrics(one, three);
+  ExpectBitIdenticalCluster(one, three);
+}
+
+TEST_F(ParallelDriverTest, PlanCacheStaysPureUnderWindowedDriver) {
+  // The plan-skeleton cache must stay a pure memoization when slices run
+  // on pool workers and elasticity churns the fleet between windows.
+  for (SchemeKind scheme :
+       {SchemeKind::kEconCheap, SchemeKind::kEconFast}) {
+    SCOPED_TRACE(SchemeKindToString(scheme));
+    ExperimentConfig config = ElasticConfig(scheme);
+    config.sim.parallel_threads = 2;
+    const auto base_customize = config.customize_econ;
+    auto with_cache = [base_customize](bool enable) {
+      return [base_customize, enable](EconScheme::Config& econ) {
+        base_customize(econ);
+        econ.enumerator.enable_plan_cache = enable;
+      };
+    };
+    config.customize_econ = with_cache(true);
+    const SimMetrics on = RunExperiment(*catalog_, *templates_, config);
+    config.customize_econ = with_cache(false);
+    const SimMetrics off = RunExperiment(*catalog_, *templates_, config);
+    ExpectBitIdenticalMetrics(on, off);
+    ExpectBitIdenticalCluster(on, off);
+  }
+}
+
+TEST_F(ParallelDriverTest, ElasticControllerStillRentsUnderWindowedDriver) {
+  // The economics survive the new schedule: under sustained load the
+  // windowed driver's end-of-window controller still buys width, and the
+  // rented fleet's surcharge is metered per node.
+  ExperimentConfig config = ElasticConfig(SchemeKind::kEconCheap);
+  config.sim.parallel_threads = 2;
+  const SimMetrics grown = RunExperiment(*catalog_, *templates_, config);
+  ASSERT_TRUE(grown.cluster.active);
+  EXPECT_GE(grown.cluster.scale_out_events, 1u);
+  EXPECT_GE(grown.cluster.peak_nodes, 2u);
+  EXPECT_GT(grown.cluster.node_rent_dollars, 0.0);
+}
+
+}  // namespace
+}  // namespace cloudcache

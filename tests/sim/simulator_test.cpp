@@ -299,5 +299,61 @@ TEST_F(SimulatorTest, LongerIntervalsCostMoreDiskRent) {
   EXPECT_GT(disk_cost(60.0), disk_cost(1.0));
 }
 
+/// Wraps a scheme and sums every metered charge booked against it.
+class ChargeSumScheme : public Scheme {
+ public:
+  explicit ChargeSumScheme(Scheme* inner) : inner_(inner) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  ServedQuery OnQuery(const Query& query, SimTime now) override {
+    return inner_->OnQuery(query, now);
+  }
+  const CacheState& cache() const override { return inner_->cache(); }
+  Money credit() const override { return inner_->credit(); }
+  void ChargeExpenditure(Money amount, SimTime now) override {
+    charged_ += amount;
+    inner_->ChargeExpenditure(amount, now);
+  }
+
+  Money charged() const { return charged_; }
+
+ private:
+  Scheme* inner_;
+  Money charged_;
+};
+
+TEST_F(SimulatorTest, ResidualRentIsFlushedAtRunEnd) {
+  // Regression: rent accrues in a double accumulator and is only charged
+  // once it rounds to a whole micro-dollar; a run whose total rent never
+  // reaches one micro used to end with the accumulator unflushed — the
+  // cloud metered disk time it never billed. The flush must charge the
+  // rounded-UP residue at end of run.
+  PriceList rent_only;
+  rent_only.cpu_second_dollars = 0;
+  rent_only.network_byte_dollars = 0;
+  rent_only.io_op_dollars = 0;
+  // 24 MB of cached columns over a few hundred seconds stays far below
+  // one micro-dollar of rent, so every accrual lands in the pending
+  // fraction and nothing is billed mid-run.
+  rent_only.disk_byte_second_dollars = 1e-18;
+
+  BypassYieldScheme::Options bypass_options;
+  bypass_options.cache_fraction = 0.9;  // Fit all three hot columns.
+  BypassYieldScheme inner(&catalog_, bypass_options);
+  ChargeSumScheme scheme(&inner);
+  WorkloadGenerator workload(&catalog_, templates_, DefaultWorkload());
+  SimulatorOptions options = DefaultSim(50);
+  options.metered_prices = rent_only;
+  Simulator sim(&catalog_, &scheme, &workload, options);
+  const SimMetrics metrics = sim.Run();
+
+  // Rent was metered (the columns loaded) but stayed sub-micro...
+  ASSERT_GT(metrics.operating_cost.disk_dollars, 0.0);
+  ASSERT_LT(metrics.operating_cost.disk_dollars, 1e-6);
+  // ...so the only possible bill is the end-of-run flush: one micro, the
+  // metered total rounded up.
+  EXPECT_EQ(scheme.charged().micros(), 1);
+}
+
 }  // namespace
 }  // namespace cloudcache

@@ -6,35 +6,75 @@ docs/ (whatever is on disk — the documentation surfaces this repo
 publishes), extracts [text](target) links, and verifies each relative
 target exists. External links (http/https/mailto) and pure in-page
 anchors (#section) are skipped; a relative target's own #anchor suffix
-is stripped before the existence check. Markdown elsewhere in the tree
-(e.g. tooling skill files) is intentionally out of scope; widen the
-globs in main() if docs grow beyond these two surfaces.
+is stripped before the existence check. Root-absolute targets like
+/docs/x.md resolve against the repository root, and <angle-bracketed>
+targets (markdown's escape for paths with spaces) are unwrapped before
+resolution. Markdown elsewhere in the tree (e.g. tooling skill files)
+is intentionally out of scope; widen the globs in main() if docs grow
+beyond these two surfaces.
 
 Exit status: 0 when every link resolves, 1 otherwise (broken links are
-listed one per line as file: target).
+listed one per line as file: target). Run with --self-test to verify
+the resolver against planted cases.
 """
 import pathlib
 import re
 import sys
+import tempfile
 
-# [text](target) — target captured up to the closing paren; images and
+# [text](target) — an <angle-bracketed> target (which may contain
+# spaces) or a bare one captured up to the closing paren; images and
 # reference-style definitions are out of scope for this repo's docs.
-LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+LINK = re.compile(r"\[[^\]]*\]\((<[^>]*>|[^)\s]+)\)")
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
 
 
 def check_file(path: pathlib.Path, root: pathlib.Path) -> list:
     broken = []
     for target in LINK.findall(path.read_text(encoding="utf-8")):
-        if target.startswith(SKIP_PREFIXES):
+        if target.startswith("<") and target.endswith(">"):
+            target = target[1:-1]
+        if not target or target.startswith(SKIP_PREFIXES):
             continue
-        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        bare = target.split("#", 1)[0]
+        if not bare:
+            continue
+        # A root-absolute target addresses the repository, not the
+        # filesystem.
+        base = root if bare.startswith("/") else path.parent
+        resolved = (base / bare.lstrip("/")).resolve()
         if not resolved.exists():
             broken.append(f"{path.relative_to(root)}: {target}")
     return broken
 
 
+def self_test() -> int:
+    """Planted cases: one of each resolver fix, plus a genuine break."""
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        docs = root / "docs"
+        docs.mkdir()
+        (docs / "guide.md").write_text("# guide\n", encoding="utf-8")
+        (docs / "spaced name.md").write_text("# spaced\n", encoding="utf-8")
+        readme = root / "README.md"
+        readme.write_text(
+            "[root-absolute](/docs/guide.md)\n"
+            "[angle-bracketed](<docs/spaced name.md>)\n"
+            "[anchored](/docs/guide.md#section)\n"
+            "[genuinely broken](/docs/missing.md)\n",
+            encoding="utf-8")
+        broken = check_file(readme, root)
+    if broken != ["README.md: /docs/missing.md"]:
+        print(f"check_links self-test FAILED: broken={broken!r}, want "
+              f"exactly the planted /docs/missing.md")
+        return 1
+    print("check_links self-test passed")
+    return 0
+
+
 def main() -> int:
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
     root = pathlib.Path(__file__).resolve().parents[2]
     candidates = sorted(root.glob("*.md")) + sorted(root.glob("docs/**/*.md"))
     broken = []

@@ -6,7 +6,10 @@ committed baseline and fails (exit 1) when any scheme's aggregate_qps
 dropped by more than --max-drop at equal settings. Settings (queries per
 cell, scale, seed, plan-cache flag) must match between the files —
 comparing runs of different shapes would be noise, so a mismatch is its
-own error (exit 2) telling the committer to regenerate the baseline.
+own error (exit 2) telling the committer to regenerate the baseline. A
+scheme present in the fresh run(s) but absent from the baseline is the
+same class of error: the baseline is stale and that scheme is riding CI
+unguarded, so it too exits 2.
 
 --fresh accepts several snapshots; each scheme is judged on its best
 (maximum) qps across them. Smoke cells run in milliseconds, so a single
@@ -16,11 +19,13 @@ regression slows every repetition, noise rarely does.
 Usage:
   perf_guard.py --baseline BENCH_hotpath_smoke.json \
                 --fresh BENCH_fresh_*.json [--max-drop 0.15]
+  perf_guard.py --self-test
 """
 
 import argparse
 import json
 import sys
+import tempfile
 
 SETTINGS_KEYS = ("bench", "queries_per_cell", "scale_tb", "seed",
                  "plan_cache")
@@ -34,20 +39,9 @@ def load(path):
         sys.exit(f"perf_guard: cannot read {path}: {error}")
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True,
-                        help="committed snapshot to compare against")
-    parser.add_argument("--fresh", required=True, nargs="+",
-                        help="snapshot(s) produced by this run; schemes "
-                             "are judged on their best qps across them")
-    parser.add_argument("--max-drop", type=float, default=0.15,
-                        help="maximum tolerated fractional qps drop "
-                             "per scheme (default 0.15)")
-    args = parser.parse_args()
-
-    baseline = load(args.baseline)
-    freshes = [(path, load(path)) for path in args.fresh]
+def guard(baseline_path, fresh_paths, max_drop):
+    baseline = load(baseline_path)
+    freshes = [(path, load(path)) for path in fresh_paths]
 
     for path, fresh in freshes:
         mismatched = [key for key in SETTINGS_KEYS
@@ -67,7 +61,17 @@ def main():
         for scheme, qps in fresh.get("aggregate_qps", {}).items():
             fresh_qps[scheme] = max(qps, fresh_qps.get(scheme, 0.0))
     if not base_qps:
-        sys.exit(f"perf_guard: {args.baseline} has no aggregate_qps")
+        sys.exit(f"perf_guard: {baseline_path} has no aggregate_qps")
+
+    extra = sorted(set(fresh_qps) - set(base_qps))
+    if extra:
+        for scheme in extra:
+            print(f"perf_guard: scheme '{scheme}' is in the fresh run(s) "
+                  f"but not in {baseline_path} — it would ride CI "
+                  f"unguarded")
+        print("perf_guard: baseline is missing schemes — regenerate the "
+              "committed baseline so every fresh scheme is guarded")
+        return 2
 
     failures = []
     for scheme, base in sorted(base_qps.items()):
@@ -78,13 +82,13 @@ def main():
         if base <= 0:
             continue
         drop = (base - current) / base
-        status = "FAIL" if drop > args.max_drop else "ok"
+        status = "FAIL" if drop > max_drop else "ok"
         print(f"perf_guard: {scheme:12s} baseline {base:12.1f} q/s  "
               f"fresh {current:12.1f} q/s  drop {drop:+7.1%}  [{status}]")
-        if drop > args.max_drop:
+        if drop > max_drop:
             failures.append(
                 f"{scheme}: {base:.1f} -> {current:.1f} q/s "
-                f"({drop:+.1%} exceeds -{args.max_drop:.0%})")
+                f"({drop:+.1%} exceeds -{max_drop:.0%})")
 
     if failures:
         print("perf_guard: throughput regression detected:")
@@ -92,8 +96,61 @@ def main():
             print(f"  {failure}")
         return 1
     print(f"perf_guard: all {len(base_qps)} schemes within "
-          f"{args.max_drop:.0%} of baseline")
+          f"{max_drop:.0%} of baseline")
     return 0
+
+
+def self_test():
+    """Planted-case checks of the guard's verdicts."""
+    settings = {key: 1 for key in SETTINGS_KEYS}
+
+    def snapshot(tmp, name, qps):
+        path = f"{tmp}/{name}"
+        with open(path, "w") as fh:
+            json.dump({**settings, "aggregate_qps": qps}, fh)
+        return path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = snapshot(tmp, "base.json", {"econ-cheap": 100.0})
+        match = snapshot(tmp, "match.json", {"econ-cheap": 98.0})
+        slow = snapshot(tmp, "slow.json", {"econ-cheap": 50.0})
+        extra = snapshot(tmp, "extra.json",
+                         {"econ-cheap": 98.0, "econ-fast": 120.0})
+        cases = [
+            ("matching fresh run passes", [match], 0),
+            ("regression fails", [slow], 1),
+            ("fresh-only scheme demands a baseline regen", [extra], 2),
+        ]
+        for label, fresh, want in cases:
+            got = guard(baseline, fresh, max_drop=0.15)
+            if got != want:
+                print(f"perf_guard self-test FAILED: {label}: "
+                      f"exit {got}, want {want}")
+                return 1
+    print("perf_guard self-test passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline",
+                        help="committed snapshot to compare against")
+    parser.add_argument("--fresh", nargs="+",
+                        help="snapshot(s) produced by this run; schemes "
+                             "are judged on their best qps across them")
+    parser.add_argument("--max-drop", type=float, default=0.15,
+                        help="maximum tolerated fractional qps drop "
+                             "per scheme (default 0.15)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the planted-case self-test and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.fresh:
+        parser.error("--baseline and --fresh are required "
+                     "(or use --self-test)")
+    return guard(args.baseline, args.fresh, args.max_drop)
 
 
 if __name__ == "__main__":
