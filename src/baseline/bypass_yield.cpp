@@ -121,4 +121,29 @@ ServedQuery BypassYieldScheme::OnQuery(const Query& query, SimTime now) {
   return out;
 }
 
+void BypassYieldScheme::SaveState(persist::Encoder* enc) const {
+  registry_.SaveState(enc);
+  cache_.SaveState(enc);
+  enc->PutU64(accrued_.size());
+  for (uint64_t accrued : accrued_) enc->PutU64(accrued);
+  enc->PutU64(queries_seen_);
+}
+
+Status BypassYieldScheme::RestoreState(persist::Decoder* dec) {
+  CLOUDCACHE_RETURN_IF_ERROR(registry_.RestoreState(dec));
+  CLOUDCACHE_RETURN_IF_ERROR(cache_.RestoreState(dec));
+  uint64_t column_count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&column_count));
+  if (column_count != accrued_.size()) {
+    return Status::FailedPrecondition(
+        "snapshot tracks " + std::to_string(column_count) +
+        " columns but this catalog has " + std::to_string(accrued_.size()));
+  }
+  for (uint64_t& accrued : accrued_) {
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&accrued));
+  }
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&queries_seen_));
+  return Status::OK();
+}
+
 }  // namespace cloudcache

@@ -48,6 +48,10 @@ class BypassYieldScheme : public Scheme {
   uint64_t AccruedBytes(ColumnId column) const;
   uint64_t cache_budget_bytes() const { return budget_bytes_; }
 
+  bool SupportsCheckpoint() const override { return true; }
+  void SaveState(persist::Encoder* enc) const override;
+  Status RestoreState(persist::Decoder* dec) override;
+
  private:
   /// Yield of a column = accrued / size.
   double YieldOf(ColumnId column) const;

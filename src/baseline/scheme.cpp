@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/baseline/bypass_yield.h"
+#include "src/persist/util_io.h"
 #include "src/util/logging.h"
 
 namespace cloudcache {
@@ -212,6 +213,34 @@ void EconScheme::ChargeExpenditure(Money amount, SimTime now) {
   // The metered bill lands on the cloud account: the economy's revenue
   // must actually cover it for CR to grow.
   engine_->mutable_account().ChargeExpenditure(amount, now);
+}
+
+void EconScheme::SaveState(persist::Encoder* enc) const {
+  registry_.SaveState(enc);
+  engine_->SaveState(enc);
+  persist::SaveRng(rng_, enc);
+  enc->PutU64(tenant_rngs_.size());
+  for (const Rng& rng : tenant_rngs_) persist::SaveRng(rng, enc);
+}
+
+Status EconScheme::RestoreState(persist::Decoder* dec) {
+  // Registry first: the engine's ledgers validate structure ids against
+  // it, and interning order is part of the run's state.
+  CLOUDCACHE_RETURN_IF_ERROR(registry_.RestoreState(dec));
+  CLOUDCACHE_RETURN_IF_ERROR(engine_->RestoreState(dec));
+  CLOUDCACHE_RETURN_IF_ERROR(persist::RestoreRng(dec, &rng_));
+  uint64_t rng_count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&rng_count));
+  if (rng_count != tenant_rngs_.size()) {
+    return Status::FailedPrecondition(
+        "snapshot has " + std::to_string(rng_count) +
+        " tenant budget streams but this run provisioned " +
+        std::to_string(tenant_rngs_.size()));
+  }
+  for (Rng& rng : tenant_rngs_) {
+    CLOUDCACHE_RETURN_IF_ERROR(persist::RestoreRng(dec, &rng));
+  }
+  return Status::OK();
 }
 
 std::unique_ptr<Scheme> MakeScheme(SchemeKind kind, const Catalog* catalog,

@@ -195,6 +195,25 @@ class Scheme {
   /// runs never acquire a cluster footprint. Implementations must not
   /// touch `out->node_rent_dollars` — the simulator owns that field.
   virtual void DescribeCluster(ClusterMetrics* out) const { (void)out; }
+
+  // --- Checkpoint surface. Every scheme MakeScheme can construct
+  // overrides all three with a bit-exact save -> restore -> continue round
+  // trip; the defaults opt out (test doubles carry no restorable state),
+  // and the simulator refuses to checkpoint a scheme that does not
+  // support it rather than writing an empty section.
+
+  /// Whether SaveState/RestoreState round-trip this scheme's full state.
+  virtual bool SupportsCheckpoint() const { return false; }
+  /// Serializes the scheme's complete run state (registry interning
+  /// included — interning order is query-history-dependent).
+  virtual void SaveState(persist::Encoder* enc) const { (void)enc; }
+  /// Restores into a scheme freshly constructed from the identical
+  /// configuration. On error the scheme is unusable; discard it.
+  virtual Status RestoreState(persist::Decoder* dec) {
+    (void)dec;
+    return Status::FailedPrecondition(
+        "scheme does not support checkpoint/restore");
+  }
 };
 
 /// The four schemes of the paper's evaluation (Section VII-A).
@@ -259,6 +278,9 @@ class EconScheme : public Scheme {
   void AbsorbCredit(Money amount, SimTime now) override {
     engine_->mutable_account().DepositRevenue(amount, now);
   }
+  bool SupportsCheckpoint() const override { return true; }
+  void SaveState(persist::Encoder* enc) const override;
+  Status RestoreState(persist::Decoder* dec) override;
 
   EconomyEngine& engine() { return *engine_; }
   const EconomyEngine& engine() const { return *engine_; }

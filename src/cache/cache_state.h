@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/persist/codec.h"
 #include "src/structure/structure.h"
 #include "src/util/status.h"
 #include "src/util/units.h"
@@ -73,6 +74,13 @@ class CacheState {
 
   /// The structure registry this state indexes into.
   const StructureRegistry& registry() const { return *registry_; }
+
+  /// Checkpoint support: serializes the exact field state — including the
+  /// residency epoch, which downstream plan caches key on, and the raw
+  /// last-used clocks — so a restored cache is indistinguishable from the
+  /// saved one to every policy that reads it.
+  void SaveState(persist::Encoder* enc) const;
+  Status RestoreState(persist::Decoder* dec);
 
  private:
   void EnsureSize(StructureId id);

@@ -1,5 +1,6 @@
 #include "src/cache/candidate_pool.h"
 
+#include <algorithm>
 #include <iterator>
 
 #include "src/util/logging.h"
@@ -75,6 +76,45 @@ void CandidatePool::Erase(StructureId id) {
   if (!Contains(id)) return;
   entries_.erase(index_[id]);
   present_[id] = 0;
+}
+
+void CandidatePool::SaveState(persist::Encoder* enc) const {
+  enc->PutU64(entries_.size());
+  for (const Entry& entry : entries_) {
+    enc->PutU32(entry.id);
+    enc->PutDouble(entry.last_touch);
+  }
+}
+
+Status CandidatePool::RestoreState(persist::Decoder* dec) {
+  entries_.clear();
+  std::fill(present_.begin(), present_.end(), 0);
+  uint64_t count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&count));
+  if (count > capacity_) {
+    return Status::InvalidArgument(
+        "snapshot candidate pool exceeds this run's pool capacity");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    StructureId id = 0;
+    double last_touch = 0;
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&id));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&last_touch));
+    if (id >= present_.size()) {
+      present_.resize(id + 1, 0);
+      index_.resize(id + 1);
+    }
+    if (present_[id]) {
+      return Status::InvalidArgument(
+          "snapshot candidate pool repeats structure id " +
+          std::to_string(id));
+    }
+    // Entries arrive in MRU-first order; appending keeps that order.
+    entries_.push_back(Entry{id, last_touch});
+    present_[id] = 1;
+    index_[id] = std::prev(entries_.end());
+  }
+  return Status::OK();
 }
 
 std::vector<StructureId> CandidatePool::MruOrder() const {

@@ -5,6 +5,7 @@
 #include <list>
 #include <vector>
 
+#include "src/persist/codec.h"
 #include "src/structure/structure.h"
 #include "src/util/units.h"
 
@@ -61,6 +62,12 @@ class CandidatePool {
 
   /// Pool contents, most recently used first.
   std::vector<StructureId> MruOrder() const;
+
+  /// Checkpoint support: saves the (id, last_touch) entries in exact MRU
+  /// order; restore rebuilds the handle map. Capacity and the victim
+  /// scorer are configuration, re-established by reconstruction.
+  void SaveState(persist::Encoder* enc) const;
+  Status RestoreState(persist::Decoder* dec);
 
  private:
   struct Entry {

@@ -1,6 +1,7 @@
 #include "src/cache/maintenance.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "src/util/logging.h"
 
@@ -58,6 +59,53 @@ Money MaintenanceLedger::Pay(StructureId id, SimTime now,
   const Money collected = PriceGap(it->second, covered);
   it->second.paid_until += covered;
   return collected;
+}
+
+void MaintenanceLedger::SaveState(persist::Encoder* enc) const {
+  std::vector<StructureId> ids;
+  ids.reserve(clocks_.size());
+  for (const auto& [id, clock] : clocks_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  enc->PutU64(ids.size());
+  for (StructureId id : ids) {
+    const Clock& clock = clocks_.at(id);
+    enc->PutU32(id);
+    enc->PutDouble(clock.paid_until);
+    enc->PutMoney(clock.build_cost);
+    enc->PutDouble(clock.failure_scale);
+  }
+}
+
+Status MaintenanceLedger::RestoreState(persist::Decoder* dec,
+                                       const StructureRegistry& registry) {
+  clocks_.clear();
+  uint64_t count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    StructureId id = 0;
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&id));
+    if (id >= registry.size()) {
+      return Status::InvalidArgument(
+          "snapshot maintenance clock references an unknown structure");
+    }
+    if (clocks_.count(id) > 0) {
+      return Status::InvalidArgument(
+          "snapshot maintenance ledger repeats structure id " +
+          std::to_string(id));
+    }
+    Clock clock;
+    clock.key = registry.key(id);
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&clock.paid_until));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&clock.build_cost));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&clock.failure_scale));
+    if (!(clock.failure_scale >= 1.0)) {
+      return Status::InvalidArgument(
+          "snapshot maintenance clock has a failure scale below 1.0");
+    }
+    clock.bytes = registry.bytes(id);
+    clocks_.emplace(id, std::move(clock));
+  }
+  return Status::OK();
 }
 
 }  // namespace cloudcache

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "src/cost/cost_model.h"
+#include "src/persist/codec.h"
 #include "src/structure/structure.h"
 #include "src/util/money.h"
 #include "src/util/units.h"
@@ -90,6 +91,14 @@ class MaintenanceLedger {
     }
     return true;
   }
+
+  /// Checkpoint support: clocks are saved sorted by id (the map itself has
+  /// no deterministic order); restore rederives each clock's key and byte
+  /// footprint from the registry, so a snapshot can never resurrect a
+  /// clock for a structure this run does not know.
+  void SaveState(persist::Encoder* enc) const;
+  Status RestoreState(persist::Decoder* dec,
+                      const StructureRegistry& registry);
 
  private:
   struct Clock {

@@ -282,4 +282,96 @@ void ClusterScheme::DescribeCluster(ClusterMetrics* out) const {
   }
 }
 
+void ClusterScheme::SaveState(persist::Encoder* enc) const {
+  enc->PutU64(nodes_.size());
+  for (const Node& node : nodes_) {
+    enc->PutU32(node.ordinal);
+    enc->PutDouble(node.rented_at);
+    enc->PutU64(node.queries);
+    enc->PutU64(node.served);
+    enc->PutU64(node.served_in_cache);
+    enc->PutU64(node.window_queries);
+    enc->PutMoney(node.revenue);
+    enc->PutMoney(node.profit);
+    node.scheme->SaveState(enc);
+  }
+  enc->PutU32(next_ordinal_);
+  enc->PutU64(last_served_);
+  enc->PutU64(queries_);
+  enc->PutDouble(first_arrival_);
+  enc->PutDouble(last_arrival_);
+  enc->PutBool(saw_query_);
+  enc->PutU32(peak_nodes_);
+  enc->PutU64(scale_out_events_);
+  enc->PutU64(scale_in_events_);
+  enc->PutU64(migrations_);
+  enc->PutU64(migration_failures_);
+  controller_.SaveState(enc);
+}
+
+Status ClusterScheme::RestoreState(persist::Decoder* dec) {
+  uint64_t node_count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&node_count));
+  if (node_count == 0) {
+    return Status::InvalidArgument("snapshot cluster has zero nodes");
+  }
+  if (node_count > options_.elasticity.max_nodes && options_.elastic) {
+    return Status::InvalidArgument(
+        "snapshot cluster has " + std::to_string(node_count) +
+        " nodes, above this configuration's max of " +
+        std::to_string(options_.elasticity.max_nodes));
+  }
+  // The saved fleet replaces the constructor-built one wholesale: each
+  // node is rebuilt from its ordinal (which determines its seeds and
+  // configuration) and then overwritten with its saved state.
+  std::vector<Node> restored;
+  restored.reserve(node_count);
+  for (uint64_t i = 0; i < node_count; ++i) {
+    Node node;
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&node.ordinal));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&node.rented_at));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&node.queries));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&node.served));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&node.served_in_cache));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&node.window_queries));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&node.revenue));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&node.profit));
+    if (i == 0 && node.ordinal != 0) {
+      return Status::InvalidArgument(
+          "snapshot cluster coordinator has ordinal " +
+          std::to_string(node.ordinal) + "; expected 0");
+    }
+    node.scheme = factory_(node.ordinal);
+    CLOUDCACHE_RETURN_IF_ERROR(node.scheme->RestoreState(dec));
+    restored.push_back(std::move(node));
+  }
+  nodes_ = std::move(restored);
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&next_ordinal_));
+  for (const Node& node : nodes_) {
+    if (node.ordinal >= next_ordinal_) {
+      return Status::InvalidArgument(
+          "snapshot cluster node ordinal " + std::to_string(node.ordinal) +
+          " is not below the next-ordinal counter " +
+          std::to_string(next_ordinal_));
+    }
+  }
+  uint64_t last_served = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&last_served));
+  if (last_served >= nodes_.size()) {
+    return Status::InvalidArgument(
+        "snapshot cluster last-served index is out of range");
+  }
+  last_served_ = static_cast<size_t>(last_served);
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&queries_));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&first_arrival_));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&last_arrival_));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadBool(&saw_query_));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&peak_nodes_));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&scale_out_events_));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&scale_in_events_));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&migrations_));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&migration_failures_));
+  return controller_.RestoreState(dec);
+}
+
 }  // namespace cloudcache

@@ -137,6 +137,15 @@ class ClusterScheme : public Scheme {
   WindowEnd EndWindow(SimTime window_close, SimTime first_arrival,
                       SimTime last_arrival, uint64_t window_queries);
 
+  /// Checkpoint support. The fleet itself is run state: restore tears
+  /// down the constructor-built nodes and rebuilds each saved node through
+  /// the factory from its saved ordinal (ordinals fully determine a
+  /// node's configuration and seeds), then restores each node's scheme
+  /// state, traffic counters, and the controller/window bookkeeping.
+  bool SupportsCheckpoint() const override { return true; }
+  void SaveState(persist::Encoder* enc) const override;
+  Status RestoreState(persist::Decoder* dec) override;
+
  private:
   struct Node {
     uint32_t ordinal = 0;

@@ -62,4 +62,23 @@ ElasticAction ElasticityController::Step(const ElasticityWindow& window) {
   return ElasticAction{};
 }
 
+void ElasticityController::SaveState(persist::Encoder* enc) const {
+  enc->PutU32(hot_streak_);
+  enc->PutU64(cold_streaks_.size());
+  for (uint32_t streak : cold_streaks_) enc->PutU32(streak);
+  enc->PutU32(cooldown_);
+}
+
+Status ElasticityController::RestoreState(persist::Decoder* dec) {
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&hot_streak_));
+  uint64_t streak_count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&streak_count));
+  cold_streaks_.assign(streak_count, 0);
+  for (uint32_t& streak : cold_streaks_) {
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&streak));
+  }
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&cooldown_));
+  return Status::OK();
+}
+
 }  // namespace cloudcache

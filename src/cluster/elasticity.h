@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/persist/codec.h"
 #include "src/util/money.h"
 
 namespace cloudcache {
@@ -87,6 +88,11 @@ class ElasticityController {
   ElasticAction Step(const ElasticityWindow& window);
 
   const ElasticityOptions& options() const { return options_; }
+
+  /// Checkpoint support: the hot/cold streaks and the cooldown are the
+  /// controller's entire run state (the options are configuration).
+  void SaveState(persist::Encoder* enc) const;
+  Status RestoreState(persist::Decoder* dec);
 
  private:
   ElasticityOptions options_;

@@ -1,5 +1,6 @@
 #include "src/econ/account.h"
 
+#include "src/persist/util_io.h"
 #include "src/util/logging.h"
 
 namespace cloudcache {
@@ -28,6 +29,30 @@ Status CloudAccount::WithdrawInvestment(Money amount, SimTime now) {
   credit_ -= amount;
   investment_ += amount;
   Record(now);
+  return Status::OK();
+}
+
+void CloudAccount::SaveState(persist::Encoder* enc) const {
+  enc->PutMoney(initial_);
+  enc->PutMoney(credit_);
+  enc->PutMoney(revenue_);
+  enc->PutMoney(expenditure_);
+  enc->PutMoney(investment_);
+  persist::SaveTimeSeries(history_, enc);
+}
+
+Status CloudAccount::RestoreState(persist::Decoder* dec) {
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&initial_));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&credit_));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&revenue_));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&expenditure_));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&investment_));
+  CLOUDCACHE_RETURN_IF_ERROR(persist::RestoreTimeSeries(dec, &history_));
+  if (credit_ != initial_ + revenue_ - expenditure_ - investment_) {
+    return Status::InvalidArgument(
+        "snapshot account books do not balance (credit != initial + revenue "
+        "- expenditure - investment)");
+  }
   return Status::OK();
 }
 

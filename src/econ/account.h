@@ -1,5 +1,6 @@
 #pragma once
 
+#include "src/persist/codec.h"
 #include "src/util/money.h"
 #include "src/util/stats.h"
 #include "src/util/status.h"
@@ -51,6 +52,11 @@ class CloudAccount {
 
   /// Credit sampled after every mutation: (time, dollars).
   const TimeSeries& history() const { return history_; }
+
+  /// Checkpoint support: every flow counter plus the full credit history
+  /// (the history feeds run reports, so a resumed run must carry it).
+  void SaveState(persist::Encoder* enc) const;
+  Status RestoreState(persist::Decoder* dec);
 
  private:
   void Record(SimTime now) { history_.Add(now, credit_.ToDollars()); }

@@ -1,5 +1,7 @@
 #include "src/econ/admission.h"
 
+#include <algorithm>
+
 #include "src/util/logging.h"
 
 namespace cloudcache {
@@ -87,6 +89,72 @@ bool AdmissionController::Throttled(uint32_t tenant, bool* newly_throttled) {
     }
   }
   return state.throttled;
+}
+
+void AdmissionController::SaveState(persist::Encoder* enc) const {
+  enc->PutU64(tenants_.size());
+  for (const TenantState& state : tenants_) {
+    enc->PutMoney(state.revenue);
+    enc->PutMoney(state.accrued);
+    enc->PutMoney(state.monetized);
+    enc->PutBool(state.throttled);
+  }
+  std::vector<StructureId> ids;
+  ids.reserve(backing_.size());
+  for (const auto& [id, shares] : backing_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  enc->PutU64(ids.size());
+  for (StructureId id : ids) {
+    const std::vector<Money>& shares = backing_.at(id);
+    enc->PutU32(id);
+    enc->PutU64(shares.size());
+    for (Money share : shares) enc->PutMoney(share);
+  }
+}
+
+Status AdmissionController::RestoreState(persist::Decoder* dec) {
+  uint64_t tenant_count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&tenant_count));
+  if (tenant_count != tenants_.size()) {
+    return Status::FailedPrecondition(
+        "snapshot admission state has " + std::to_string(tenant_count) +
+        " tenants but this run provisioned " +
+        std::to_string(tenants_.size()));
+  }
+  for (TenantState& state : tenants_) {
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&state.revenue));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&state.accrued));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&state.monetized));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadBool(&state.throttled));
+    if (state.monetized.micros() < 0 ||
+        state.monetized.micros() > state.accrued.micros()) {
+      return Status::InvalidArgument(
+          "snapshot admission state monetized regret exceeds accrued");
+    }
+  }
+  backing_.clear();
+  uint64_t backing_count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&backing_count));
+  for (uint64_t i = 0; i < backing_count; ++i) {
+    StructureId id = 0;
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&id));
+    uint64_t share_count = 0;
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&share_count));
+    if (share_count > tenants_.size()) {
+      return Status::InvalidArgument(
+          "snapshot admission backing has more shares than tenants");
+    }
+    std::vector<Money> shares(share_count);
+    for (Money& share : shares) {
+      CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&share));
+    }
+    if (!backing_.emplace(id, std::move(shares)).second) {
+      return Status::InvalidArgument(
+          "snapshot admission backing repeats structure id " +
+          std::to_string(id));
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace cloudcache

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/persist/codec.h"
 #include "src/structure/structure.h"
 #include "src/util/money.h"
 
@@ -108,6 +109,12 @@ class AdmissionController {
   bool throttled(uint32_t tenant) const {
     return tenants_.at(tenant).throttled;
   }
+
+  /// Checkpoint support: per-tenant state in tenant order plus the
+  /// per-structure backing shares sorted by id. The tenant count must
+  /// already have been provisioned (reconstruction does it).
+  void SaveState(persist::Encoder* enc) const;
+  Status RestoreState(persist::Decoder* dec);
 
  private:
   struct TenantState {

@@ -1,5 +1,8 @@
 #include "src/econ/amortizer.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "src/util/logging.h"
 
 namespace cloudcache {
@@ -47,6 +50,43 @@ Money Amortizer::Cancel(StructureId id) {
   const Money remaining = Unamortized(id);
   schedules_.erase(id);
   return remaining;
+}
+
+void Amortizer::SaveState(persist::Encoder* enc) const {
+  std::vector<StructureId> ids;
+  ids.reserve(schedules_.size());
+  for (const auto& [id, schedule] : schedules_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  enc->PutU64(ids.size());
+  for (StructureId id : ids) {
+    const Schedule& schedule = schedules_.at(id);
+    enc->PutU32(id);
+    enc->PutMoney(schedule.build_cost);
+    enc->PutI64(schedule.shares_charged);
+  }
+}
+
+Status Amortizer::RestoreState(persist::Decoder* dec) {
+  schedules_.clear();
+  uint64_t count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    StructureId id = 0;
+    Schedule schedule;
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&id));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&schedule.build_cost));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadI64(&schedule.shares_charged));
+    if (schedule.build_cost.micros() < 0 || schedule.shares_charged < 0 ||
+        schedule.shares_charged >= horizon_) {
+      return Status::InvalidArgument(
+          "snapshot amortization schedule is out of range");
+    }
+    if (!schedules_.emplace(id, schedule).second) {
+      return Status::InvalidArgument(
+          "snapshot amortizer repeats structure id " + std::to_string(id));
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace cloudcache

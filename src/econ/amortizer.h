@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "src/persist/codec.h"
 #include "src/structure/structure.h"
 #include "src/util/money.h"
 
@@ -43,6 +44,11 @@ class Amortizer {
   Money Unamortized(StructureId id) const;
 
   int64_t horizon() const { return horizon_; }
+
+  /// Checkpoint support: schedules saved sorted by id (the map itself has
+  /// no deterministic order). The horizon is configuration.
+  void SaveState(persist::Encoder* enc) const;
+  Status RestoreState(persist::Decoder* dec);
 
  private:
   struct Schedule {

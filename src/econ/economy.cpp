@@ -655,4 +655,103 @@ QueryOutcome EconomyEngine::OnQuery(const Query& query,
   return outcome;
 }
 
+void EconomyEngine::SaveState(persist::Encoder* enc) const {
+  cache_.SaveState(enc);
+  pool_.SaveState(enc);
+  maintenance_.SaveState(enc);
+  account_.SaveState(enc);
+  regret_.SaveState(enc);
+  enc->PutU64(tenant_regret_.size());
+  for (const RegretLedger& ledger : tenant_regret_) ledger.SaveState(enc);
+  admission_.SaveState(enc);
+  amortizer_.SaveState(enc);
+  enc->PutU64(pending_.size());
+  for (const PendingBuild& build : pending_) {
+    enc->PutDouble(build.ready_at);
+    enc->PutU32(build.id);
+  }
+  enc->PutU64(tick_evictions_.size());
+  for (StructureId id : tick_evictions_) enc->PutU32(id);
+}
+
+Status EconomyEngine::RestoreState(persist::Decoder* dec) {
+  CLOUDCACHE_RETURN_IF_ERROR(cache_.RestoreState(dec));
+  CLOUDCACHE_RETURN_IF_ERROR(pool_.RestoreState(dec));
+  CLOUDCACHE_RETURN_IF_ERROR(maintenance_.RestoreState(dec, *registry_));
+  CLOUDCACHE_RETURN_IF_ERROR(account_.RestoreState(dec));
+  CLOUDCACHE_RETURN_IF_ERROR(regret_.RestoreState(dec));
+  uint64_t tenant_count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&tenant_count));
+  if (tenant_count != tenant_regret_.size()) {
+    return Status::FailedPrecondition(
+        "snapshot has " + std::to_string(tenant_count) +
+        " tenant regret ledgers but this run provisioned " +
+        std::to_string(tenant_regret_.size()));
+  }
+  Money tenant_total;
+  for (RegretLedger& ledger : tenant_regret_) {
+    CLOUDCACHE_RETURN_IF_ERROR(ledger.RestoreState(dec));
+    tenant_total += ledger.Total();
+  }
+  // The tenant ledgers partition the global ledger whenever attribution is
+  // on (engine invariant 2); a snapshot that violates it was not written
+  // by this engine.
+  if (!tenant_regret_.empty() && tenant_total != regret_.Total()) {
+    return Status::InvalidArgument(
+        "snapshot tenant regret ledgers do not partition the global ledger");
+  }
+  CLOUDCACHE_RETURN_IF_ERROR(admission_.RestoreState(dec));
+  CLOUDCACHE_RETURN_IF_ERROR(amortizer_.RestoreState(dec));
+
+  pending_.clear();
+  pending_flag_.assign(registry_->size(), false);
+  uint64_t pending_count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&pending_count));
+  for (uint64_t i = 0; i < pending_count; ++i) {
+    PendingBuild build;
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&build.ready_at));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&build.id));
+    if (build.id >= registry_->size()) {
+      return Status::InvalidArgument(
+          "snapshot pending build names unknown structure id " +
+          std::to_string(build.id));
+    }
+    if (pending_flag_[build.id]) {
+      return Status::InvalidArgument(
+          "snapshot pending build repeats structure id " +
+          std::to_string(build.id));
+    }
+    pending_flag_[build.id] = true;
+    pending_.push_back(build);
+  }
+  tick_evictions_.clear();
+  uint64_t eviction_count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&eviction_count));
+  for (uint64_t i = 0; i < eviction_count; ++i) {
+    StructureId id = 0;
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&id));
+    if (id >= registry_->size()) {
+      return Status::InvalidArgument(
+          "snapshot tick eviction names unknown structure id " +
+          std::to_string(id));
+    }
+    tick_evictions_.push_back(id);
+  }
+
+  // Drop every pricing memo. Their stamp discipline (epoch + 1 / a per-call
+  // tick, 0 meaning "never computed") makes an empty memo bit-identical to
+  // a warm one — the next lookup recomputes from the restored state.
+  charge_tick_ = 0;
+  charge_stamp_.clear();
+  charge_value_.clear();
+  hypo_epoch_stamp_.clear();
+  hypo_share_.clear();
+  build_cost_stamp_.clear();
+  build_cost_value_.clear();
+  active_tenant_regret_ = nullptr;
+  active_tenant_ = 0;
+  suppress_regret_ = false;
+  return Status::OK();
+}
+
 }  // namespace cloudcache

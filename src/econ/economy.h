@@ -216,6 +216,18 @@ class EconomyEngine {
   /// by tests and by warm-start experiment setups). Charges the account.
   Status ForceBuild(const StructureKey& key, SimTime now);
 
+  /// Checkpoint support. Serializes every piece of run state the engine
+  /// owns: cache residency, candidate pool, maintenance clocks, account,
+  /// the global and per-tenant regret ledgers, admission state, the
+  /// amortizer, in-flight pending builds (in exact vector order — the
+  /// activation loop's swap-remove makes order part of the state), and the
+  /// tick-eviction backlog. Pricing memos and the plan-skeleton cache are
+  /// pure functions of this state and rebuild lazily. RestoreState must
+  /// run on an engine freshly constructed from the identical configuration
+  /// (same catalog, candidates, tenant count, and policy options).
+  void SaveState(persist::Encoder* enc) const;
+  Status RestoreState(persist::Decoder* dec);
+
  private:
   struct PendingBuild {
     SimTime ready_at;

@@ -50,6 +50,42 @@ void RegretLedger::Subtract(StructureId id, Money amount) {
   sorted_stale_ = true;
 }
 
+void RegretLedger::SaveState(persist::Encoder* enc) const {
+  enc->PutU64(nonzero_);
+  ForEachNonZero([enc](StructureId id, Money amount) {
+    enc->PutU32(id);
+    enc->PutMoney(amount);
+  });
+}
+
+Status RegretLedger::RestoreState(persist::Decoder* dec) {
+  amounts_.clear();
+  total_ = Money();
+  nonzero_ = 0;
+  sorted_.clear();
+  sorted_stale_ = true;
+  uint64_t count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&count));
+  StructureId previous = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    StructureId id = 0;
+    Money amount;
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&id));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&amount));
+    if (i > 0 && id <= previous) {
+      return Status::InvalidArgument(
+          "snapshot regret ledger ids are not strictly ascending");
+    }
+    if (amount.micros() <= 0) {
+      return Status::InvalidArgument(
+          "snapshot regret ledger holds a non-positive entry");
+    }
+    previous = id;
+    Add(id, amount);
+  }
+  return Status::OK();
+}
+
 const std::vector<std::pair<StructureId, Money>>&
 RegretLedger::NonZeroDescending() const {
   if (sorted_stale_) {

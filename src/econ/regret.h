@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/persist/codec.h"
 #include "src/structure/structure.h"
 #include "src/util/money.h"
 
@@ -86,6 +87,12 @@ class RegretLedger {
 
   /// Number of structures with non-zero regret.
   size_t size() const { return nonzero_; }
+
+  /// Checkpoint support: saves the sparse non-zero entries in ascending id
+  /// order; restore replays them through Add, rebuilding the total and the
+  /// non-zero count and leaving the sorted view stale (it is a cache).
+  void SaveState(persist::Encoder* enc) const;
+  Status RestoreState(persist::Decoder* dec);
 
  private:
   /// Flat per-id amounts (index = StructureId); zero means "no entry".

@@ -1,0 +1,197 @@
+#include "src/persist/metrics_io.h"
+
+#include <utility>
+#include <vector>
+
+namespace cloudcache {
+namespace persist {
+
+void SaveResourceBreakdown(const ResourceBreakdown& breakdown, Encoder* enc) {
+  enc->PutDouble(breakdown.cpu_dollars);
+  enc->PutDouble(breakdown.network_dollars);
+  enc->PutDouble(breakdown.disk_dollars);
+  enc->PutDouble(breakdown.io_dollars);
+}
+
+Status RestoreResourceBreakdown(Decoder* dec, ResourceBreakdown* breakdown) {
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&breakdown->cpu_dollars));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&breakdown->network_dollars));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&breakdown->disk_dollars));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&breakdown->io_dollars));
+  return Status::OK();
+}
+
+void SaveTenantMetrics(const TenantMetrics& tenant, Encoder* enc) {
+  enc->PutU32(tenant.tenant_id);
+  enc->PutU64(tenant.queries);
+  enc->PutU64(tenant.served);
+  enc->PutU64(tenant.served_in_cache);
+  enc->PutU64(tenant.served_in_backend);
+  enc->PutU64(tenant.wan_bytes);
+  SaveRunningStats(tenant.response_seconds, enc);
+  SaveResourceBreakdown(tenant.operating_cost, enc);
+  enc->PutMoney(tenant.revenue);
+  enc->PutMoney(tenant.profit);
+  enc->PutMoney(tenant.final_regret);
+  enc->PutU64(tenant.case_a);
+  enc->PutU64(tenant.case_b);
+  enc->PutU64(tenant.case_c);
+  enc->PutU64(tenant.investments);
+  enc->PutU64(tenant.evictions);
+  enc->PutU64(tenant.throttled);
+}
+
+Status RestoreTenantMetrics(Decoder* dec, TenantMetrics* tenant) {
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&tenant->tenant_id));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&tenant->queries));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&tenant->served));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&tenant->served_in_cache));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&tenant->served_in_backend));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&tenant->wan_bytes));
+  CLOUDCACHE_RETURN_IF_ERROR(
+      RestoreRunningStats(dec, &tenant->response_seconds));
+  CLOUDCACHE_RETURN_IF_ERROR(
+      RestoreResourceBreakdown(dec, &tenant->operating_cost));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&tenant->revenue));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&tenant->profit));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&tenant->final_regret));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&tenant->case_a));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&tenant->case_b));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&tenant->case_c));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&tenant->investments));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&tenant->evictions));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&tenant->throttled));
+  return Status::OK();
+}
+
+void SaveClusterMetrics(const ClusterMetrics& cluster, Encoder* enc) {
+  enc->PutBool(cluster.active);
+  enc->PutU32(cluster.final_nodes);
+  enc->PutU32(cluster.peak_nodes);
+  enc->PutU64(cluster.scale_out_events);
+  enc->PutU64(cluster.scale_in_events);
+  enc->PutU64(cluster.migrations);
+  enc->PutU64(cluster.migration_failures);
+  enc->PutDouble(cluster.node_rent_dollars);
+  enc->PutU64(cluster.nodes.size());
+  for (const NodeMetrics& node : cluster.nodes) {
+    enc->PutU32(node.ordinal);
+    enc->PutU64(node.queries);
+    enc->PutU64(node.served);
+    enc->PutU64(node.served_in_cache);
+    enc->PutMoney(node.revenue);
+    enc->PutMoney(node.profit);
+    enc->PutMoney(node.final_credit);
+    enc->PutU64(node.final_resident_bytes);
+    enc->PutDouble(node.rented_at_seconds);
+  }
+}
+
+Status RestoreClusterMetrics(Decoder* dec, ClusterMetrics* cluster) {
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadBool(&cluster->active));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&cluster->final_nodes));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&cluster->peak_nodes));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&cluster->scale_out_events));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&cluster->scale_in_events));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&cluster->migrations));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&cluster->migration_failures));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&cluster->node_rent_dollars));
+  uint64_t node_count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&node_count));
+  cluster->nodes.clear();
+  cluster->nodes.resize(node_count);
+  for (NodeMetrics& node : cluster->nodes) {
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&node.ordinal));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&node.queries));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&node.served));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&node.served_in_cache));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&node.revenue));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&node.profit));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&node.final_credit));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&node.final_resident_bytes));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&node.rented_at_seconds));
+  }
+  return Status::OK();
+}
+
+void SaveSimMetrics(const SimMetrics& metrics, Encoder* enc) {
+  enc->PutString(metrics.scheme_name);
+  SaveRunningStats(metrics.response_seconds, enc);
+  SaveQuantileSketch(metrics.response_sketch, enc);
+  SaveResourceBreakdown(metrics.operating_cost, enc);
+  enc->PutMoney(metrics.revenue);
+  enc->PutMoney(metrics.profit);
+  enc->PutMoney(metrics.final_credit);
+  enc->PutU64(metrics.queries);
+  enc->PutU64(metrics.served);
+  enc->PutU64(metrics.served_in_cache);
+  enc->PutU64(metrics.served_in_backend);
+  enc->PutU64(metrics.wan_bytes);
+  enc->PutU64(metrics.investments);
+  enc->PutU64(metrics.evictions);
+  enc->PutU64(metrics.throttled);
+  enc->PutU64(metrics.case_a);
+  enc->PutU64(metrics.case_b);
+  enc->PutU64(metrics.case_c);
+  enc->PutU64(metrics.final_resident_bytes);
+  enc->PutU32(metrics.final_extra_nodes);
+  SaveTimeSeries(metrics.cost_over_time, enc);
+  SaveTimeSeries(metrics.credit_over_time, enc);
+  enc->PutU64(metrics.tenants.size());
+  for (const TenantMetrics& tenant : metrics.tenants) {
+    SaveTenantMetrics(tenant, enc);
+  }
+  enc->PutDouble(metrics.fairness.response_jain);
+  enc->PutDouble(metrics.fairness.response_max_min);
+  enc->PutDouble(metrics.fairness.billed_jain);
+  enc->PutDouble(metrics.fairness.billed_max_min);
+  SaveClusterMetrics(metrics.cluster, enc);
+}
+
+Status RestoreSimMetrics(Decoder* dec, SimMetrics* metrics) {
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadString(&metrics->scheme_name));
+  CLOUDCACHE_RETURN_IF_ERROR(
+      RestoreRunningStats(dec, &metrics->response_seconds));
+  CLOUDCACHE_RETURN_IF_ERROR(
+      RestoreQuantileSketch(dec, &metrics->response_sketch));
+  CLOUDCACHE_RETURN_IF_ERROR(
+      RestoreResourceBreakdown(dec, &metrics->operating_cost));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&metrics->revenue));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&metrics->profit));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&metrics->final_credit));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&metrics->queries));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&metrics->served));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&metrics->served_in_cache));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&metrics->served_in_backend));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&metrics->wan_bytes));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&metrics->investments));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&metrics->evictions));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&metrics->throttled));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&metrics->case_a));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&metrics->case_b));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&metrics->case_c));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&metrics->final_resident_bytes));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&metrics->final_extra_nodes));
+  CLOUDCACHE_RETURN_IF_ERROR(RestoreTimeSeries(dec, &metrics->cost_over_time));
+  CLOUDCACHE_RETURN_IF_ERROR(
+      RestoreTimeSeries(dec, &metrics->credit_over_time));
+  uint64_t tenant_count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&tenant_count));
+  metrics->tenants.clear();
+  metrics->tenants.resize(tenant_count);
+  for (TenantMetrics& tenant : metrics->tenants) {
+    CLOUDCACHE_RETURN_IF_ERROR(RestoreTenantMetrics(dec, &tenant));
+  }
+  CLOUDCACHE_RETURN_IF_ERROR(
+      dec->ReadDouble(&metrics->fairness.response_jain));
+  CLOUDCACHE_RETURN_IF_ERROR(
+      dec->ReadDouble(&metrics->fairness.response_max_min));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&metrics->fairness.billed_jain));
+  CLOUDCACHE_RETURN_IF_ERROR(
+      dec->ReadDouble(&metrics->fairness.billed_max_min));
+  CLOUDCACHE_RETURN_IF_ERROR(RestoreClusterMetrics(dec, &metrics->cluster));
+  return Status::OK();
+}
+
+}  // namespace persist
+}  // namespace cloudcache

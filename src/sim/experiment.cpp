@@ -36,9 +36,16 @@ WorkloadOptions TenantWorkloadOptions(const WorkloadOptions& base,
   return options;
 }
 
-SimMetrics RunExperiment(const Catalog& catalog,
-                         const std::vector<QueryTemplate>& templates,
-                         const ExperimentConfig& config) {
+namespace {
+
+/// One construction + drive of the experiment's object graph. When
+/// `snapshot` is non-null the freshly built graph is overwritten with the
+/// snapshot's state before driving — on any restore error the graph is
+/// abandoned (the caller rebuilds from scratch for a fresh run).
+Result<SimMetrics> RunExperimentImpl(
+    const Catalog& catalog, const std::vector<QueryTemplate>& templates,
+    const ExperimentConfig& config,
+    const persist::SnapshotReader* snapshot) {
   Result<std::vector<ResolvedTemplate>> resolved =
       ResolveTemplates(catalog, templates);
   CLOUDCACHE_CHECK(resolved.ok());
@@ -117,6 +124,7 @@ SimMetrics RunExperiment(const Catalog& catalog,
   }
   SimulatorOptions sim_options = config.sim;
   sim_options.node_rent_multiplier = config.cluster.node_rent_multiplier;
+  sim_options.checkpoint.config_hash = HashExperimentConfig(config);
 
   if (!multi_tenant) {
     WorkloadGenerator workload(&catalog, *resolved, config.workload);
@@ -128,10 +136,16 @@ SimMetrics RunExperiment(const Catalog& catalog,
       auto* cluster = static_cast<ClusterScheme*>(scheme.get());
       ParallelNodeSimulator simulator(&catalog, cluster, &workload,
                                       sim_options);
-      return simulator.Run();
+      if (snapshot != nullptr) {
+        CLOUDCACHE_RETURN_IF_ERROR(simulator.RestoreFrom(*snapshot));
+      }
+      return simulator.RunChecked();
     }
     Simulator simulator(&catalog, scheme.get(), &workload, sim_options);
-    return simulator.Run();
+    if (snapshot != nullptr) {
+      CLOUDCACHE_RETURN_IF_ERROR(simulator.RestoreFrom(*snapshot));
+    }
+    return simulator.RunChecked();
   }
 
   // Multi-tenant: one generator per stream, merged by the event-driven
@@ -148,7 +162,139 @@ SimMetrics RunExperiment(const Catalog& catalog,
   }
   Simulator simulator(&catalog, scheme.get(), std::move(generator_ptrs),
                       sim_options);
-  return simulator.Run();
+  if (snapshot != nullptr) {
+    CLOUDCACHE_RETURN_IF_ERROR(simulator.RestoreFrom(*snapshot));
+  }
+  return simulator.RunChecked();
+}
+
+/// FNV-1a over the canonical little-endian serialization of the config.
+uint64_t Fnv1a64(const std::vector<uint8_t>& bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void EncodePriceList(const PriceList& p, persist::Encoder* enc) {
+  enc->PutDouble(p.cpu_second_dollars);
+  enc->PutDouble(p.network_byte_dollars);
+  enc->PutDouble(p.disk_byte_second_dollars);
+  enc->PutDouble(p.io_op_dollars);
+  enc->PutDouble(p.cpu_reserve_fraction);
+  enc->PutDouble(p.lcpu);
+  enc->PutDouble(p.fcpu);
+  enc->PutDouble(p.fio);
+  enc->PutDouble(p.fn);
+  enc->PutDouble(p.latency_seconds);
+  enc->PutDouble(p.wan_mbps);
+  enc->PutDouble(p.boot_seconds);
+  enc->PutDouble(p.io_bytes_per_op);
+  enc->PutDouble(p.io_seconds_per_op);
+  enc->PutDouble(p.random_io_multiplier);
+  enc->PutDouble(p.parallel_overhead);
+}
+
+}  // namespace
+
+uint64_t HashExperimentConfig(const ExperimentConfig& config) {
+  persist::Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(config.scheme));
+
+  const WorkloadOptions& w = config.workload;
+  enc.PutDouble(w.popularity_skew);
+  enc.PutU64(w.drift_period);
+  enc.PutDouble(w.repeat_probability);
+  enc.PutDouble(w.interarrival_seconds);
+  enc.PutU8(static_cast<uint8_t>(w.arrival));
+  enc.PutDouble(w.selectivity_scale);
+  enc.PutU64(w.seed);
+  enc.PutU32(w.tenant_id);
+  enc.PutU64(w.popularity_offset);
+
+  const TenancyOptions& t = config.tenancy;
+  enc.PutU32(t.tenants);
+  enc.PutDouble(t.traffic_skew);
+  enc.PutBool(t.rotate_template_mix);
+  enc.PutBool(t.force_event_path);
+  enc.PutBool(t.fair_eviction);
+  enc.PutBool(t.admission);
+  enc.PutU64(t.tenant_budgets.size());
+  for (const TenantBudgetShape& shape : t.tenant_budgets) {
+    enc.PutU32(shape.tenant);
+    enc.PutDouble(shape.price_scale);
+    enc.PutDouble(shape.tmax_scale);
+  }
+
+  const ClusterOptions& c = config.cluster;
+  enc.PutU32(c.nodes);
+  enc.PutBool(c.elastic);
+  enc.PutDouble(c.node_rent_multiplier);
+  enc.PutDouble(c.migration_recency_seconds);
+  enc.PutBool(c.force_cluster_path);
+  enc.PutU64(c.elasticity.check_interval_queries);
+  enc.PutU32(c.elasticity.sustain_windows);
+  enc.PutU32(c.elasticity.cooldown_windows);
+  enc.PutDouble(c.elasticity.cold_share);
+  enc.PutI64(c.elasticity.amortization_horizon);
+  enc.PutU32(c.elasticity.min_nodes);
+  enc.PutU32(c.elasticity.max_nodes);
+
+  // SimulatorOptions, minus parallel_threads (thread counts never change
+  // the bits) and minus the checkpoint block (a snapshot must be
+  // restorable regardless of the cadence that produced it).
+  enc.PutU64(config.sim.num_queries);
+  EncodePriceList(config.sim.metered_prices, &enc);
+  enc.PutU64(config.sim.timeline_stride);
+
+  EncodePriceList(config.decision_prices, &enc);
+  enc.PutU64(config.index_candidates);
+  enc.PutU64(config.seed);
+  return Fnv1a64(enc.buffer());
+}
+
+SimMetrics RunExperiment(const Catalog& catalog,
+                         const std::vector<QueryTemplate>& templates,
+                         const ExperimentConfig& config) {
+  Result<SimMetrics> result = RunExperimentChecked(catalog, templates,
+                                                   config);
+  CLOUDCACHE_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Result<SimMetrics> RunExperimentChecked(
+    const Catalog& catalog, const std::vector<QueryTemplate>& templates,
+    const ExperimentConfig& config) {
+  const CheckpointOptions& cp = config.sim.checkpoint;
+  const bool restoring = cp.restore != CheckpointOptions::Restore::kNone;
+  if ((cp.every > 0 || restoring) && cp.path.empty()) {
+    return Status::InvalidArgument(
+        "checkpointing requires a snapshot path (--checkpoint-path)");
+  }
+  if (!restoring) {
+    return RunExperimentImpl(catalog, templates, config, nullptr);
+  }
+
+  const bool hard = cp.restore == CheckpointOptions::Restore::kHard;
+  Result<persist::SnapshotReader> reader =
+      persist::SnapshotReader::FromFile(cp.path);
+  if (!reader.ok()) {
+    if (hard) return reader.status();
+    return RunExperimentImpl(catalog, templates, config, nullptr);
+  }
+  Result<SimMetrics> resumed =
+      RunExperimentImpl(catalog, templates, config, &reader.value());
+  if (resumed.ok()) return resumed;
+  if (hard) return resumed.status();
+  // Crash injection is a run outcome, not a restore failure — it must
+  // never trigger the fresh-start fallback (nor can it: the persist layer
+  // never returns kResourceExhausted).
+  if (resumed.status().code() == StatusCode::kResourceExhausted) {
+    return resumed.status();
+  }
+  return RunExperimentImpl(catalog, templates, config, nullptr);
 }
 
 std::vector<SimMetrics> RunAllSchemes(

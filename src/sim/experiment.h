@@ -97,6 +97,27 @@ SimMetrics RunExperiment(const Catalog& catalog,
                          const std::vector<QueryTemplate>& templates,
                          const ExperimentConfig& config);
 
+/// Deterministic 64-bit hash over every configuration field that shapes a
+/// run's results, stamped into snapshot headers so a checkpoint can only
+/// be restored into the identical experiment. Excludes
+/// SimulatorOptions::parallel_threads (any worker count produces the same
+/// bits, by the determinism invariant) and the checkpoint controls
+/// themselves. The customize_econ/customize_bypass hooks cannot be
+/// hashed; a run using them must supply the identical hooks on restore.
+uint64_t HashExperimentConfig(const ExperimentConfig& config);
+
+/// Checkpoint/restore-aware RunExperiment: honors
+/// config.sim.checkpoint — periodic snapshots, crash injection (surfacing
+/// as a kResourceExhausted Status), and restore-at-startup. With
+/// Restore::kAuto a missing, corrupt, or mismatched snapshot degrades to
+/// a fresh run (the object graph is rebuilt from scratch first, so a
+/// partial restore never leaks into the fresh run); Restore::kHard fails
+/// loudly instead. With checkpointing off this is RunExperiment, bit for
+/// bit.
+Result<SimMetrics> RunExperimentChecked(
+    const Catalog& catalog, const std::vector<QueryTemplate>& templates,
+    const ExperimentConfig& config);
+
 /// Runs the same workload against all four schemes of Section VII-A.
 std::vector<SimMetrics> RunAllSchemes(
     const Catalog& catalog, const std::vector<QueryTemplate>& templates,

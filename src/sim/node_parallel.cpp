@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <future>
+#include <string>
 #include <utility>
 
+#include "src/persist/metrics_io.h"
 #include "src/util/logging.h"
 
 namespace cloudcache {
@@ -193,29 +195,177 @@ void ParallelNodeSimulator::FlushResidualRent() {
 }
 
 SimMetrics ParallelNodeSimulator::Run() {
+  Result<SimMetrics> result = RunChecked();
+  CLOUDCACHE_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Status ParallelNodeSimulator::MaybeCheckpointAndCrash(
+    uint64_t processed, uint64_t previous, const SimMetrics& metrics) {
+  const CheckpointOptions& cp = options_.checkpoint;
+  if (processed >= options_.num_queries) return Status::OK();
+  // Window closes are the only deterministic boundaries here, so a
+  // snapshot lands at the first close at or past each multiple of
+  // `every` — i.e. when this window crossed one.
+  if (cp.every > 0 && processed / cp.every > previous / cp.every) {
+    CLOUDCACHE_RETURN_IF_ERROR(WriteSnapshot(processed, metrics));
+  }
+  if (cp.crash_after > 0 && processed >= cp.crash_after) {
+    return Status::ResourceExhausted(
+        "crash injection stopped the run after " +
+        std::to_string(processed) + " queries, before finalization");
+  }
+  return Status::OK();
+}
+
+Status ParallelNodeSimulator::WriteSnapshot(uint64_t processed,
+                                            const SimMetrics& metrics) const {
+  const CheckpointOptions& cp = options_.checkpoint;
+  persist::SnapshotWriter writer(cp.config_hash);
+  persist::Encoder* meta = writer.AddSection("meta");
+  meta->PutU8(kDriverModeWindowed);
+  meta->PutU64(processed);
+  meta->PutU64(options_.num_queries);
+  meta->PutString(cluster_->name());
+  persist::Encoder* driver = writer.AddSection("driver");
+  driver->PutDouble(last_close_);
+  driver->PutU64(books_.size());
+  for (const NodeBooks& books : books_) {
+    driver->PutDouble(books.pending_rent_dollars);
+    driver->PutDouble(books.metered_until);
+    driver->PutMoney(books.credit);
+  }
+  persist::Encoder* workload = writer.AddSection("workload");
+  workload->PutU64(1);
+  workload_->SaveState(workload);
+  cluster_->SaveState(writer.AddSection("scheme"));
+  persist::SaveSimMetrics(metrics, writer.AddSection("metrics"));
+  return writer.WriteToFile(cp.path);
+}
+
+Status ParallelNodeSimulator::RestoreFrom(
+    const persist::SnapshotReader& reader) {
+  CLOUDCACHE_RETURN_IF_ERROR(
+      reader.ExpectConfigHash(options_.checkpoint.config_hash));
+
+  Result<persist::Decoder> meta = reader.Section("meta");
+  CLOUDCACHE_RETURN_IF_ERROR(meta.status());
+  uint8_t mode = 0;
+  uint64_t processed = 0;
+  uint64_t total = 0;
+  std::string scheme_name;
+  CLOUDCACHE_RETURN_IF_ERROR(meta->ReadU8(&mode));
+  CLOUDCACHE_RETURN_IF_ERROR(meta->ReadU64(&processed));
+  CLOUDCACHE_RETURN_IF_ERROR(meta->ReadU64(&total));
+  CLOUDCACHE_RETURN_IF_ERROR(meta->ReadString(&scheme_name));
+  CLOUDCACHE_RETURN_IF_ERROR(meta->ExpectEnd());
+  if (mode != kDriverModeWindowed) {
+    return Status::FailedPrecondition(
+        "snapshot was written by driver mode " + std::to_string(mode) +
+        " but this run uses the windowed parallel driver (check --threads "
+        "against the checkpointed run)");
+  }
+  if (total != options_.num_queries) {
+    return Status::FailedPrecondition(
+        "snapshot run length " + std::to_string(total) +
+        " does not match this run's " +
+        std::to_string(options_.num_queries));
+  }
+  if (processed >= options_.num_queries) {
+    return Status::FailedPrecondition(
+        "snapshot claims more processed queries than the run length");
+  }
+  if (scheme_name != cluster_->name()) {
+    return Status::FailedPrecondition(
+        "snapshot was taken under scheme '" + scheme_name +
+        "' but this run drives '" + cluster_->name() + "'");
+  }
+
+  // The fleet first: the rent books are index-aligned with it.
+  Result<persist::Decoder> scheme = reader.Section("scheme");
+  CLOUDCACHE_RETURN_IF_ERROR(scheme.status());
+  CLOUDCACHE_RETURN_IF_ERROR(cluster_->RestoreState(&scheme.value()));
+  CLOUDCACHE_RETURN_IF_ERROR(scheme->ExpectEnd());
+
+  Result<persist::Decoder> driver = reader.Section("driver");
+  CLOUDCACHE_RETURN_IF_ERROR(driver.status());
+  CLOUDCACHE_RETURN_IF_ERROR(driver->ReadDouble(&last_close_));
+  uint64_t book_count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(driver->ReadLength(&book_count));
+  if (book_count != cluster_->num_nodes()) {
+    return Status::InvalidArgument(
+        "snapshot rent books cover " + std::to_string(book_count) +
+        " nodes but the restored fleet has " +
+        std::to_string(cluster_->num_nodes()));
+  }
+  books_.assign(book_count, NodeBooks{});
+  for (NodeBooks& books : books_) {
+    CLOUDCACHE_RETURN_IF_ERROR(
+        driver->ReadDouble(&books.pending_rent_dollars));
+    CLOUDCACHE_RETURN_IF_ERROR(driver->ReadDouble(&books.metered_until));
+    CLOUDCACHE_RETURN_IF_ERROR(driver->ReadMoney(&books.credit));
+  }
+  CLOUDCACHE_RETURN_IF_ERROR(driver->ExpectEnd());
+
+  Result<persist::Decoder> workload = reader.Section("workload");
+  CLOUDCACHE_RETURN_IF_ERROR(workload.status());
+  uint64_t generator_count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(workload->ReadLength(&generator_count));
+  if (generator_count != 1) {
+    return Status::FailedPrecondition(
+        "snapshot has " + std::to_string(generator_count) +
+        " workload streams but the windowed driver runs one");
+  }
+  CLOUDCACHE_RETURN_IF_ERROR(workload_->RestoreState(&workload.value()));
+  CLOUDCACHE_RETURN_IF_ERROR(workload->ExpectEnd());
+
+  Result<persist::Decoder> metrics = reader.Section("metrics");
+  CLOUDCACHE_RETURN_IF_ERROR(metrics.status());
+  restored_metrics_ = SimMetrics();
+  CLOUDCACHE_RETURN_IF_ERROR(
+      persist::RestoreSimMetrics(&metrics.value(), &restored_metrics_));
+  CLOUDCACHE_RETURN_IF_ERROR(metrics->ExpectEnd());
+
+  metered_models_.clear();
+  for (size_t n = 0; n < cluster_->num_nodes(); ++n) {
+    metered_models_.push_back(
+        std::make_unique<CostModel>(catalog_, &options_.metered_prices));
+  }
+  start_processed_ = processed;
+  restored_ = true;
+  return Status::OK();
+}
+
+Result<SimMetrics> ParallelNodeSimulator::RunChecked() {
   SimMetrics metrics;
-  metrics.scheme_name = cluster_->name();
+  if (restored_) {
+    metrics = std::move(restored_metrics_);
+  } else {
+    metrics.scheme_name = cluster_->name();
+  }
 
   // The window IS the elasticity check interval, so full windows land the
   // controller exactly where the serial path's modulo check fires.
   const uint64_t window_size =
       cluster_->options().elasticity.check_interval_queries;
 
-  const SimTime start = workload_->PeekNextArrival();
-  last_close_ = start;
-  books_.assign(cluster_->num_nodes(), NodeBooks{});
-  metered_models_.clear();
-  for (size_t n = 0; n < cluster_->num_nodes(); ++n) {
-    books_[n].metered_until = start;
-    books_[n].credit = cluster_->node(n).credit();
-    metered_models_.push_back(
-        std::make_unique<CostModel>(catalog_, &options_.metered_prices));
+  if (!restored_) {
+    const SimTime start = workload_->PeekNextArrival();
+    last_close_ = start;
+    books_.assign(cluster_->num_nodes(), NodeBooks{});
+    metered_models_.clear();
+    for (size_t n = 0; n < cluster_->num_nodes(); ++n) {
+      books_[n].metered_until = start;
+      books_[n].credit = cluster_->node(n).credit();
+      metered_models_.push_back(
+          std::make_unique<CostModel>(catalog_, &options_.metered_prices));
+    }
   }
 
   std::vector<QueryRecord> window;
   std::vector<std::vector<QueryRecord*>> slices;
   std::vector<std::future<void>> futures;
-  uint64_t processed = 0;
+  uint64_t processed = start_processed_;
   while (processed < options_.num_queries) {
     const uint64_t count =
         std::min<uint64_t>(window_size, options_.num_queries - processed);
@@ -254,7 +404,10 @@ SimMetrics ParallelNodeSimulator::Run() {
     const ClusterScheme::WindowEnd end = cluster_->EndWindow(
         close, window.front().query.arrival_time, close, count);
     ApplyFleetChange(end, close);
+    const uint64_t previous = processed;
     processed += count;
+    CLOUDCACHE_RETURN_IF_ERROR(
+        MaybeCheckpointAndCrash(processed, previous, metrics));
   }
 
   FlushResidualRent();

@@ -64,7 +64,20 @@ class ParallelNodeSimulator {
                         SimulatorOptions options);
 
   /// Runs the configured number of queries and returns the metrics.
+  /// Asserts on checkpoint I/O failures and crash injection.
   SimMetrics Run();
+
+  /// Checkpoint-aware run (see Simulator::RunChecked). This driver's only
+  /// deterministic boundaries are window closes, so snapshots land at the
+  /// first window close at or past each multiple of
+  /// CheckpointOptions::every — full windows only, so a resumed run's
+  /// window partition is identical to the uninterrupted run's.
+  Result<SimMetrics> RunChecked();
+
+  /// Restores mid-run state from a snapshot written by a prior windowed
+  /// checkpointed run; must be called before RunChecked on a freshly
+  /// constructed driver + cluster built from the identical configuration.
+  Status RestoreFrom(const persist::SnapshotReader& reader);
 
  private:
   /// One query's full outcome, filled by the owning node's slice task and
@@ -129,6 +142,12 @@ class ParallelNodeSimulator {
   /// End-of-run residual rent, per node (Simulator::FlushResidualRent).
   void FlushResidualRent();
 
+  /// Checkpoint hooks (Simulator's counterparts, with window-granular
+  /// boundaries). `processed`/`previous` bracket the window just merged.
+  Status MaybeCheckpointAndCrash(uint64_t processed, uint64_t previous,
+                                 const SimMetrics& metrics);
+  Status WriteSnapshot(uint64_t processed, const SimMetrics& metrics) const;
+
   const Catalog* catalog_;
   ClusterScheme* cluster_;
   WorkloadGenerator* workload_;
@@ -139,6 +158,10 @@ class ParallelNodeSimulator {
   /// share estimator scratch.
   std::vector<std::unique_ptr<CostModel>> metered_models_;
   SimTime last_close_ = 0;
+  /// Restore bookkeeping (see Simulator).
+  uint64_t start_processed_ = 0;
+  bool restored_ = false;
+  SimMetrics restored_metrics_;
 };
 
 }  // namespace cloudcache

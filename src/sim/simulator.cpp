@@ -1,8 +1,10 @@
 #include "src/sim/simulator.h"
 
 #include <cmath>
+#include <string>
 #include <utility>
 
+#include "src/persist/metrics_io.h"
 #include "src/util/logging.h"
 
 namespace cloudcache {
@@ -145,8 +147,22 @@ void Simulator::ProcessQuery(const Query& query, uint64_t i,
 }
 
 SimMetrics Simulator::Run() {
-  SimMetrics metrics =
-      tenant_workloads_.empty() ? RunSingleStream() : RunMultiTenant();
+  Result<SimMetrics> result = RunChecked();
+  CLOUDCACHE_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Result<SimMetrics> Simulator::RunChecked() {
+  SimMetrics metrics;
+  if (restored_) {
+    // Continue the interrupted run's accumulators; the drivers skip their
+    // fresh-start initialization below.
+    metrics = std::move(restored_metrics_);
+  }
+  const Status driven = tenant_workloads_.empty()
+                            ? DriveSingleStream(&metrics)
+                            : DriveMultiTenant(&metrics);
+  CLOUDCACHE_RETURN_IF_ERROR(driven);
   // Cluster shape, if the scheme operates one (no-op default leaves the
   // classic single-node runs without a cluster footprint). The simulator
   // already accumulated cluster.node_rent_dollars while metering.
@@ -154,33 +170,177 @@ SimMetrics Simulator::Run() {
   return metrics;
 }
 
-SimMetrics Simulator::RunSingleStream() {
-  SimMetrics metrics;
-  metrics.scheme_name = scheme_->name();
-  last_meter_time_ = workload_->PeekNextArrival();
+Status Simulator::MaybeCheckpointAndCrash(uint64_t processed,
+                                          const SimMetrics& metrics) {
+  const CheckpointOptions& cp = options_.checkpoint;
+  // A completed run never checkpoints or crashes at its final boundary:
+  // there is nothing left to resume.
+  if (processed >= options_.num_queries) return Status::OK();
+  if (cp.every > 0 && processed % cp.every == 0) {
+    CLOUDCACHE_RETURN_IF_ERROR(WriteSnapshot(processed, metrics));
+  }
+  if (cp.crash_after > 0 && processed >= cp.crash_after) {
+    return Status::ResourceExhausted(
+        "crash injection stopped the run after " +
+        std::to_string(processed) + " queries, before finalization");
+  }
+  return Status::OK();
+}
+
+Status Simulator::WriteSnapshot(uint64_t processed,
+                                const SimMetrics& metrics) const {
+  const CheckpointOptions& cp = options_.checkpoint;
+  persist::SnapshotWriter writer(cp.config_hash);
+  persist::Encoder* meta = writer.AddSection("meta");
+  meta->PutU8(tenant_workloads_.empty() ? kDriverModeSingleStream
+                                        : kDriverModeMultiTenant);
+  meta->PutU64(processed);
+  meta->PutU64(options_.num_queries);
+  meta->PutString(scheme_->name());
+  persist::Encoder* driver = writer.AddSection("driver");
+  driver->PutDouble(last_meter_time_);
+  driver->PutDouble(pending_rent_dollars_);
+  persist::Encoder* workload = writer.AddSection("workload");
+  if (tenant_workloads_.empty()) {
+    workload->PutU64(1);
+    workload_->SaveState(workload);
+  } else {
+    workload->PutU64(tenant_workloads_.size());
+    for (const WorkloadGenerator* generator : tenant_workloads_) {
+      generator->SaveState(workload);
+    }
+  }
+  scheme_->SaveState(writer.AddSection("scheme"));
+  persist::SaveSimMetrics(metrics, writer.AddSection("metrics"));
+  return writer.WriteToFile(cp.path);
+}
+
+Status Simulator::RestoreFrom(const persist::SnapshotReader& reader) {
+  CLOUDCACHE_RETURN_IF_ERROR(
+      reader.ExpectConfigHash(options_.checkpoint.config_hash));
+  if (!scheme_->SupportsCheckpoint()) {
+    return Status::FailedPrecondition(
+        "scheme does not support checkpoint/restore");
+  }
+
+  Result<persist::Decoder> meta = reader.Section("meta");
+  CLOUDCACHE_RETURN_IF_ERROR(meta.status());
+  uint8_t mode = 0;
+  uint64_t processed = 0;
+  uint64_t total = 0;
+  std::string scheme_name;
+  CLOUDCACHE_RETURN_IF_ERROR(meta->ReadU8(&mode));
+  CLOUDCACHE_RETURN_IF_ERROR(meta->ReadU64(&processed));
+  CLOUDCACHE_RETURN_IF_ERROR(meta->ReadU64(&total));
+  CLOUDCACHE_RETURN_IF_ERROR(meta->ReadString(&scheme_name));
+  CLOUDCACHE_RETURN_IF_ERROR(meta->ExpectEnd());
+  const uint8_t expected_mode = tenant_workloads_.empty()
+                                    ? kDriverModeSingleStream
+                                    : kDriverModeMultiTenant;
+  if (mode != expected_mode) {
+    return Status::FailedPrecondition(
+        "snapshot was written by driver mode " + std::to_string(mode) +
+        " but this run uses mode " + std::to_string(expected_mode) +
+        " (check --tenants and --threads against the checkpointed run)");
+  }
+  if (total != options_.num_queries) {
+    return Status::FailedPrecondition(
+        "snapshot run length " + std::to_string(total) +
+        " does not match this run's " +
+        std::to_string(options_.num_queries));
+  }
+  if (processed >= options_.num_queries) {
+    return Status::FailedPrecondition(
+        "snapshot claims more processed queries than the run length");
+  }
+  if (scheme_name != scheme_->name()) {
+    return Status::FailedPrecondition(
+        "snapshot was taken under scheme '" + scheme_name +
+        "' but this run drives '" + scheme_->name() + "'");
+  }
+
+  Result<persist::Decoder> driver = reader.Section("driver");
+  CLOUDCACHE_RETURN_IF_ERROR(driver.status());
+  CLOUDCACHE_RETURN_IF_ERROR(driver->ReadDouble(&last_meter_time_));
+  CLOUDCACHE_RETURN_IF_ERROR(driver->ReadDouble(&pending_rent_dollars_));
+  CLOUDCACHE_RETURN_IF_ERROR(driver->ExpectEnd());
+
+  Result<persist::Decoder> workload = reader.Section("workload");
+  CLOUDCACHE_RETURN_IF_ERROR(workload.status());
+  uint64_t generator_count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(workload->ReadLength(&generator_count));
+  const uint64_t expected_generators =
+      tenant_workloads_.empty() ? 1 : tenant_workloads_.size();
+  if (generator_count != expected_generators) {
+    return Status::FailedPrecondition(
+        "snapshot has " + std::to_string(generator_count) +
+        " workload streams but this run has " +
+        std::to_string(expected_generators));
+  }
+  if (tenant_workloads_.empty()) {
+    CLOUDCACHE_RETURN_IF_ERROR(workload_->RestoreState(&workload.value()));
+  } else {
+    for (WorkloadGenerator* generator : tenant_workloads_) {
+      CLOUDCACHE_RETURN_IF_ERROR(generator->RestoreState(&workload.value()));
+    }
+  }
+  CLOUDCACHE_RETURN_IF_ERROR(workload->ExpectEnd());
+
+  Result<persist::Decoder> scheme = reader.Section("scheme");
+  CLOUDCACHE_RETURN_IF_ERROR(scheme.status());
+  CLOUDCACHE_RETURN_IF_ERROR(scheme_->RestoreState(&scheme.value()));
+  CLOUDCACHE_RETURN_IF_ERROR(scheme->ExpectEnd());
+
+  Result<persist::Decoder> metrics = reader.Section("metrics");
+  CLOUDCACHE_RETURN_IF_ERROR(metrics.status());
+  restored_metrics_ = SimMetrics();
+  CLOUDCACHE_RETURN_IF_ERROR(
+      persist::RestoreSimMetrics(&metrics.value(), &restored_metrics_));
+  CLOUDCACHE_RETURN_IF_ERROR(metrics->ExpectEnd());
+  if (!tenant_workloads_.empty() &&
+      restored_metrics_.tenants.size() != tenant_workloads_.size()) {
+    return Status::FailedPrecondition(
+        "snapshot metrics carry " +
+        std::to_string(restored_metrics_.tenants.size()) +
+        " tenant slices but this run has " +
+        std::to_string(tenant_workloads_.size()));
+  }
+
+  start_index_ = processed;
+  restored_ = true;
+  return Status::OK();
+}
+
+Status Simulator::DriveSingleStream(SimMetrics* metrics) {
+  if (!restored_) {
+    metrics->scheme_name = scheme_->name();
+    last_meter_time_ = workload_->PeekNextArrival();
+  }
 
   // Single-stream discipline: the paper serves queries one at a time in
   // arrival order, so the generator IS the schedule and the loop needs no
   // event queue — queries are processed directly as they are drawn. The
   // multi-tenant path below is the queued generalization.
-  for (uint64_t i = 0; i < options_.num_queries; ++i) {
+  for (uint64_t i = start_index_; i < options_.num_queries; ++i) {
     const Query query = workload_->Next();
-    ProcessQuery(query, i, &metrics, nullptr);
+    ProcessQuery(query, i, metrics, nullptr);
+    CLOUDCACHE_RETURN_IF_ERROR(MaybeCheckpointAndCrash(i + 1, *metrics));
   }
   FlushResidualRent();
 
-  metrics.final_credit = scheme_->credit();
-  metrics.final_resident_bytes = scheme_->TotalResidentBytes();
-  metrics.final_extra_nodes = scheme_->TotalExtraCpuNodes();
-  return metrics;
+  metrics->final_credit = scheme_->credit();
+  metrics->final_resident_bytes = scheme_->TotalResidentBytes();
+  metrics->final_extra_nodes = scheme_->TotalExtraCpuNodes();
+  return Status::OK();
 }
 
-SimMetrics Simulator::RunMultiTenant() {
-  SimMetrics metrics;
-  metrics.scheme_name = scheme_->name();
-  metrics.tenants.resize(tenant_workloads_.size());
-  for (size_t t = 0; t < metrics.tenants.size(); ++t) {
-    metrics.tenants[t].tenant_id = static_cast<uint32_t>(t);
+Status Simulator::DriveMultiTenant(SimMetrics* metrics) {
+  if (!restored_) {
+    metrics->scheme_name = scheme_->name();
+    metrics->tenants.resize(tenant_workloads_.size());
+    for (size_t t = 0; t < metrics->tenants.size(); ++t) {
+      metrics->tenants[t].tenant_id = static_cast<uint32_t>(t);
+    }
   }
 
   // Seed the queue with every tenant's first arrival. From here on the
@@ -198,9 +358,11 @@ SimMetrics Simulator::RunMultiTenant() {
     event.tie = static_cast<uint32_t>(t);
     queue.Push(event);
   }
-  last_meter_time_ = queue.Top().time;
+  // The queue is rebuilt from the (possibly restored) generators' peeked
+  // arrivals either way; only the rent meter's origin is fresh-run state.
+  if (!restored_) last_meter_time_ = queue.Top().time;
 
-  for (uint64_t i = 0; i < options_.num_queries; ++i) {
+  for (uint64_t i = start_index_; i < options_.num_queries; ++i) {
     const SimEvent event = queue.Pop();
     const size_t t = static_cast<size_t>(event.payload);
     WorkloadGenerator* generator = tenant_workloads_[t];
@@ -216,19 +378,20 @@ SimMetrics Simulator::RunMultiTenant() {
     next.tie = static_cast<uint32_t>(t);
     queue.Push(next);
 
-    ProcessQuery(query, i, &metrics, &metrics.tenants[t]);
+    ProcessQuery(query, i, metrics, &metrics->tenants[t]);
+    CLOUDCACHE_RETURN_IF_ERROR(MaybeCheckpointAndCrash(i + 1, *metrics));
   }
   FlushResidualRent();
 
-  metrics.final_credit = scheme_->credit();
-  metrics.final_resident_bytes = scheme_->TotalResidentBytes();
-  metrics.final_extra_nodes = scheme_->TotalExtraCpuNodes();
-  for (size_t t = 0; t < metrics.tenants.size(); ++t) {
-    metrics.tenants[t].final_regret =
+  metrics->final_credit = scheme_->credit();
+  metrics->final_resident_bytes = scheme_->TotalResidentBytes();
+  metrics->final_extra_nodes = scheme_->TotalExtraCpuNodes();
+  for (size_t t = 0; t < metrics->tenants.size(); ++t) {
+    metrics->tenants[t].final_regret =
         scheme_->TenantRegret(static_cast<uint32_t>(t));
   }
-  metrics.fairness = ComputeFairness(metrics.tenants);
-  return metrics;
+  metrics->fairness = ComputeFairness(metrics->tenants);
+  return Status::OK();
 }
 
 }  // namespace cloudcache

@@ -1,16 +1,54 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/baseline/scheme.h"
 #include "src/cost/cost_model.h"
 #include "src/cost/price_list.h"
+#include "src/persist/snapshot.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/metrics.h"
 #include "src/workload/generator.h"
 
 namespace cloudcache {
+
+/// Checkpoint/restore controls (docs/persistence.md). All off by default,
+/// leaving every existing run untouched.
+struct CheckpointOptions {
+  /// Write a snapshot after every N processed queries (0 disables). The
+  /// classic drivers checkpoint exactly at multiples of N; the windowed
+  /// parallel driver checkpoints at the first window close at or past
+  /// each multiple (window closes are its only deterministic boundaries).
+  /// The final boundary of a completed run is never checkpointed — a
+  /// finished run's deliverable is its metrics, not a resume point.
+  uint64_t every = 0;
+  /// Snapshot file. Written atomically (temp file + rename); required
+  /// whenever `every` > 0 or a restore is requested.
+  std::string path;
+  /// Crash injection: abort the run — no finalization, no snapshot write —
+  /// at the first checkpoint boundary at or past this many processed
+  /// queries (0 disables). The run returns a kResourceExhausted Status;
+  /// recovery restores from the last snapshot `every` produced.
+  uint64_t crash_after = 0;
+  /// Hash of the deterministic experiment configuration, stamped into
+  /// every snapshot header and verified on restore.
+  uint64_t config_hash = 0;
+  /// How to treat `path` at startup. kAuto degrades gracefully — a
+  /// missing, corrupt, or mismatched snapshot falls back to a fresh run;
+  /// kHard fails the run loudly instead.
+  enum class Restore { kNone, kAuto, kHard };
+  Restore restore = Restore::kNone;
+};
+
+/// Driver-mode tags stamped into a snapshot's "meta" section: restoring a
+/// snapshot into a differently-shaped driver (e.g. a windowed-parallel
+/// snapshot into the serial driver) is a configuration error, caught
+/// before any state is overwritten.
+inline constexpr uint8_t kDriverModeSingleStream = 0;
+inline constexpr uint8_t kDriverModeMultiTenant = 1;
+inline constexpr uint8_t kDriverModeWindowed = 2;
 
 /// Simulation controls.
 struct SimulatorOptions {
@@ -32,6 +70,8 @@ struct SimulatorOptions {
   /// classic serial driver below; the experiment wiring routes clustered
   /// single-stream runs through the parallel driver when > 0.
   uint32_t parallel_threads = 0;
+  /// Checkpoint/restore and crash injection (off by default).
+  CheckpointOptions checkpoint;
 };
 
 /// Books one served-query outcome into a counter block. SimMetrics and
@@ -107,11 +147,30 @@ class Simulator {
             SimulatorOptions options);
 
   /// Runs the configured number of queries and returns the metrics.
+  /// Asserts on checkpoint I/O failures and crash injection; the classic
+  /// entry point for runs without checkpointing.
   SimMetrics Run();
 
+  /// Checkpoint-aware run: writes snapshots at the configured cadence and
+  /// honors crash injection (which surfaces as a kResourceExhausted
+  /// Status — the run was intentionally abandoned before finalization).
+  Result<SimMetrics> RunChecked();
+
+  /// Restores mid-run state from a snapshot written by a prior
+  /// checkpointed run. Must be called before RunChecked, on a freshly
+  /// constructed simulator whose scheme and workload generators were
+  /// built from the identical configuration. On error the simulator and
+  /// scheme are unusable; discard both.
+  Status RestoreFrom(const persist::SnapshotReader& reader);
+
  private:
-  SimMetrics RunSingleStream();
-  SimMetrics RunMultiTenant();
+  Status DriveSingleStream(SimMetrics* metrics);
+  Status DriveMultiTenant(SimMetrics* metrics);
+  /// Writes a snapshot at checkpoint boundaries and injects the
+  /// configured crash. `processed` counts queries fully processed.
+  Status MaybeCheckpointAndCrash(uint64_t processed,
+                                 const SimMetrics& metrics);
+  Status WriteSnapshot(uint64_t processed, const SimMetrics& metrics) const;
   /// The per-query pipeline both paths share, in this exact order so the
   /// paths stay bit-identical: meter rent up to `query.arrival_time`,
   /// serve the query, meter its execution + builds, account the outcome
@@ -145,6 +204,12 @@ class Simulator {
   /// Rent not yet charged to the account because it rounds below a
   /// micro-dollar (see MeterRent).
   double pending_rent_dollars_ = 0;
+  /// Restore bookkeeping: the query index to resume at and the metrics
+  /// accumulated by the interrupted run (moved into the live metrics at
+  /// the top of RunChecked).
+  uint64_t start_index_ = 0;
+  bool restored_ = false;
+  SimMetrics restored_metrics_;
 };
 
 }  // namespace cloudcache

@@ -123,4 +123,71 @@ std::vector<StructureId> StructureRegistry::IdsOfType(
   return ids;
 }
 
+void StructureRegistry::SaveState(persist::Encoder* enc) const {
+  enc->PutU64(keys_.size());
+  for (const StructureKey& key : keys_) {
+    enc->PutU8(static_cast<uint8_t>(key.type));
+    enc->PutU32(key.table);
+    enc->PutU64(key.columns.size());
+    for (ColumnId col : key.columns) enc->PutU32(col);
+    enc->PutU32(key.ordinal);
+  }
+}
+
+Status StructureRegistry::RestoreState(persist::Decoder* dec) {
+  uint64_t count = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&count));
+  if (count < keys_.size()) {
+    return Status::FailedPrecondition(
+        "snapshot registry has fewer structures than this run interned at "
+        "construction");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    StructureKey key;
+    uint8_t type = 0;
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU8(&type));
+    if (type > static_cast<uint8_t>(StructureType::kIndex)) {
+      return Status::InvalidArgument("corrupt structure type in snapshot");
+    }
+    key.type = static_cast<StructureType>(type);
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&key.table));
+    uint64_t column_count = 0;
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&column_count));
+    key.columns.resize(column_count);
+    for (ColumnId& col : key.columns) {
+      CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&col));
+    }
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&key.ordinal));
+    if (key.type != StructureType::kCpuNode) {
+      if (key.table >= catalog_->num_tables()) {
+        return Status::InvalidArgument("snapshot structure references an "
+                                       "unknown table");
+      }
+      for (ColumnId col : key.columns) {
+        if (col >= catalog_->num_columns()) {
+          return Status::InvalidArgument("snapshot structure references an "
+                                         "unknown column");
+        }
+      }
+    }
+    if (i < keys_.size()) {
+      // Construction-time interning (index candidates, initial CPU nodes)
+      // must agree with the snapshot id for id, or every dense-id-indexed
+      // array restored after this would be misaligned.
+      if (keys_[i] != key) {
+        return Status::FailedPrecondition(
+            "snapshot structure id " + std::to_string(i) +
+            " disagrees with this run's construction-time interning");
+      }
+    } else {
+      const StructureId id = Intern(key);
+      if (id != i) {
+        return Status::InvalidArgument(
+            "snapshot registry contains duplicate structure keys");
+      }
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace cloudcache

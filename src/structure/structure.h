@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/catalog/schema.h"
+#include "src/persist/codec.h"
 #include "src/util/status.h"
 
 namespace cloudcache {
@@ -87,6 +88,16 @@ class StructureRegistry {
 
   /// All interned ids of the given type, ascending.
   std::vector<StructureId> IdsOfType(StructureType type) const;
+
+  /// Serializes the interning table in id order. Interning order is
+  /// query-history-dependent (first-sight registration), so the id→key map
+  /// is run state, not configuration — a restored run must agree on every
+  /// dense id or all per-structure arrays would silently mismatch.
+  void SaveState(persist::Encoder* enc) const;
+  /// Restores into a freshly constructed registry: verifies that keys
+  /// interned at construction time (index candidates) form a prefix of the
+  /// snapshot and re-interns the tail.
+  Status RestoreState(persist::Decoder* dec);
 
  private:
   const Catalog* catalog_;

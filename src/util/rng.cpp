@@ -97,6 +97,16 @@ double Rng::NextGaussian() {
   return u * std::sqrt(-2.0 * std::log(s) / s);
 }
 
+void Rng::SaveState(uint64_t out[5]) const {
+  for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  out[4] = seed_;
+}
+
+void Rng::RestoreState(const uint64_t in[5]) {
+  for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  seed_ = in[4];
+}
+
 Rng Rng::Fork(uint64_t stream_id) const {
   // Mix the parent seed with the stream id through splitmix so sibling
   // streams are uncorrelated.

@@ -47,6 +47,12 @@ class Rng {
   /// seed lineage and `stream_id`, without consuming this stream's output.
   Rng Fork(uint64_t stream_id) const;
 
+  /// Copies the raw generator state (four xoshiro words + the retained
+  /// seed) for checkpointing. A generator restored from these words
+  /// continues the stream exactly where the saved one left off.
+  void SaveState(uint64_t out[5]) const;
+  void RestoreState(const uint64_t in[5]);
+
  private:
   uint64_t state_[4];
   uint64_t seed_;  // Retained for Fork().

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cloudcache {
@@ -30,6 +31,23 @@ class RunningStats {
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
   double sum() const { return sum_; }
+
+  /// Raw accumulator fields for checkpointing: m2 is not derivable from
+  /// variance() below two samples, and min/max sit at ±inf while empty, so
+  /// an exact restore needs the internals rather than the public views.
+  double raw_mean() const { return mean_; }
+  double raw_m2() const { return m2_; }
+  double raw_min() const { return min_; }
+  double raw_max() const { return max_; }
+  void RestoreRaw(int64_t count, double mean, double m2, double sum,
+                  double min, double max) {
+    count_ = count;
+    mean_ = mean;
+    m2_ = m2;
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+  }
 
  private:
   int64_t count_ = 0;
@@ -63,6 +81,20 @@ class QuantileSketch {
 
   int64_t count() const { return count_; }
 
+  /// Raw bin state for checkpointing (see RunningStats::RestoreRaw).
+  const std::vector<int64_t>& raw_bins() const { return bins_; }
+  int64_t raw_underflow() const { return underflow_; }
+  double raw_min() const { return min_; }
+  double raw_max() const { return max_; }
+  void RestoreRaw(std::vector<int64_t> bins, int64_t count, int64_t underflow,
+                  double min, double max) {
+    bins_ = std::move(bins);
+    count_ = count;
+    underflow_ = underflow;
+    min_ = min;
+    max_ = max;
+  }
+
  private:
   size_t BinIndex(double x) const;
   double BinMid(size_t index) const;
@@ -91,6 +123,13 @@ class TimeSeries {
   /// At most `max_points` evenly-spaced-by-index points, keeping first and
   /// last. Returns the whole series if it is already small enough.
   TimeSeries Downsample(size_t max_points) const;
+
+  /// Replaces the whole series for checkpoint restore; the vectors must be
+  /// equal length with non-decreasing times.
+  void RestoreRaw(std::vector<double> times, std::vector<double> values) {
+    times_ = std::move(times);
+    values_ = std::move(values);
+  }
 
  private:
   std::vector<double> times_;

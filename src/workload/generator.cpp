@@ -1,5 +1,6 @@
 #include "src/workload/generator.h"
 
+#include "src/persist/util_io.h"
 #include "src/util/logging.h"
 
 namespace cloudcache {
@@ -63,6 +64,30 @@ Query WorkloadGenerator::Next() {
       break;
   }
   return query;
+}
+
+void WorkloadGenerator::SaveState(persist::Encoder* enc) const {
+  persist::SaveRng(rng_, enc);
+  enc->PutU64(next_id_);
+  enc->PutDouble(next_arrival_);
+  enc->PutU64(previous_template_);
+  enc->PutBool(have_previous_);
+}
+
+Status WorkloadGenerator::RestoreState(persist::Decoder* dec) {
+  CLOUDCACHE_RETURN_IF_ERROR(persist::RestoreRng(dec, &rng_));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&next_id_));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&next_arrival_));
+  uint64_t previous = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&previous));
+  if (previous >= templates_.size()) {
+    return Status::InvalidArgument(
+        "snapshot workload cursor names template " + std::to_string(previous) +
+        " but this run has only " + std::to_string(templates_.size()));
+  }
+  previous_template_ = static_cast<size_t>(previous);
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadBool(&have_previous_));
+  return Status::OK();
 }
 
 }  // namespace cloudcache

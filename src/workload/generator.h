@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/catalog/schema.h"
+#include "src/persist/codec.h"
 #include "src/query/query.h"
 #include "src/query/templates.h"
 #include "src/util/rng.h"
@@ -63,6 +64,12 @@ class WorkloadGenerator {
     return templates_;
   }
   const WorkloadOptions& options() const { return options_; }
+
+  /// Checkpoint support: the RNG position plus the stream cursor (next id,
+  /// next arrival, burst memory). The samplers are pure functions of the
+  /// configuration and are not saved.
+  void SaveState(persist::Encoder* enc) const;
+  Status RestoreState(persist::Decoder* dec);
 
  private:
   /// Popularity rank of template `index` in the current drift phase.

@@ -1,0 +1,153 @@
+#include "src/persist/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cloudcache::persist {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The IEEE 802.3 check value for the ASCII digits "123456789".
+  const std::string digits = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(digits.data()),
+                  digits.size()),
+            0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32Test, SingleBitFlipsChangeTheChecksum) {
+  std::vector<uint8_t> bytes(64, 0xA5);
+  const uint32_t reference = Crc32(bytes);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      bytes[i] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_NE(Crc32(bytes), reference) << "byte " << i << " bit " << bit;
+      bytes[i] ^= static_cast<uint8_t>(1u << bit);
+    }
+  }
+}
+
+TEST(CodecTest, RoundTripsEveryScalarType) {
+  Encoder enc;
+  enc.PutU8(0xFE);
+  enc.PutBool(true);
+  enc.PutBool(false);
+  enc.PutU32(0xDEADBEEFu);
+  enc.PutU64(0x0123456789ABCDEFull);
+  enc.PutI64(-42);
+  enc.PutDouble(3.141592653589793);
+  enc.PutMoney(Money::FromMicros(-7'000'001));
+  enc.PutString("cloudcache");
+  enc.PutString("");
+
+  Decoder dec(enc.buffer().data(), enc.size());
+  uint8_t u8 = 0;
+  bool b = false;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double d = 0;
+  Money money;
+  std::string s;
+  ASSERT_TRUE(dec.ReadU8(&u8).ok());
+  EXPECT_EQ(u8, 0xFE);
+  ASSERT_TRUE(dec.ReadBool(&b).ok());
+  EXPECT_TRUE(b);
+  ASSERT_TRUE(dec.ReadBool(&b).ok());
+  EXPECT_FALSE(b);
+  ASSERT_TRUE(dec.ReadU32(&u32).ok());
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  ASSERT_TRUE(dec.ReadU64(&u64).ok());
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  ASSERT_TRUE(dec.ReadI64(&i64).ok());
+  EXPECT_EQ(i64, -42);
+  ASSERT_TRUE(dec.ReadDouble(&d).ok());
+  EXPECT_EQ(d, 3.141592653589793);
+  ASSERT_TRUE(dec.ReadMoney(&money).ok());
+  EXPECT_EQ(money.micros(), -7'000'001);
+  ASSERT_TRUE(dec.ReadString(&s).ok());
+  EXPECT_EQ(s, "cloudcache");
+  ASSERT_TRUE(dec.ReadString(&s).ok());
+  EXPECT_EQ(s, "");
+  EXPECT_TRUE(dec.AtEnd());
+  EXPECT_TRUE(dec.ExpectEnd().ok());
+}
+
+TEST(CodecTest, DoublesRoundTripBitForBit) {
+  // The stats accumulators start min/max at +/-inf, and NaN payloads must
+  // survive unchanged: the codec bit-casts, never converts.
+  const double values[] = {
+      0.0, -0.0, std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::denorm_min(), -1.5e308};
+  Encoder enc;
+  for (double v : values) enc.PutDouble(v);
+  Decoder dec(enc.buffer().data(), enc.size());
+  for (double v : values) {
+    double out = 0;
+    ASSERT_TRUE(dec.ReadDouble(&out).ok());
+    uint64_t want = 0, got = 0;
+    std::memcpy(&want, &v, sizeof(want));
+    std::memcpy(&got, &out, sizeof(got));
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(CodecTest, TruncationAtEveryBoundaryIsAnError) {
+  Encoder enc;
+  enc.PutU32(7);
+  enc.PutU64(9);
+  enc.PutString("abc");
+  enc.PutDouble(1.25);
+  // Replaying the reads over every proper prefix must fail with a Status
+  // (not crash) at exactly the read that runs out of bytes.
+  for (size_t cut = 0; cut < enc.size(); ++cut) {
+    Decoder dec(enc.buffer().data(), cut);
+    uint32_t u32 = 0;
+    uint64_t u64 = 0;
+    std::string s;
+    double d = 0;
+    Status status = dec.ReadU32(&u32);
+    if (status.ok()) status = dec.ReadU64(&u64);
+    if (status.ok()) status = dec.ReadString(&s);
+    if (status.ok()) status = dec.ReadDouble(&d);
+    EXPECT_FALSE(status.ok()) << "prefix of " << cut << " bytes";
+    EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  }
+}
+
+TEST(CodecTest, ReadLengthRejectsCountsBeyondTheBuffer) {
+  // A corrupt length prefix must fail in the decoder, not as an OOM in
+  // the vector resize it was destined for.
+  Encoder enc;
+  enc.PutU64(std::numeric_limits<uint64_t>::max());
+  Decoder dec(enc.buffer().data(), enc.size());
+  uint64_t length = 0;
+  const Status status = dec.ReadLength(&length);
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+}
+
+TEST(CodecTest, CorruptBoolByteIsAnError) {
+  const uint8_t byte = 2;
+  Decoder dec(&byte, 1);
+  bool out = false;
+  EXPECT_EQ(dec.ReadBool(&out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CodecTest, TrailingBytesAreAnError) {
+  Encoder enc;
+  enc.PutU32(1);
+  enc.PutU8(0);
+  Decoder dec(enc.buffer().data(), enc.size());
+  uint32_t v = 0;
+  ASSERT_TRUE(dec.ReadU32(&v).ok());
+  EXPECT_FALSE(dec.ExpectEnd().ok());
+}
+
+}  // namespace
+}  // namespace cloudcache::persist

@@ -1,0 +1,181 @@
+// Corruption robustness: a real checkpoint file is truncated at every byte
+// boundary and bit-flipped at every section boundary, and the loader must
+// return a descriptive Status every time — never crash, never read out of
+// bounds (this group runs under ASan/UBSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/catalog/tpch.h"
+#include "src/persist/snapshot.h"
+#include "src/sim/experiment.h"
+
+namespace cloudcache {
+namespace {
+
+class CorruptionFuzzTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog(MakeTpchCatalog(20.0));
+    templates_ = new std::vector<QueryTemplate>(MakeTpchTemplates());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    delete templates_;
+  }
+
+  /// A config whose checkpointed run writes one snapshot (at query 200).
+  ExperimentConfig CheckpointedConfig(const std::string& path) const {
+    ExperimentConfig config;
+    config.scheme = SchemeKind::kEconCheap;
+    config.sim.num_queries = 400;
+    config.workload.seed = 5;
+    config.sim.checkpoint.every = 200;
+    config.sim.checkpoint.path = path;
+    return config;
+  }
+
+  /// Writes `bytes` to `path` and attempts a full hard restore through the
+  /// experiment layer; returns the status.
+  Status HardRestore(const std::string& path,
+                     const std::vector<uint8_t>& bytes) const {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    EXPECT_NE(f, nullptr);
+    if (bytes.empty() || f == nullptr) {
+      if (f != nullptr) std::fclose(f);
+    } else {
+      EXPECT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+      std::fclose(f);
+    }
+    ExperimentConfig config = CheckpointedConfig(path);
+    config.sim.checkpoint.every = 0;
+    config.sim.checkpoint.restore = CheckpointOptions::Restore::kHard;
+    Result<SimMetrics> resumed =
+        RunExperimentChecked(*catalog_, *templates_, config);
+    return resumed.ok() ? Status::OK() : resumed.status();
+  }
+
+  static Catalog* catalog_;
+  static std::vector<QueryTemplate>* templates_;
+};
+
+Catalog* CorruptionFuzzTest::catalog_ = nullptr;
+std::vector<QueryTemplate>* CorruptionFuzzTest::templates_ = nullptr;
+
+uint64_t ReadLe(const std::vector<uint8_t>& bytes, size_t offset,
+                int width) {
+  uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    v |= static_cast<uint64_t>(bytes[offset + static_cast<size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+/// Walks the container layout and returns the offset of every structural
+/// boundary: each header field, and each section's name length, name
+/// start, payload length, CRC, payload start, and payload last byte.
+std::vector<size_t> SectionBoundaries(const std::vector<uint8_t>& bytes) {
+  std::vector<size_t> offsets = {0, 4, 8, 16};  // magic, version, hash, count.
+  const uint32_t sections = static_cast<uint32_t>(ReadLe(bytes, 16, 4));
+  size_t pos = 20;
+  for (uint32_t s = 0; s < sections; ++s) {
+    offsets.push_back(pos);  // Name length.
+    const uint64_t name_len = ReadLe(bytes, pos, 8);
+    pos += 8;
+    offsets.push_back(pos);  // First name byte.
+    pos += name_len;
+    offsets.push_back(pos);  // Payload length.
+    const uint64_t payload_len = ReadLe(bytes, pos, 8);
+    pos += 8;
+    offsets.push_back(pos);  // CRC.
+    pos += 4;
+    offsets.push_back(pos);                    // First payload byte.
+    offsets.push_back(pos + payload_len - 1);  // Last payload byte.
+    pos += payload_len;
+  }
+  EXPECT_EQ(pos, bytes.size());
+  return offsets;
+}
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::vector<uint8_t> bytes;
+  if (f != nullptr) {
+    std::fseek(f, 0, SEEK_END);
+    bytes.resize(static_cast<size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+  return bytes;
+}
+
+TEST_F(CorruptionFuzzTest, TruncationAndBitFlipsNeverCrashTheLoader) {
+  const std::string path = ::testing::TempDir() + "fuzz_source.snap";
+  const ExperimentConfig config = CheckpointedConfig(path);
+  const SimMetrics metrics = RunExperiment(*catalog_, *templates_, config);
+  EXPECT_EQ(metrics.queries, 400u);
+  const std::vector<uint8_t> good = ReadFile(path);
+  ASSERT_GT(good.size(), 100u);
+
+  // The untouched snapshot restores: the fuzz below is meaningful.
+  const std::string fuzz_path = ::testing::TempDir() + "fuzz_variant.snap";
+  ASSERT_TRUE(HardRestore(fuzz_path, good).ok());
+
+  // Truncation at every byte boundary: the container parse must fail with
+  // a descriptive Status (truncation can never produce a valid snapshot —
+  // the last section's payload runs past the end).
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    std::vector<uint8_t> bytes(good.begin(),
+                               good.begin() + static_cast<long>(cut));
+    Result<persist::SnapshotReader> reader =
+        persist::SnapshotReader::FromBytes(std::move(bytes));
+    ASSERT_FALSE(reader.ok()) << "prefix of " << cut << " bytes parsed";
+    ASSERT_FALSE(reader.status().message().empty());
+  }
+
+  // Bit flips at every structural boundary. Payload flips must die on the
+  // section CRC at parse time; header/name/length flips either fail the
+  // parse or survive it and then must fail the full restore pipeline
+  // (config-hash check, missing section, or section decode) — a corrupt
+  // snapshot must never restore.
+  for (size_t offset : SectionBoundaries(good)) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> bytes = good;
+      bytes[offset] ^= static_cast<uint8_t>(1u << bit);
+      Result<persist::SnapshotReader> reader =
+          persist::SnapshotReader::FromBytes(bytes);
+      if (!reader.ok()) {
+        ASSERT_FALSE(reader.status().message().empty());
+        continue;
+      }
+      const Status status = HardRestore(fuzz_path, bytes);
+      ASSERT_FALSE(status.ok())
+          << "flipped bit " << bit << " at offset " << offset
+          << " restored successfully";
+      ASSERT_FALSE(status.message().empty());
+    }
+  }
+
+  std::remove(path.c_str());
+  std::remove(fuzz_path.c_str());
+}
+
+TEST_F(CorruptionFuzzTest, EmptyAndGarbageFilesAreRejected) {
+  const std::string path = ::testing::TempDir() + "fuzz_garbage.snap";
+  EXPECT_FALSE(HardRestore(path, {}).ok());
+  std::vector<uint8_t> garbage(1024);
+  for (size_t i = 0; i < garbage.size(); ++i) {
+    garbage[i] = static_cast<uint8_t>(i * 37 + 11);
+  }
+  EXPECT_FALSE(HardRestore(path, garbage).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cloudcache

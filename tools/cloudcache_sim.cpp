@@ -29,6 +29,7 @@
 #include "src/sim/report.h"
 #include "src/sim/sweep.h"
 #include "src/util/logging.h"
+#include "src/util/status.h"
 #include "src/util/units.h"
 #include "src/workload/trace.h"
 
@@ -65,6 +66,10 @@ struct Args {
   unsigned threads = 0;   // Sweep workers; 0 = hardware concurrency.
   std::string csv;        // Credit/cost timeline CSV.
   std::string trace_out;  // Record the workload instead of simulating.
+  uint64_t checkpoint_every = 0;  // Snapshot cadence in queries (0 = off).
+  std::string checkpoint_path;    // Snapshot file.
+  std::string restore;            // "", "auto", or "hard".
+  uint64_t crash_after = 0;       // Crash-injection point (0 = off).
   // Whether single-run-only flags were given (to warn under --sweep).
   bool scheme_set = false;
   bool interarrival_set = false;
@@ -101,9 +106,18 @@ void Usage(const char* argv0) {
       "  --node-rent-multiplier=X  rented-node rent vs reservation rate (1)\n"
       "  --max-nodes=N         elasticity ceiling (4)\n"
       "  --sweep               run all 4 schemes x 4 paper intervals\n"
-      "  --threads=N           sweep worker threads (0 = all cores)\n"
+      "  --threads=N           sweep worker threads (0 = all cores); with\n"
+      "                        --checkpoint-path, intra-run workers for\n"
+      "                        clustered runs (windowed driver)\n"
       "  --csv=PATH            write credit/cost timeline CSV\n"
-      "  --trace-out=PATH      write the workload trace and exit\n",
+      "  --trace-out=PATH      write the workload trace and exit\n"
+      "  --checkpoint-every=N  snapshot the full economy every N queries\n"
+      "  --checkpoint-path=P   snapshot file (required by the flags below)\n"
+      "  --restore[=auto]      resume from the snapshot; bare --restore\n"
+      "                        fails loudly on a missing/corrupt/mismatched\n"
+      "                        snapshot, =auto falls back to a fresh run\n"
+      "  --crash-after=K       crash injection: abort without finalizing\n"
+      "                        after K queries (exit 3; restore resumes)\n",
       argv0);
 }
 
@@ -200,6 +214,13 @@ std::optional<Args> Parse(int argc, char** argv) {
           static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
     else if (Flag(argv[i], "--csv", &v)) args.csv = v;
     else if (Flag(argv[i], "--trace-out", &v)) args.trace_out = v;
+    else if (Flag(argv[i], "--checkpoint-every", &v))
+      args.checkpoint_every = std::stoull(v);
+    else if (Flag(argv[i], "--checkpoint-path", &v)) args.checkpoint_path = v;
+    else if (std::strcmp(argv[i], "--restore") == 0) args.restore = "hard";
+    else if (Flag(argv[i], "--restore", &v)) args.restore = v;
+    else if (Flag(argv[i], "--crash-after", &v))
+      args.crash_after = std::stoull(v);
     else {
       Usage(argv[0]);
       return std::nullopt;
@@ -208,12 +229,80 @@ std::optional<Args> Parse(int argc, char** argv) {
   return args;
 }
 
+/// Cross-flag validation, as Status so every rejection carries an
+/// actionable message and a non-zero exit (kInvalidArgument throughout;
+/// config-mismatch at restore time surfaces later as kFailedPrecondition
+/// from the snapshot's config hash).
+Status ValidateArgs(const Args& args) {
+  if (args.tenants == 0) {
+    return Status::InvalidArgument("--tenants must be >= 1");
+  }
+  if (args.admission_ratio <= 0) {
+    return Status::InvalidArgument("--admission-ratio must be > 0");
+  }
+  for (const TenantBudgetShape& shape : args.tenant_budgets) {
+    if (shape.tenant >= args.tenants) {
+      return Status::InvalidArgument(
+          "--tenant-budget tenant " + std::to_string(shape.tenant) +
+          " out of range (tenants=" + std::to_string(args.tenants) + ")");
+    }
+    // The negated comparison rejects NaN too (NaN > 0 is false).
+    if (!(shape.price_scale > 0) || !std::isfinite(shape.price_scale) ||
+        !(shape.tmax_scale > 0) || !std::isfinite(shape.tmax_scale)) {
+      return Status::InvalidArgument(
+          "--tenant-budget scales must be finite and > 0");
+    }
+  }
+  if (args.nodes == 0) {
+    return Status::InvalidArgument("--nodes must be >= 1");
+  }
+  if (args.node_rent_multiplier <= 0) {
+    return Status::InvalidArgument("--node-rent-multiplier must be > 0");
+  }
+  if (!args.restore.empty() && args.restore != "auto" &&
+      args.restore != "hard") {
+    return Status::InvalidArgument(
+        "--restore wants no value (hard), =auto, or =hard; got '" +
+        args.restore + "'");
+  }
+  const bool checkpointing = args.checkpoint_every > 0 ||
+                             !args.restore.empty() || args.crash_after > 0;
+  if (checkpointing && args.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "--checkpoint-every/--restore/--crash-after need a snapshot file; "
+        "add --checkpoint-path=PATH");
+  }
+  if (!args.checkpoint_path.empty() && args.sweep) {
+    return Status::InvalidArgument(
+        "--sweep runs a grid of cells that would clobber one snapshot "
+        "file; checkpoint/restore applies to single runs only");
+  }
+  if (!args.checkpoint_path.empty() && !args.trace_out.empty()) {
+    return Status::InvalidArgument(
+        "--trace-out records the workload without simulating, so there is "
+        "no economy state to checkpoint or restore");
+  }
+  if (args.crash_after > 0 && args.crash_after >= args.queries) {
+    return Status::InvalidArgument(
+        "--crash-after=" + std::to_string(args.crash_after) +
+        " never fires: the run finalizes at --queries=" +
+        std::to_string(args.queries) +
+        " (crash injection stops strictly before the final query)");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::optional<Args> parsed = Parse(argc, argv);
   if (!parsed) return 2;
   const Args& args = *parsed;
+  const Status valid = ValidateArgs(args);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    return 2;
+  }
 
   Catalog catalog;
   std::vector<QueryTemplate> templates;
@@ -238,37 +327,14 @@ int main(int argc, char** argv) {
                                 ? WorkloadOptions::Arrival::kPoisson
                                 : WorkloadOptions::Arrival::kFixed;
   config.sim.num_queries = args.queries;
-  if (args.tenants == 0) {
-    std::fprintf(stderr, "--tenants must be >= 1\n");
-    return 2;
-  }
   config.tenancy.tenants = args.tenants;
   config.tenancy.traffic_skew = args.tenant_skew;
   config.tenancy.fair_eviction = args.fair_eviction;
   config.tenancy.admission = args.admission;
-  if (args.admission_ratio <= 0) {
-    std::fprintf(stderr, "--admission-ratio must be > 0\n");
-    return 2;
-  }
   if ((args.fair_eviction || args.admission) && args.tenants < 2) {
     std::fprintf(stderr,
                  "note: --fair-eviction/--admission read tenant regret "
                  "attribution; with --tenants=1 they have no effect\n");
-  }
-  for (const TenantBudgetShape& shape : args.tenant_budgets) {
-    if (shape.tenant >= args.tenants) {
-      std::fprintf(stderr,
-                   "--tenant-budget tenant %u out of range (tenants=%u)\n",
-                   shape.tenant, args.tenants);
-      return 2;
-    }
-    // The negated comparison rejects NaN too (NaN > 0 is false).
-    if (!(shape.price_scale > 0) || !std::isfinite(shape.price_scale) ||
-        !(shape.tmax_scale > 0) || !std::isfinite(shape.tmax_scale)) {
-      std::fprintf(stderr,
-                   "--tenant-budget scales must be finite and > 0\n");
-      return 2;
-    }
   }
   if (!args.tenant_budgets.empty() && args.tenants < 2) {
     std::fprintf(stderr,
@@ -276,14 +342,6 @@ int main(int argc, char** argv) {
                  "with --tenants=1 it has no effect\n");
   }
   config.tenancy.tenant_budgets = args.tenant_budgets;
-  if (args.nodes == 0) {
-    std::fprintf(stderr, "--nodes must be >= 1\n");
-    return 2;
-  }
-  if (args.node_rent_multiplier <= 0) {
-    std::fprintf(stderr, "--node-rent-multiplier must be > 0\n");
-    return 2;
-  }
   config.cluster.nodes = args.nodes;
   config.cluster.elastic = args.elastic;
   config.cluster.node_rent_multiplier = args.node_rent_multiplier;
@@ -370,16 +428,40 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // One cell of the sweep engine: same code path as the grid runs.
-  SweepSpec spec;
-  spec.schemes = {config.scheme};
-  spec.interarrivals = {args.interarrival};
-  spec.seed_policy = SweepSpec::SeedPolicy::kFixed;
-  spec.base_seed = args.seed;
-  spec.base = config;
-  std::vector<SweepResult> results =
-      RunSweep(catalog, templates, spec, /*n_threads=*/1);
-  const SimMetrics metrics = std::move(results[0].metrics);
+  SimMetrics metrics;
+  if (!args.checkpoint_path.empty()) {
+    // Checkpoint/restore run. A kFixed one-cell sweep leaves the config
+    // untouched, so driving RunExperimentChecked directly is the sweep
+    // path bit for bit — plus snapshots, crash injection, and restore.
+    config.sim.checkpoint.every = args.checkpoint_every;
+    config.sim.checkpoint.path = args.checkpoint_path;
+    config.sim.checkpoint.crash_after = args.crash_after;
+    config.sim.parallel_threads = args.threads;
+    if (args.restore == "auto") {
+      config.sim.checkpoint.restore = CheckpointOptions::Restore::kAuto;
+    } else if (args.restore == "hard") {
+      config.sim.checkpoint.restore = CheckpointOptions::Restore::kHard;
+    }
+    Result<SimMetrics> run = RunExperimentChecked(catalog, templates, config);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      // Crash injection is a deliberate stop (snapshot on disk, no final
+      // report), distinct from a genuine failure.
+      return run.status().code() == StatusCode::kResourceExhausted ? 3 : 1;
+    }
+    metrics = std::move(run).value();
+  } else {
+    // One cell of the sweep engine: same code path as the grid runs.
+    SweepSpec spec;
+    spec.schemes = {config.scheme};
+    spec.interarrivals = {args.interarrival};
+    spec.seed_policy = SweepSpec::SeedPolicy::kFixed;
+    spec.base_seed = args.seed;
+    spec.base = config;
+    std::vector<SweepResult> results =
+        RunSweep(catalog, templates, spec, /*n_threads=*/1);
+    metrics = std::move(results[0].metrics);
+  }
   std::fputs(FormatRunDetail(metrics).c_str(), stdout);
   if (metrics.tenants.size() > 1) {
     std::printf("\nPer-tenant breakdown (%zu tenants, traffic skew %g%s%s)\n",
