@@ -1,0 +1,265 @@
+#include "src/server/protocol.h"
+
+#include <cmath>
+
+namespace cloudcache {
+namespace server {
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kHello:
+      return "Hello";
+    case MessageType::kHelloAck:
+      return "HelloAck";
+    case MessageType::kQuery:
+      return "Query";
+    case MessageType::kOutcome:
+      return "Outcome";
+    case MessageType::kError:
+      return "Error";
+    case MessageType::kStats:
+      return "Stats";
+    case MessageType::kStatsAck:
+      return "StatsAck";
+    case MessageType::kShutdown:
+      return "Shutdown";
+    case MessageType::kShutdownAck:
+      return "ShutdownAck";
+  }
+  return "unknown";
+}
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadFrame:
+      return "bad-frame";
+    case ErrorCode::kVersionMismatch:
+      return "version-mismatch";
+    case ErrorCode::kConfigMismatch:
+      return "config-mismatch";
+    case ErrorCode::kStreamClaimed:
+      return "stream-claimed";
+    case ErrorCode::kStreamOutOfRange:
+      return "stream-out-of-range";
+    case ErrorCode::kStreamDiverged:
+      return "stream-diverged";
+    case ErrorCode::kRunComplete:
+      return "run-complete";
+    case ErrorCode::kShuttingDown:
+      return "shutting-down";
+    case ErrorCode::kNotAllowed:
+      return "not-allowed";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+Status PeekType(persist::Decoder* dec, MessageType* type) {
+  uint8_t raw = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU8(&raw));
+  if (raw < static_cast<uint8_t>(MessageType::kHello) ||
+      raw > static_cast<uint8_t>(MessageType::kShutdownAck)) {
+    return Status::InvalidArgument("unknown message type " +
+                                   std::to_string(raw));
+  }
+  *type = static_cast<MessageType>(raw);
+  return Status::OK();
+}
+
+void EncodeHello(const HelloMsg& msg, persist::Encoder* enc) {
+  enc->PutU8(static_cast<uint8_t>(MessageType::kHello));
+  enc->PutU32(msg.protocol_version);
+  enc->PutU32(msg.stream_id);
+  enc->PutU64(msg.config_hash);
+}
+
+Status DecodeHello(persist::Decoder* dec, HelloMsg* msg) {
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&msg->protocol_version));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&msg->stream_id));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&msg->config_hash));
+  return dec->ExpectEnd();
+}
+
+void EncodeHelloAck(const HelloAckMsg& msg, persist::Encoder* enc) {
+  enc->PutU8(static_cast<uint8_t>(MessageType::kHelloAck));
+  enc->PutU32(msg.protocol_version);
+  enc->PutU32(msg.stream_id);
+  enc->PutU64(msg.config_hash);
+  enc->PutU64(msg.num_queries);
+  enc->PutU64(msg.next_query_id);
+}
+
+Status DecodeHelloAck(persist::Decoder* dec, HelloAckMsg* msg) {
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&msg->protocol_version));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&msg->stream_id));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&msg->config_hash));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&msg->num_queries));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&msg->next_query_id));
+  return dec->ExpectEnd();
+}
+
+void EncodeQuery(const Query& query, persist::Encoder* enc) {
+  enc->PutU8(static_cast<uint8_t>(MessageType::kQuery));
+  enc->PutU64(query.id);
+  enc->PutI64(query.template_id);
+  enc->PutU32(query.table);
+  enc->PutU64(query.output_columns.size());
+  for (ColumnId column : query.output_columns) enc->PutU32(column);
+  enc->PutU64(query.predicates.size());
+  for (const Predicate& predicate : query.predicates) {
+    enc->PutU32(predicate.column);
+    enc->PutDouble(predicate.selectivity);
+    enc->PutBool(predicate.equality);
+    enc->PutBool(predicate.clustered);
+  }
+  enc->PutDouble(query.cpu_multiplier);
+  enc->PutDouble(query.parallel_fraction);
+  enc->PutU64(query.result_rows);
+  enc->PutU64(query.result_bytes);
+  enc->PutDouble(query.arrival_time);
+  enc->PutU32(query.tenant_id);
+}
+
+Status DecodeQuery(persist::Decoder* dec, Query* query) {
+  *query = Query();
+  int64_t template_id = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&query->id));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadI64(&template_id));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&query->table));
+  query->template_id = static_cast<int>(template_id);
+  uint64_t columns = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&columns));
+  query->output_columns.reserve(static_cast<size_t>(columns));
+  for (uint64_t i = 0; i < columns; ++i) {
+    uint32_t column = 0;
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&column));
+    query->output_columns.push_back(column);
+  }
+  uint64_t predicates = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&predicates));
+  query->predicates.reserve(static_cast<size_t>(predicates));
+  for (uint64_t i = 0; i < predicates; ++i) {
+    Predicate predicate;
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&predicate.column));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&predicate.selectivity));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadBool(&predicate.equality));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadBool(&predicate.clustered));
+    // Same domain Query::Validate enforces; reject here so a hostile
+    // frame never reaches the cost model.
+    if (!(predicate.selectivity > 0) || predicate.selectivity > 1.0) {
+      return Status::InvalidArgument("query predicate selectivity not in "
+                                     "(0, 1]");
+    }
+    query->predicates.push_back(predicate);
+  }
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&query->cpu_multiplier));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&query->parallel_fraction));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&query->result_rows));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&query->result_bytes));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&query->arrival_time));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&query->tenant_id));
+  if (!std::isfinite(query->cpu_multiplier) ||
+      !(query->cpu_multiplier > 0) ||
+      !std::isfinite(query->parallel_fraction) ||
+      query->parallel_fraction < 0 || query->parallel_fraction > 1.0 ||
+      !std::isfinite(query->arrival_time) || query->arrival_time < 0) {
+    return Status::InvalidArgument("query carries non-finite or "
+                                   "out-of-domain numeric fields");
+  }
+  return dec->ExpectEnd();
+}
+
+void EncodeOutcome(const OutcomeMsg& msg, persist::Encoder* enc) {
+  enc->PutU8(static_cast<uint8_t>(MessageType::kOutcome));
+  enc->PutU64(msg.query_id);
+  enc->PutU64(msg.global_index);
+  enc->PutBool(msg.served);
+  enc->PutU8(msg.access);
+  enc->PutBool(msg.throttled);
+  enc->PutDouble(msg.response_seconds);
+  enc->PutI64(msg.payment_micros);
+  enc->PutI64(msg.profit_micros);
+  enc->PutBool(msg.has_budget_case);
+  enc->PutU8(msg.budget_case);
+  enc->PutU32(msg.investments);
+  enc->PutU32(msg.evictions);
+}
+
+Status DecodeOutcome(persist::Decoder* dec, OutcomeMsg* msg) {
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&msg->query_id));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&msg->global_index));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadBool(&msg->served));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU8(&msg->access));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadBool(&msg->throttled));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&msg->response_seconds));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadI64(&msg->payment_micros));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadI64(&msg->profit_micros));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadBool(&msg->has_budget_case));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU8(&msg->budget_case));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&msg->investments));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&msg->evictions));
+  if (msg->access > 2 || msg->budget_case > 2) {
+    return Status::InvalidArgument(
+        "outcome carries an unknown access kind or budget case");
+  }
+  return dec->ExpectEnd();
+}
+
+void EncodeError(const ErrorMsg& msg, persist::Encoder* enc) {
+  enc->PutU8(static_cast<uint8_t>(MessageType::kError));
+  enc->PutU8(static_cast<uint8_t>(msg.code));
+  enc->PutString(msg.message);
+}
+
+Status DecodeError(persist::Decoder* dec, ErrorMsg* msg) {
+  uint8_t code = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU8(&code));
+  if (code < static_cast<uint8_t>(ErrorCode::kBadFrame) ||
+      code > static_cast<uint8_t>(ErrorCode::kInternal)) {
+    return Status::InvalidArgument("unknown error code " +
+                                   std::to_string(code));
+  }
+  msg->code = static_cast<ErrorCode>(code);
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadString(&msg->message));
+  return dec->ExpectEnd();
+}
+
+void EncodeStats(persist::Encoder* enc) {
+  enc->PutU8(static_cast<uint8_t>(MessageType::kStats));
+}
+
+Status DecodeStats(persist::Decoder* dec) { return dec->ExpectEnd(); }
+
+void EncodeStatsAck(const StatsAckMsg& msg, persist::Encoder* enc) {
+  enc->PutU8(static_cast<uint8_t>(MessageType::kStatsAck));
+  enc->PutU64(msg.processed);
+  enc->PutU64(msg.num_queries);
+  enc->PutU64(msg.served);
+  enc->PutU32(msg.active_streams);
+  enc->PutI64(msg.credit_micros);
+}
+
+Status DecodeStatsAck(persist::Decoder* dec, StatsAckMsg* msg) {
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&msg->processed));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&msg->num_queries));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&msg->served));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&msg->active_streams));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadI64(&msg->credit_micros));
+  return dec->ExpectEnd();
+}
+
+void EncodeShutdown(persist::Encoder* enc) {
+  enc->PutU8(static_cast<uint8_t>(MessageType::kShutdown));
+}
+
+Status DecodeShutdown(persist::Decoder* dec) { return dec->ExpectEnd(); }
+
+void EncodeShutdownAck(persist::Encoder* enc) {
+  enc->PutU8(static_cast<uint8_t>(MessageType::kShutdownAck));
+}
+
+Status DecodeShutdownAck(persist::Decoder* dec) { return dec->ExpectEnd(); }
+
+}  // namespace server
+}  // namespace cloudcache

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/persist/codec.h"
+#include "src/query/query.h"
+#include "src/util/status.h"
+
+namespace cloudcache {
+namespace server {
+
+/// cloudcached wire protocol (docs/server.md). Every message travels in a
+/// frame: a u32 little-endian payload length (excluding itself), then the
+/// payload — one MessageType byte followed by the message body in the
+/// persist codec's conventions (fixed-width little-endian integers,
+/// doubles bit-cast to u64, u64-length-prefixed strings). The codec here
+/// is socket-free: it maps structs to payload bytes and back, so the
+/// tests exercise it exactly like tests/persist/ exercises snapshots.
+
+/// Bumped on any incompatible change to framing, message layout, or
+/// message semantics. HelloAck echoes the server's version; a client must
+/// refuse to proceed on a mismatch, and the server refuses first.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Frames above this payload size are refused as corrupt before any
+/// allocation — no legitimate message comes close (a Query is a few
+/// hundred bytes).
+inline constexpr uint32_t kMaxFramePayloadBytes = 1u << 20;
+
+/// Hello.stream_id for control connections: no workload stream is
+/// claimed; only Stats and Shutdown are served.
+inline constexpr uint32_t kControlStream = 0xFFFFFFFFu;
+
+/// Default cloudcached TCP port.
+inline constexpr uint16_t kDefaultPort = 4909;
+
+enum class MessageType : uint8_t {
+  kHello = 1,        // client -> server, first message on a connection
+  kHelloAck = 2,     // server -> client
+  kQuery = 3,        // client -> server
+  kOutcome = 4,      // server -> client
+  kError = 5,        // server -> client (usually followed by close)
+  kStats = 6,        // client -> server
+  kStatsAck = 7,     // server -> client
+  kShutdown = 8,     // client -> server
+  kShutdownAck = 9,  // server -> client
+};
+
+enum class ErrorCode : uint8_t {
+  /// Malformed frame or message body; the connection is closed.
+  kBadFrame = 1,
+  /// Hello.protocol_version != kProtocolVersion.
+  kVersionMismatch = 2,
+  /// Hello.config_hash does not match the server's experiment config.
+  kConfigMismatch = 3,
+  /// The requested stream already has a live connection.
+  kStreamClaimed = 4,
+  /// Hello.stream_id is neither a configured stream nor kControlStream.
+  kStreamOutOfRange = 5,
+  /// A received query does not match what the server's twin generator
+  /// produced for this stream; the stream is retired and snapshots are
+  /// refused from here on.
+  kStreamDiverged = 6,
+  /// The configured run length has been served in full.
+  kRunComplete = 7,
+  /// The server is draining for shutdown.
+  kShuttingDown = 8,
+  /// Message type not allowed in this connection state.
+  kNotAllowed = 9,
+  kInternal = 10,
+};
+
+const char* MessageTypeName(MessageType type);
+const char* ErrorCodeName(ErrorCode code);
+
+struct HelloMsg {
+  uint32_t protocol_version = kProtocolVersion;
+  /// Workload stream (= tenant id) this connection feeds, or
+  /// kControlStream for a stats/shutdown connection.
+  uint32_t stream_id = 0;
+  /// HashExperimentConfig of the client's config; 0 skips the check (for
+  /// probes that cannot reconstruct the config).
+  uint64_t config_hash = 0;
+};
+
+struct HelloAckMsg {
+  uint32_t protocol_version = kProtocolVersion;
+  uint32_t stream_id = 0;
+  /// The server's config hash, for the client's own cross-check.
+  uint64_t config_hash = 0;
+  /// Configured merged run length.
+  uint64_t num_queries = 0;
+  /// Queries this stream's server-side generator has already produced
+  /// (non-zero after a restore): the client fast-forwards its generator
+  /// by this many draws before sending.
+  uint64_t next_query_id = 0;
+};
+
+/// The served outcome of one query, flattened from ServedQuery to its
+/// client-visible facts.
+struct OutcomeMsg {
+  uint64_t query_id = 0;
+  /// Index of this query in the server's merged order (0-based).
+  uint64_t global_index = 0;
+  bool served = false;
+  /// PlanSpec::Access of the executed plan (kBackend when unserved).
+  uint8_t access = 0;
+  bool throttled = false;
+  double response_seconds = 0;
+  int64_t payment_micros = 0;
+  int64_t profit_micros = 0;
+  bool has_budget_case = false;
+  /// BudgetCase when has_budget_case (0 = A, 1 = B, 2 = C).
+  uint8_t budget_case = 0;
+  uint32_t investments = 0;
+  uint32_t evictions = 0;
+};
+
+struct ErrorMsg {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+struct StatsAckMsg {
+  uint64_t processed = 0;
+  uint64_t num_queries = 0;
+  uint64_t served = 0;
+  uint32_t active_streams = 0;
+  int64_t credit_micros = 0;
+};
+
+// --- Payload codecs. Encode* appends `type byte + body` to `enc` (the
+// frame length prefix is the transport's job, src/server/socket_io.h).
+// To decode, first consume and validate the type byte with PeekType,
+// then call the matching Decode*, which consumes the body and refuses
+// trailing bytes, unknown enum values, and truncation with a descriptive
+// Status, persist-style.
+
+void EncodeHello(const HelloMsg& msg, persist::Encoder* enc);
+Status DecodeHello(persist::Decoder* dec, HelloMsg* msg);
+
+void EncodeHelloAck(const HelloAckMsg& msg, persist::Encoder* enc);
+Status DecodeHelloAck(persist::Decoder* dec, HelloAckMsg* msg);
+
+/// The full Query struct: deterministic fields the server verifies
+/// against its twin generator (id, template, arrival, tenant) plus the
+/// resource profile (columns, predicates, result shape).
+void EncodeQuery(const Query& query, persist::Encoder* enc);
+Status DecodeQuery(persist::Decoder* dec, Query* query);
+
+void EncodeOutcome(const OutcomeMsg& msg, persist::Encoder* enc);
+Status DecodeOutcome(persist::Decoder* dec, OutcomeMsg* msg);
+
+void EncodeError(const ErrorMsg& msg, persist::Encoder* enc);
+Status DecodeError(persist::Decoder* dec, ErrorMsg* msg);
+
+void EncodeStats(persist::Encoder* enc);
+Status DecodeStats(persist::Decoder* dec);
+
+void EncodeStatsAck(const StatsAckMsg& msg, persist::Encoder* enc);
+Status DecodeStatsAck(persist::Decoder* dec, StatsAckMsg* msg);
+
+void EncodeShutdown(persist::Encoder* enc);
+Status DecodeShutdown(persist::Decoder* dec);
+
+void EncodeShutdownAck(persist::Encoder* enc);
+Status DecodeShutdownAck(persist::Decoder* dec);
+
+/// Reads and validates the leading type byte of a payload.
+Status PeekType(persist::Decoder* dec, MessageType* type);
+
+}  // namespace server
+}  // namespace cloudcache

@@ -1,0 +1,168 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/server/protocol.h"
+#include "src/server/socket_io.h"
+#include "src/sim/experiment.h"
+#include "src/sim/simulator.h"
+#include "src/util/thread_pool.h"
+
+namespace cloudcache {
+namespace server {
+
+struct ServerOptions {
+  /// Numeric IPv4 listen address.
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port (read it back with port()).
+  uint16_t port = kDefaultPort;
+  /// Connection-handler pool size; 0 sizes it to the stream count plus
+  /// headroom for control connections. Every live connection occupies a
+  /// worker for its lifetime, so this must exceed the number of
+  /// concurrent connections or late arrivals queue until one closes.
+  uint32_t workers = 0;
+  /// Snapshot file written on graceful shutdown (and by the periodic
+  /// cadence below). Empty disables persistence.
+  std::string snapshot_path;
+  /// Also snapshot every N served queries (0 = shutdown-only).
+  uint64_t checkpoint_every = 0;
+  /// Restore from snapshot_path at startup (same semantics as the
+  /// simulator's --restore: kAuto degrades to a fresh economy on a
+  /// missing/corrupt/mismatched snapshot, kHard fails Start()).
+  CheckpointOptions::Restore restore = CheckpointOptions::Restore::kNone;
+  /// Log a progress line to stderr every N served queries (0 = quiet).
+  uint64_t log_every = 0;
+};
+
+/// The economy served over TCP (docs/server.md). One process hosts the
+/// exact object graph the simulator drives — MakeExperimentScheme's
+/// scheme, one twin WorkloadGenerator per stream, a Simulator in
+/// external-drive mode — and an accept loop hands each connection to a
+/// worker-pool handler.
+///
+/// Determinism discipline: client connection #t claims workload stream t
+/// (= tenant t). The server re-derives every stream from the shared
+/// config, verifies each received query against its twin generator, and
+/// serves queries strictly in the merged arrival order the simulator
+/// would use (earliest arrival first, ties by stream id) — a handler
+/// whose stream is not at the merge head blocks until it is. The economy
+/// the clients observe is therefore bit-identical to `Simulator::Run()`
+/// on the same configuration, and snapshots written here restore into
+/// `cloudcache_sim --restore` (and vice versa).
+///
+/// The scheme is driven under one mutex, not sharded: ClusterScheme's
+/// cross-node router, the shared account, and the rent meter are all
+/// global state, and the paper's economy is defined over a serial order
+/// of decisions. Concurrency buys connection fan-in, not decision
+/// fan-out (ROADMAP: the parallel decision loop is the windowed driver's
+/// job, offline).
+class CloudCachedServer {
+ public:
+  /// `catalog`, `templates`, and `config` must outlive the server (the
+  /// scheme keeps pointers into `config`). Call Start() next.
+  CloudCachedServer(const Catalog* catalog,
+                    const std::vector<QueryTemplate>* templates,
+                    const ExperimentConfig* config, ServerOptions options);
+  ~CloudCachedServer();
+
+  CloudCachedServer(const CloudCachedServer&) = delete;
+  CloudCachedServer& operator=(const CloudCachedServer&) = delete;
+
+  /// Builds the economy (restoring from the snapshot when configured),
+  /// binds the listen socket, and spawns the accept loop + worker pool.
+  Status Start();
+
+  /// The bound port (after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Begins a graceful drain: stop accepting, fail in-flight and new
+  /// requests with kShuttingDown, kick blocked reads. Idempotent and
+  /// callable from any thread (a signal-watching main loop, a kShutdown
+  /// handler, a test).
+  void RequestShutdown();
+
+  /// True once RequestShutdown has been called (by anyone).
+  bool ShutdownRequested() const { return stop_.load(); }
+
+  /// Joins the accept loop and every handler, then writes the shutdown
+  /// snapshot. Returns an error if the snapshot cannot be written, if a
+  /// periodic checkpoint had failed, or if the run was tainted by a
+  /// diverged stream (the snapshot is refused — it would not match any
+  /// simulator-reachable state). Blocks until RequestShutdown happens.
+  Status Wait();
+
+  /// Served so far, in merged order (thread-safe).
+  uint64_t processed() const;
+
+  /// The live metrics block. Only meaningful once Wait() returned —
+  /// while handlers run it is being mutated under the internal mutex.
+  const SimMetrics& metrics() const { return sim_->external_metrics(); }
+
+  uint64_t config_hash() const { return config_hash_; }
+
+ private:
+  struct StreamState {
+    bool claimed = false;    // A Hello ever claimed this stream.
+    bool connected = false;  // A connection currently feeds it.
+    bool retired = false;    // Left the merge for good (close/divergence).
+  };
+
+  /// Builds (or rebuilds, for kAuto restore fallback) the scheme, the
+  /// twin generators, and the external-drive simulator.
+  Status BuildEconomy();
+  void AcceptLoop();
+  void HandleConnection(std::shared_ptr<Socket> conn);
+  /// Serves the stream-t data loop after a successful Hello.
+  void StreamLoop(const Socket& conn, uint32_t stream);
+  /// Stats/Shutdown loop for control connections.
+  void ControlLoop(const Socket& conn);
+  /// True when stream t holds the merge head (earliest peeked arrival,
+  /// ties to the lowest stream id) — or when the run is complete or
+  /// draining, so the caller can observe that and reply. Requires mu_.
+  bool MergeTurnLocked(uint32_t stream) const;
+  StatsAckMsg StatsLocked() const;
+  void RegisterConnection(const std::shared_ptr<Socket>& conn);
+  void UnregisterConnection(const Socket* conn);
+
+  const Catalog* catalog_;
+  const std::vector<QueryTemplate>* templates_;
+  const ExperimentConfig* config_;
+  ServerOptions options_;
+  uint64_t config_hash_ = 0;
+  bool multi_tenant_ = false;
+  uint32_t stream_count_ = 1;
+
+  std::vector<ResolvedTemplate> resolved_;
+  std::vector<StructureKey> indexes_;
+  std::unique_ptr<Scheme> scheme_;
+  std::vector<std::unique_ptr<WorkloadGenerator>> twins_;
+  std::unique_ptr<Simulator> sim_;
+
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<bool> stop_{false};
+
+  /// Guards the economy (scheme_, twins_, sim_), the stream table, and
+  /// the connection registry. merge_cv_ wakes handlers when the merge
+  /// head may have moved or a drain began.
+  mutable std::mutex mu_;
+  std::condition_variable merge_cv_;
+  std::vector<StreamState> streams_;
+  bool draining_ = false;
+  bool tainted_ = false;
+  std::string taint_reason_;
+  Status checkpoint_status_ = Status::OK();
+  std::vector<std::shared_ptr<Socket>> live_connections_;
+};
+
+}  // namespace server
+}  // namespace cloudcache

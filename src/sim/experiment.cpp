@@ -59,69 +59,8 @@ Result<SimMetrics> RunExperimentImpl(
                          config.cluster.elastic ||
                          config.cluster.force_cluster_path;
 
-  // Builds the scheme for one cache node. Ordinal 0 carries the
-  // experiment's own seed — on the single-node path it IS the classic
-  // scheme, which is what keeps `--nodes=1` bit-identical to the
-  // pre-cluster baseline — while rented/extra nodes derive their seeds
-  // from their never-reused ordinal (salted away from the tenant-stream
-  // MixSeed discipline), so every node's budget-jitter streams are a pure
-  // function of the configuration.
-  const auto node_factory = [&catalog, &indexes, &config,
-                             multi_tenant](uint32_t ordinal) {
-    std::unique_ptr<Scheme> scheme;
-    if (config.scheme == SchemeKind::kBypassYield) {
-      BypassYieldScheme::Options options;
-      if (config.customize_bypass) config.customize_bypass(options);
-      scheme = std::make_unique<BypassYieldScheme>(&catalog, options);
-    } else {
-      EconScheme::Config econ_config;
-      switch (config.scheme) {
-        case SchemeKind::kEconCol:
-          econ_config = EconScheme::EconColConfig();
-          break;
-        case SchemeKind::kEconFast:
-          econ_config = EconScheme::EconFastConfig();
-          break;
-        default:
-          econ_config = EconScheme::EconCheapConfig();
-          break;
-      }
-      constexpr uint64_t kNodeSeedSalt = 0x636c757374657231ull;  // cluster
-      econ_config.seed = ordinal == 0
-                             ? config.seed
-                             : MixSeed(config.seed, kNodeSeedSalt + ordinal);
-      if (config.customize_econ) config.customize_econ(econ_config);
-      // Tenancy is the experiment's to decide, not the ablation hook's:
-      // the event-driven path provisions identities even for one tenant
-      // (so its metrics slice carries regret attribution); the classic
-      // path stays on the zero-overhead pre-tenancy configuration. The
-      // fairness policies ride the same switch — they read tenant
-      // attribution, so they only engage on the multi-tenant path (the
-      // hook may still tune their ratios/slack/windows). So do the
-      // per-tenant budget shapes, which need tenant identities.
-      if (multi_tenant) {
-        econ_config.tenants = config.tenancy.tenants;
-        if (config.tenancy.fair_eviction) {
-          econ_config.economy.tenant_weighted_eviction = true;
-        }
-        if (config.tenancy.admission) {
-          econ_config.economy.admission.enabled = true;
-        }
-        econ_config.tenant_budgets = config.tenancy.tenant_budgets;
-      }
-      scheme = std::make_unique<EconScheme>(&catalog, &config.decision_prices,
-                                            indexes, std::move(econ_config));
-    }
-    return scheme;
-  };
-
-  std::unique_ptr<Scheme> scheme;
-  if (clustered) {
-    scheme = std::make_unique<ClusterScheme>(
-        &catalog, &config.decision_prices, config.cluster, node_factory);
-  } else {
-    scheme = node_factory(0);
-  }
+  std::unique_ptr<Scheme> scheme =
+      MakeExperimentScheme(catalog, indexes, config);
   SimulatorOptions sim_options = config.sim;
   sim_options.node_rent_multiplier = config.cluster.node_rent_multiplier;
   sim_options.checkpoint.config_hash = HashExperimentConfig(config);
@@ -198,6 +137,87 @@ void EncodePriceList(const PriceList& p, persist::Encoder* enc) {
 }
 
 }  // namespace
+
+std::unique_ptr<Scheme> MakeExperimentScheme(
+    const Catalog& catalog, const std::vector<StructureKey>& indexes,
+    const ExperimentConfig& config) {
+  const bool multi_tenant =
+      config.tenancy.tenants > 1 || config.tenancy.force_event_path;
+  const bool clustered = config.cluster.nodes > 1 ||
+                         config.cluster.elastic ||
+                         config.cluster.force_cluster_path;
+
+  // Builds the scheme for one cache node. Ordinal 0 carries the
+  // experiment's own seed — on the single-node path it IS the classic
+  // scheme, which is what keeps `--nodes=1` bit-identical to the
+  // pre-cluster baseline — while rented/extra nodes derive their seeds
+  // from their never-reused ordinal (salted away from the tenant-stream
+  // MixSeed discipline), so every node's budget-jitter streams are a pure
+  // function of the configuration. Captured by pointer: an elastic
+  // ClusterScheme keeps the factory for mid-run rentals, long after this
+  // function returns (the contract on `catalog`/`indexes`/`config`
+  // outliving the scheme is in the header).
+  const Catalog* catalog_ptr = &catalog;
+  const std::vector<StructureKey>* indexes_ptr = &indexes;
+  const ExperimentConfig* config_ptr = &config;
+  const auto node_factory = [catalog_ptr, indexes_ptr, config_ptr,
+                             multi_tenant](uint32_t ordinal) {
+    const ExperimentConfig& config = *config_ptr;
+    std::unique_ptr<Scheme> scheme;
+    if (config.scheme == SchemeKind::kBypassYield) {
+      BypassYieldScheme::Options options;
+      if (config.customize_bypass) config.customize_bypass(options);
+      scheme = std::make_unique<BypassYieldScheme>(catalog_ptr, options);
+    } else {
+      EconScheme::Config econ_config;
+      switch (config.scheme) {
+        case SchemeKind::kEconCol:
+          econ_config = EconScheme::EconColConfig();
+          break;
+        case SchemeKind::kEconFast:
+          econ_config = EconScheme::EconFastConfig();
+          break;
+        default:
+          econ_config = EconScheme::EconCheapConfig();
+          break;
+      }
+      constexpr uint64_t kNodeSeedSalt = 0x636c757374657231ull;  // cluster
+      econ_config.seed = ordinal == 0
+                             ? config.seed
+                             : MixSeed(config.seed, kNodeSeedSalt + ordinal);
+      if (config.customize_econ) config.customize_econ(econ_config);
+      // Tenancy is the experiment's to decide, not the ablation hook's:
+      // the event-driven path provisions identities even for one tenant
+      // (so its metrics slice carries regret attribution); the classic
+      // path stays on the zero-overhead pre-tenancy configuration. The
+      // fairness policies ride the same switch — they read tenant
+      // attribution, so they only engage on the multi-tenant path (the
+      // hook may still tune their ratios/slack/windows). So do the
+      // per-tenant budget shapes, which need tenant identities.
+      if (multi_tenant) {
+        econ_config.tenants = config.tenancy.tenants;
+        if (config.tenancy.fair_eviction) {
+          econ_config.economy.tenant_weighted_eviction = true;
+        }
+        if (config.tenancy.admission) {
+          econ_config.economy.admission.enabled = true;
+        }
+        econ_config.tenant_budgets = config.tenancy.tenant_budgets;
+      }
+      scheme = std::make_unique<EconScheme>(catalog_ptr,
+                                            &config.decision_prices,
+                                            *indexes_ptr,
+                                            std::move(econ_config));
+    }
+    return scheme;
+  };
+
+  if (clustered) {
+    return std::make_unique<ClusterScheme>(
+        catalog_ptr, &config.decision_prices, config.cluster, node_factory);
+  }
+  return node_factory(0);
+}
 
 uint64_t HashExperimentConfig(const ExperimentConfig& config) {
   persist::Encoder enc;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,19 @@ struct ExperimentConfig {
 WorkloadOptions TenantWorkloadOptions(const WorkloadOptions& base,
                                       const TenancyOptions& tenancy,
                                       uint32_t tenant);
+
+/// Builds the exact scheme graph RunExperiment drives: the per-node
+/// economies (ordinal 0 carries config.seed — the classic scheme — while
+/// rented/extra nodes derive salted seeds from their ordinal), tenancy
+/// provisioning on the event path (tenant identities, fairness policies,
+/// per-tenant budget shapes), and the ClusterScheme wrapper whenever the
+/// cluster options ask for one. Exposed so cloudcached hosts the
+/// identical object graph the simulator's equivalence tests pin.
+/// `catalog`, `indexes`, and `config` (its decision_prices in particular)
+/// must outlive the returned scheme.
+std::unique_ptr<Scheme> MakeExperimentScheme(
+    const Catalog& catalog, const std::vector<StructureKey>& indexes,
+    const ExperimentConfig& config);
 
 /// Runs one experiment end to end: resolve templates, recommend indexes,
 /// build the scheme, generate the workload (per tenant when

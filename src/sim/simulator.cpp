@@ -124,12 +124,13 @@ void Simulator::MeterQuery(const Query& query, const ServedQuery& served,
   if (!charged.IsZero()) scheme_->ChargeExpenditure(charged, now);
 }
 
-void Simulator::ProcessQuery(const Query& query, uint64_t i,
-                             SimMetrics* metrics, TenantMetrics* tenant) {
+ServedQuery Simulator::ProcessQuery(const Query& query, uint64_t i,
+                                    SimMetrics* metrics,
+                                    TenantMetrics* tenant) {
   const SimTime now = query.arrival_time;
 
   MeterRent(now, metrics);
-  const ServedQuery served = scheme_->OnQuery(query, now);
+  ServedQuery served = scheme_->OnQuery(query, now);
   MeterQuery(query, served, now, metrics, tenant);
 
   AccountOutcome(served, metrics);
@@ -144,6 +145,64 @@ void Simulator::ProcessQuery(const Query& query, uint64_t i,
     metrics->cost_over_time.Add(now, metrics->operating_cost.Total());
     metrics->credit_over_time.Add(now, scheme_->credit().ToDollars());
   }
+  return served;
+}
+
+void Simulator::ExternalBegin() {
+  if (restored_) {
+    // Adopt the interrupted run's accumulators, exactly as RunChecked
+    // does; last_meter_time_/pending_rent_dollars_ were restored already.
+    external_metrics_ = std::move(restored_metrics_);
+    external_processed_ = start_index_;
+    return;
+  }
+  external_metrics_.scheme_name = scheme_->name();
+  external_processed_ = 0;
+  if (tenant_workloads_.empty()) {
+    // DriveSingleStream's fresh-start init, verbatim.
+    last_meter_time_ = workload_->PeekNextArrival();
+    return;
+  }
+  // DriveMultiTenant's fresh-start init: tenant slices plus the rent
+  // meter's origin at the earliest peeked arrival (what the seeded event
+  // queue's Top().time is — ties share the timestamp, so the tie-break
+  // cannot change the value).
+  external_metrics_.tenants.resize(tenant_workloads_.size());
+  for (size_t t = 0; t < external_metrics_.tenants.size(); ++t) {
+    external_metrics_.tenants[t].tenant_id = static_cast<uint32_t>(t);
+  }
+  SimTime first = tenant_workloads_[0]->PeekNextArrival();
+  for (size_t t = 1; t < tenant_workloads_.size(); ++t) {
+    const SimTime peek = tenant_workloads_[t]->PeekNextArrival();
+    if (peek < first) first = peek;
+  }
+  last_meter_time_ = first;
+}
+
+ServedQuery Simulator::ExternalServe(const Query& query) {
+  TenantMetrics* tenant = nullptr;
+  if (!tenant_workloads_.empty()) {
+    CLOUDCACHE_CHECK_LT(static_cast<size_t>(query.tenant_id),
+                        external_metrics_.tenants.size());
+    tenant = &external_metrics_.tenants[query.tenant_id];
+  }
+  ServedQuery served =
+      ProcessQuery(query, external_processed_, &external_metrics_, tenant);
+  ++external_processed_;
+  return served;
+}
+
+Status Simulator::ExternalCheckpoint() const {
+  if (options_.checkpoint.path.empty()) {
+    return Status::InvalidArgument(
+        "external checkpoint requires a snapshot path");
+  }
+  if (external_processed_ >= options_.num_queries) {
+    return Status::FailedPrecondition(
+        "the externally driven run is complete; a completed run is never "
+        "checkpointed (nothing left to resume)");
+  }
+  return WriteSnapshot(external_processed_, external_metrics_);
 }
 
 SimMetrics Simulator::Run() {

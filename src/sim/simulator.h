@@ -163,6 +163,45 @@ class Simulator {
   /// scheme are unusable; discard both.
   Status RestoreFrom(const persist::SnapshotReader& reader);
 
+  // --- External drive surface (src/server/). The caller owns the merge
+  // loop — cloudcached feeds queries one at a time as they come off its
+  // connections — while the per-query pipeline, the rent meter, and the
+  // snapshot writer stay this class's. A server-driven sequence is
+  // therefore bit-identical to Run() on the same merged stream, and its
+  // checkpoints restore into either driver.
+
+  /// Prepares an externally driven run: performs exactly the fresh-start
+  /// initialization of the internal drivers (scheme name, tenant slices,
+  /// rent-meter origin at the earliest peeked arrival) — or, after
+  /// RestoreFrom, adopts the interrupted run's accumulators and resume
+  /// index. Call once, before the first ExternalServe.
+  void ExternalBegin();
+
+  /// Serves one query through the shared per-query pipeline at the next
+  /// merge index. The caller must present queries in the same merged
+  /// order the internal drivers would produce (arrival time, ties by
+  /// tenant id) and must have drawn them from this simulator's own
+  /// generators; in multi-tenant mode `query.tenant_id` selects the
+  /// metrics slice. Returns the served outcome for the caller's reply.
+  ServedQuery ExternalServe(const Query& query);
+
+  /// Writes a snapshot at the current external boundary, through the same
+  /// writer the internal drivers use. Refuses (kFailedPrecondition) once
+  /// the run is complete — a finished run has nothing to resume — and
+  /// requires a configured checkpoint path.
+  Status ExternalCheckpoint() const;
+
+  /// Queries served so far on the external path (includes the restored
+  /// prefix after RestoreFrom + ExternalBegin).
+  uint64_t external_processed() const { return external_processed_; }
+
+  /// Accumulated metrics of the externally driven run. Finalization
+  /// (residual-rent flush, final credit/fairness stamps) never runs on
+  /// this path: a server's economy remains live until the process exits.
+  const SimMetrics& external_metrics() const { return external_metrics_; }
+
+  const SimulatorOptions& options() const { return options_; }
+
  private:
   Status DriveSingleStream(SimMetrics* metrics);
   Status DriveMultiTenant(SimMetrics* metrics);
@@ -171,13 +210,14 @@ class Simulator {
   Status MaybeCheckpointAndCrash(uint64_t processed,
                                  const SimMetrics& metrics);
   Status WriteSnapshot(uint64_t processed, const SimMetrics& metrics) const;
-  /// The per-query pipeline both paths share, in this exact order so the
+  /// The per-query pipeline every path shares, in this exact order so the
   /// paths stay bit-identical: meter rent up to `query.arrival_time`,
   /// serve the query, meter its execution + builds, account the outcome
   /// (into `tenant` too, when non-null), and sample the timelines at
-  /// stride boundaries of the merged index `i`.
-  void ProcessQuery(const Query& query, uint64_t i, SimMetrics* metrics,
-                    TenantMetrics* tenant);
+  /// stride boundaries of the merged index `i`. Returns the outcome so
+  /// the external drive can reply to its client.
+  ServedQuery ProcessQuery(const Query& query, uint64_t i,
+                           SimMetrics* metrics, TenantMetrics* tenant);
   /// Integrates disk + node-reservation rent (plus rented-cluster-node
   /// rent, when the scheme operates extra cache nodes) from
   /// last_meter_time_ to now. Rent is shared-infrastructure spending, so
@@ -210,6 +250,10 @@ class Simulator {
   uint64_t start_index_ = 0;
   bool restored_ = false;
   SimMetrics restored_metrics_;
+  /// External-drive accumulators (ExternalBegin/ExternalServe above);
+  /// untouched by the internal drivers.
+  uint64_t external_processed_ = 0;
+  SimMetrics external_metrics_;
 };
 
 }  // namespace cloudcache

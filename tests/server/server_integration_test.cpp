@@ -1,0 +1,543 @@
+// cloudcached is the simulator served over sockets, and the tests pin
+// exactly that claim:
+//
+//  1. Per-query equivalence: the outcome of every query served over a
+//     real TCP connection equals what an externally-driven Simulator on
+//     a duplicate object graph produces for the same query.
+//  2. Concurrency is fan-in, not reordering: N racing connections
+//     produce metrics bit-identical to serially merge-driving the same
+//     streams — the merge gate serializes service into simulator order.
+//  3. Persistence interop: the snapshot a draining server writes resumes
+//     the classic driver bit-identically to an uninterrupted run.
+//  4. Protocol discipline: the Hello gate rejects version, config-hash,
+//     duplicate-claim, and out-of-range errors; a diverged stream taints
+//     the run and shutdown refuses to write its snapshot.
+
+#include "src/server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/catalog/tpch.h"
+#include "src/server/protocol.h"
+#include "src/server/socket_io.h"
+#include "src/sim/experiment.h"
+#include "src/structure/index_advisor.h"
+#include "tests/testing/metrics_equal.h"
+
+namespace cloudcache::server {
+namespace {
+
+using cloudcache::testing::ExpectBitIdenticalMetrics;
+using cloudcache::testing::ExpectBitIdenticalTenants;
+
+class ServerIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog(MakeTpchCatalog(100.0));
+    templates_ = new std::vector<QueryTemplate>(MakeTpchTemplates());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+    delete templates_;
+    templates_ = nullptr;
+  }
+
+  /// An economically active short run (investments and evictions happen)
+  /// so the served outcomes actually exercise the economy.
+  static ExperimentConfig ActiveConfig(uint64_t num_queries,
+                                       uint32_t tenants) {
+    ExperimentConfig config;
+    config.scheme = SchemeKind::kEconCheap;
+    config.workload.interarrival_seconds = 5.0;
+    config.workload.seed = 29;
+    config.seed = 30;
+    config.sim.num_queries = num_queries;
+    config.tenancy.tenants = tenants;
+    config.tenancy.traffic_skew = tenants > 1 ? 1.0 : 0.0;
+    config.customize_econ = [](EconScheme::Config& econ) {
+      econ.economy.regret_fraction_a = 0.001;
+      econ.economy.conservative_provider = false;
+      econ.economy.initial_credit = Money::FromDollars(20);
+      econ.economy.model_build_latency = false;
+    };
+    return config;
+  }
+
+  /// The duplicate object graph the server builds internally, wired for
+  /// external drive — the reference the socket path must match.
+  struct Reference {
+    std::vector<ResolvedTemplate> resolved;
+    std::vector<StructureKey> indexes;
+    std::unique_ptr<Scheme> scheme;
+    std::vector<std::unique_ptr<WorkloadGenerator>> generators;
+    std::unique_ptr<Simulator> sim;
+  };
+
+  static Reference MakeReference(const ExperimentConfig& config) {
+    Reference ref;
+    ref.resolved = ResolveTemplates(*catalog_, *templates_).value();
+    ref.indexes =
+        RecommendIndexes(*catalog_, ref.resolved, config.index_candidates);
+    ref.scheme = MakeExperimentScheme(*catalog_, ref.indexes, config);
+    SimulatorOptions options = config.sim;
+    options.node_rent_multiplier = config.cluster.node_rent_multiplier;
+    const uint32_t tenants = config.tenancy.tenants;
+    for (uint32_t t = 0; t < tenants; ++t) {
+      ref.generators.push_back(std::make_unique<WorkloadGenerator>(
+          catalog_, ref.resolved,
+          TenantWorkloadOptions(config.workload, config.tenancy, t)));
+    }
+    const bool multi =
+        tenants > 1 || config.tenancy.force_event_path;
+    if (multi) {
+      std::vector<WorkloadGenerator*> ptrs;
+      for (auto& g : ref.generators) ptrs.push_back(g.get());
+      ref.sim = std::make_unique<Simulator>(catalog_, ref.scheme.get(),
+                                            std::move(ptrs), options);
+    } else {
+      ref.sim = std::make_unique<Simulator>(
+          catalog_, ref.scheme.get(), ref.generators[0].get(), options);
+    }
+    ref.sim->ExternalBegin();
+    return ref;
+  }
+
+  /// Pre-draws each stream's share of the next `count` merged queries
+  /// (earliest arrival, ties to the lowest stream — the simulator rule).
+  static std::vector<std::vector<Query>> DrawPlans(
+      const ExperimentConfig& config, uint64_t count) {
+    const std::vector<ResolvedTemplate> resolved =
+        ResolveTemplates(*catalog_, *templates_).value();
+    std::vector<std::unique_ptr<WorkloadGenerator>> generators;
+    for (uint32_t t = 0; t < config.tenancy.tenants; ++t) {
+      generators.push_back(std::make_unique<WorkloadGenerator>(
+          catalog_, resolved,
+          TenantWorkloadOptions(config.workload, config.tenancy, t)));
+    }
+    std::vector<std::vector<Query>> plans(generators.size());
+    for (uint64_t i = 0; i < count; ++i) {
+      size_t head = 0;
+      for (size_t u = 1; u < generators.size(); ++u) {
+        if (generators[u]->PeekNextArrival() <
+            generators[head]->PeekNextArrival()) {
+          head = u;
+        }
+      }
+      plans[head].push_back(generators[head]->Next());
+    }
+    return plans;
+  }
+
+  static Catalog* catalog_;
+  static std::vector<QueryTemplate>* templates_;
+};
+
+Catalog* ServerIntegrationTest::catalog_ = nullptr;
+std::vector<QueryTemplate>* ServerIntegrationTest::templates_ = nullptr;
+
+/// A Hello exchange's reply: exactly one of ack/error is meaningful.
+struct HelloReply {
+  bool acked = false;
+  HelloAckMsg ack;
+  ErrorMsg error;
+};
+
+Status DoHello(Socket* conn, uint16_t port, uint32_t stream, uint64_t hash,
+               HelloReply* reply, uint32_t version = kProtocolVersion) {
+  Result<Socket> connected = ConnectTcp("127.0.0.1", port);
+  CLOUDCACHE_RETURN_IF_ERROR(connected.status());
+  *conn = std::move(connected).value();
+  HelloMsg hello;
+  hello.protocol_version = version;
+  hello.stream_id = stream;
+  hello.config_hash = hash;
+  persist::Encoder enc;
+  EncodeHello(hello, &enc);
+  CLOUDCACHE_RETURN_IF_ERROR(WriteFrame(*conn, enc));
+  std::vector<uint8_t> payload;
+  bool clean_eof = false;
+  CLOUDCACHE_RETURN_IF_ERROR(ReadFrame(*conn, &payload, &clean_eof));
+  if (clean_eof) return Status::IoError("closed during Hello");
+  persist::Decoder dec(payload.data(), payload.size());
+  MessageType type = MessageType::kHelloAck;
+  CLOUDCACHE_RETURN_IF_ERROR(PeekType(&dec, &type));
+  if (type == MessageType::kError) {
+    reply->acked = false;
+    return DecodeError(&dec, &reply->error);
+  }
+  if (type != MessageType::kHelloAck) {
+    return Status::Internal("unexpected Hello reply");
+  }
+  reply->acked = true;
+  return DecodeHelloAck(&dec, &reply->ack);
+}
+
+/// A Query exchange's reply: an outcome or a protocol error.
+struct QueryReply {
+  bool has_outcome = false;
+  OutcomeMsg outcome;
+  ErrorMsg error;
+};
+
+Status ExchangeQuery(const Socket& conn, const Query& query,
+                     QueryReply* reply) {
+  persist::Encoder enc;
+  EncodeQuery(query, &enc);
+  CLOUDCACHE_RETURN_IF_ERROR(WriteFrame(conn, enc));
+  std::vector<uint8_t> payload;
+  bool clean_eof = false;
+  CLOUDCACHE_RETURN_IF_ERROR(ReadFrame(conn, &payload, &clean_eof));
+  if (clean_eof) return Status::IoError("closed mid-stream");
+  persist::Decoder dec(payload.data(), payload.size());
+  MessageType type = MessageType::kOutcome;
+  CLOUDCACHE_RETURN_IF_ERROR(PeekType(&dec, &type));
+  if (type == MessageType::kError) {
+    reply->has_outcome = false;
+    return DecodeError(&dec, &reply->error);
+  }
+  if (type != MessageType::kOutcome) {
+    return Status::Internal("unexpected Query reply");
+  }
+  reply->has_outcome = true;
+  return DecodeOutcome(&dec, &reply->outcome);
+}
+
+TEST_F(ServerIntegrationTest, SocketOutcomesMatchExternalDriveReference) {
+  const uint64_t kQueries = 400;
+  const ExperimentConfig config = ActiveConfig(kQueries, /*tenants=*/1);
+  ServerOptions options;
+  options.port = 0;
+  CloudCachedServer server(catalog_, templates_, &config, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Reference ref = MakeReference(config);
+  WorkloadGenerator client_stream(
+      catalog_, ref.resolved,
+      TenantWorkloadOptions(config.workload, config.tenancy, 0));
+
+  Socket conn;
+  HelloReply hello;
+  ASSERT_TRUE(
+      DoHello(&conn, server.port(), 0, server.config_hash(), &hello).ok());
+  ASSERT_TRUE(hello.acked);
+  EXPECT_EQ(hello.ack.num_queries, kQueries);
+  EXPECT_EQ(hello.ack.next_query_id, 0u);
+
+  for (uint64_t i = 0; i < kQueries; ++i) {
+    const Query query = client_stream.Next();
+    QueryReply reply;
+    ASSERT_TRUE(ExchangeQuery(conn, query, &reply).ok()) << "query " << i;
+    ASSERT_TRUE(reply.has_outcome) << "query " << i << ": "
+                                   << reply.error.message;
+    const ServedQuery expected = ref.sim->ExternalServe(query);
+    EXPECT_EQ(reply.outcome.query_id, query.id);
+    EXPECT_EQ(reply.outcome.global_index, i);
+    EXPECT_EQ(reply.outcome.served, expected.served);
+    EXPECT_EQ(reply.outcome.access,
+              static_cast<uint8_t>(expected.spec.access));
+    EXPECT_EQ(reply.outcome.throttled, expected.throttled);
+    EXPECT_EQ(reply.outcome.response_seconds,
+              expected.execution.time_seconds);
+    EXPECT_EQ(reply.outcome.payment_micros, expected.payment.micros());
+    EXPECT_EQ(reply.outcome.profit_micros, expected.profit.micros());
+    EXPECT_EQ(reply.outcome.has_budget_case, expected.has_budget_case);
+    EXPECT_EQ(reply.outcome.investments, expected.investments);
+    EXPECT_EQ(reply.outcome.evictions, expected.evictions);
+  }
+
+  // The configured run is now complete: one more query is refused.
+  QueryReply over;
+  ASSERT_TRUE(ExchangeQuery(conn, client_stream.Next(), &over).ok());
+  ASSERT_FALSE(over.has_outcome);
+  EXPECT_EQ(over.error.code, ErrorCode::kRunComplete);
+
+  conn.Close();
+  server.RequestShutdown();
+  ASSERT_TRUE(server.Wait().ok());
+  EXPECT_EQ(server.processed(), kQueries);
+  ExpectBitIdenticalMetrics(ref.sim->external_metrics(), server.metrics());
+}
+
+TEST_F(ServerIntegrationTest, ConcurrentStreamsMatchSerialMergeReference) {
+  const uint64_t kQueries = 600;
+  const uint32_t kStreams = 3;
+  const ExperimentConfig config = ActiveConfig(kQueries, kStreams);
+  ServerOptions options;
+  options.port = 0;
+  CloudCachedServer server(catalog_, templates_, &config, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<std::vector<Query>> plans = DrawPlans(config, kQueries);
+
+  // Claim every stream, then race the three replays; the server's merge
+  // gate must serialize service into simulator order.
+  std::vector<Socket> conns(kStreams);
+  for (uint32_t t = 0; t < kStreams; ++t) {
+    HelloReply hello;
+    ASSERT_TRUE(DoHello(&conns[t], server.port(), t, server.config_hash(),
+                        &hello)
+                    .ok());
+    ASSERT_TRUE(hello.acked) << "stream " << t;
+  }
+  std::vector<std::string> failures(kStreams);
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < kStreams; ++t) {
+    threads.emplace_back([&conns, &plans, &failures, t] {
+      for (const Query& query : plans[t]) {
+        QueryReply reply;
+        const Status status = ExchangeQuery(conns[t], query, &reply);
+        if (!status.ok() || !reply.has_outcome) {
+          failures[t] = !status.ok() ? status.ToString()
+                                     : reply.error.message;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (uint32_t t = 0; t < kStreams; ++t) {
+    EXPECT_EQ(failures[t], "") << "stream " << t;
+  }
+  for (Socket& conn : conns) conn.Close();
+  server.RequestShutdown();
+  ASSERT_TRUE(server.Wait().ok());
+  EXPECT_EQ(server.processed(), kQueries);
+
+  // Serial reference: merge-drive the identical streams one by one.
+  Reference ref = MakeReference(config);
+  {
+    std::vector<size_t> cursor(kStreams, 0);
+    for (uint64_t i = 0; i < kQueries; ++i) {
+      size_t head = kStreams;
+      for (size_t u = 0; u < kStreams; ++u) {
+        if (cursor[u] >= plans[u].size()) continue;
+        if (head == kStreams ||
+            plans[u][cursor[u]].arrival_time <
+                plans[head][cursor[head]].arrival_time) {
+          head = u;
+        }
+      }
+      ASSERT_LT(head, kStreams);
+      ref.sim->ExternalServe(plans[head][cursor[head]]);
+      ++cursor[head];
+    }
+  }
+  ExpectBitIdenticalMetrics(ref.sim->external_metrics(), server.metrics());
+  ExpectBitIdenticalTenants(ref.sim->external_metrics(), server.metrics());
+}
+
+TEST_F(ServerIntegrationTest, ShutdownSnapshotResumesClassicDriver) {
+  const uint64_t kQueries = 1'000;
+  const uint64_t kServe = 500;
+  const uint32_t kStreams = 2;
+  ExperimentConfig config = ActiveConfig(kQueries, kStreams);
+  const std::string snapshot =
+      ::testing::TempDir() + "/cloudcached_shutdown.snap";
+
+  {
+    ServerOptions options;
+    options.port = 0;
+    options.snapshot_path = snapshot;
+    CloudCachedServer server(catalog_, templates_, &config, options);
+    ASSERT_TRUE(server.Start().ok());
+    const std::vector<std::vector<Query>> plans =
+        DrawPlans(config, kServe);
+    std::vector<Socket> conns(kStreams);
+    for (uint32_t t = 0; t < kStreams; ++t) {
+      HelloReply hello;
+      ASSERT_TRUE(DoHello(&conns[t], server.port(), t,
+                          server.config_hash(), &hello)
+                      .ok());
+      ASSERT_TRUE(hello.acked);
+    }
+    std::vector<std::thread> threads;
+    for (uint32_t t = 0; t < kStreams; ++t) {
+      threads.emplace_back([&conns, &plans, t] {
+        for (const Query& query : plans[t]) {
+          QueryReply reply;
+          if (!ExchangeQuery(conns[t], query, &reply).ok() ||
+              !reply.has_outcome) {
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_EQ(server.processed(), kServe);
+    server.RequestShutdown();
+    ASSERT_TRUE(server.Wait().ok());
+  }
+
+  // The drained snapshot resumes the classic driver, and the completed
+  // run is bit-identical to never having been interrupted.
+  const SimMetrics uninterrupted =
+      RunExperiment(*catalog_, *templates_, config);
+  config.sim.checkpoint.path = snapshot;
+  config.sim.checkpoint.restore = CheckpointOptions::Restore::kHard;
+  Result<SimMetrics> resumed =
+      RunExperimentChecked(*catalog_, *templates_, config);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectBitIdenticalMetrics(uninterrupted, *resumed);
+  ExpectBitIdenticalTenants(uninterrupted, *resumed);
+  std::remove(snapshot.c_str());
+}
+
+TEST_F(ServerIntegrationTest, HelloGateRejectsProtocolViolations) {
+  const ExperimentConfig config = ActiveConfig(100, /*tenants=*/1);
+  ServerOptions options;
+  options.port = 0;
+  CloudCachedServer server(catalog_, templates_, &config, options);
+  ASSERT_TRUE(server.Start().ok());
+  const uint64_t hash = server.config_hash();
+
+  {
+    Socket conn;
+    HelloReply reply;
+    ASSERT_TRUE(DoHello(&conn, server.port(), 0, hash, &reply,
+                        /*version=*/kProtocolVersion + 7)
+                    .ok());
+    ASSERT_FALSE(reply.acked);
+    EXPECT_EQ(reply.error.code, ErrorCode::kVersionMismatch);
+  }
+  {
+    Socket conn;
+    HelloReply reply;
+    ASSERT_TRUE(DoHello(&conn, server.port(), 0, hash ^ 1, &reply).ok());
+    ASSERT_FALSE(reply.acked);
+    EXPECT_EQ(reply.error.code, ErrorCode::kConfigMismatch);
+  }
+  {
+    Socket conn;
+    HelloReply reply;
+    ASSERT_TRUE(DoHello(&conn, server.port(), 5, hash, &reply).ok());
+    ASSERT_FALSE(reply.acked);
+    EXPECT_EQ(reply.error.code, ErrorCode::kStreamOutOfRange);
+  }
+  {
+    // First claim holds; a second claim of the same stream is refused,
+    // and after the first connection closes the stream is retired — not
+    // reclaimable (the merge moved on without it).
+    Socket first;
+    HelloReply reply;
+    ASSERT_TRUE(DoHello(&first, server.port(), 0, hash, &reply).ok());
+    ASSERT_TRUE(reply.acked);
+    Socket second;
+    HelloReply dup;
+    ASSERT_TRUE(DoHello(&second, server.port(), 0, hash, &dup).ok());
+    ASSERT_FALSE(dup.acked);
+    EXPECT_EQ(dup.error.code, ErrorCode::kStreamClaimed);
+    first.Close();
+    // Wait for the server to observe the close and retire the stream;
+    // until its handler finishes cleanup the reply is kStreamClaimed.
+    bool retired = false;
+    for (int i = 0; i < 100 && !retired; ++i) {
+      Socket retry;
+      HelloReply again;
+      ASSERT_TRUE(DoHello(&retry, server.port(), 0, hash, &again).ok());
+      ASSERT_FALSE(again.acked) << "a closed stream was reclaimed";
+      if (again.error.code == ErrorCode::kNotAllowed) {
+        retired = true;
+      } else {
+        ASSERT_EQ(again.error.code, ErrorCode::kStreamClaimed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    EXPECT_TRUE(retired) << "stream 0 never retired after close";
+  }
+  server.RequestShutdown();
+  EXPECT_TRUE(server.Wait().ok());
+}
+
+TEST_F(ServerIntegrationTest, DivergedStreamTaintsRunAndRefusesSnapshot) {
+  const ExperimentConfig config = ActiveConfig(100, /*tenants=*/1);
+  ServerOptions options;
+  options.port = 0;
+  options.snapshot_path =
+      ::testing::TempDir() + "/cloudcached_tainted.snap";
+  CloudCachedServer server(catalog_, templates_, &config, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Reference ref = MakeReference(config);
+  WorkloadGenerator client_stream(
+      catalog_, ref.resolved,
+      TenantWorkloadOptions(config.workload, config.tenancy, 0));
+
+  Socket conn;
+  HelloReply hello;
+  ASSERT_TRUE(
+      DoHello(&conn, server.port(), 0, server.config_hash(), &hello).ok());
+  ASSERT_TRUE(hello.acked);
+
+  Query tampered = client_stream.Next();
+  tampered.id += 1'000'000;  // Not the twin's next query.
+  QueryReply reply;
+  ASSERT_TRUE(ExchangeQuery(conn, tampered, &reply).ok());
+  ASSERT_FALSE(reply.has_outcome);
+  EXPECT_EQ(reply.error.code, ErrorCode::kStreamDiverged);
+
+  server.RequestShutdown();
+  const Status drained = server.Wait();
+  EXPECT_FALSE(drained.ok());
+  EXPECT_EQ(drained.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServerIntegrationTest, ControlConnectionServesStatsAndShutdown) {
+  const ExperimentConfig config = ActiveConfig(100, /*tenants=*/1);
+  ServerOptions options;
+  options.port = 0;
+  CloudCachedServer server(catalog_, templates_, &config, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Socket conn;
+  HelloReply hello;
+  ASSERT_TRUE(DoHello(&conn, server.port(), kControlStream,
+                      server.config_hash(), &hello)
+                  .ok());
+  ASSERT_TRUE(hello.acked);
+  EXPECT_EQ(hello.ack.stream_id, kControlStream);
+
+  persist::Encoder enc;
+  EncodeStats(&enc);
+  ASSERT_TRUE(WriteFrame(conn, enc).ok());
+  std::vector<uint8_t> payload;
+  bool clean_eof = false;
+  ASSERT_TRUE(ReadFrame(conn, &payload, &clean_eof).ok());
+  ASSERT_FALSE(clean_eof);
+  {
+    persist::Decoder dec(payload.data(), payload.size());
+    MessageType type = MessageType::kStatsAck;
+    ASSERT_TRUE(PeekType(&dec, &type).ok());
+    ASSERT_EQ(type, MessageType::kStatsAck);
+    StatsAckMsg stats;
+    ASSERT_TRUE(DecodeStatsAck(&dec, &stats).ok());
+    EXPECT_EQ(stats.processed, 0u);
+    EXPECT_EQ(stats.num_queries, 100u);
+    EXPECT_EQ(stats.active_streams, 0u);
+  }
+
+  enc.Clear();
+  EncodeShutdown(&enc);
+  ASSERT_TRUE(WriteFrame(conn, enc).ok());
+  ASSERT_TRUE(ReadFrame(conn, &payload, &clean_eof).ok());
+  ASSERT_FALSE(clean_eof);
+  {
+    persist::Decoder dec(payload.data(), payload.size());
+    MessageType type = MessageType::kShutdownAck;
+    ASSERT_TRUE(PeekType(&dec, &type).ok());
+    EXPECT_EQ(type, MessageType::kShutdownAck);
+    ASSERT_TRUE(DecodeShutdownAck(&dec).ok());
+  }
+  EXPECT_TRUE(server.ShutdownRequested());
+  EXPECT_TRUE(server.Wait().ok());
+}
+
+}  // namespace
+}  // namespace cloudcache::server

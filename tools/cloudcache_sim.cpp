@@ -5,6 +5,9 @@
 // four inter-arrival times) fanned out over a thread pool; the building
 // block for scripted parameter studies beyond the canned bench binaries.
 //
+// Exit codes: 0 = success; 1 = run or restore error; 2 = flag errors;
+// 3 = deliberate crash injection (--crash-after fired; snapshot on disk).
+//
 // Examples:
 //   cloudcache_sim --scheme=econ-cheap --queries=100000 --interarrival=10
 //   cloudcache_sim --scheme=bypass --scale-tb=1.0 --arrival=poisson
@@ -14,8 +17,6 @@
 //   cloudcache_sim --nodes=2 --elastic=on          (elastic cache cluster)
 //   cloudcache_sim --trace-out=stream.csv --queries=50000   (record only)
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,45 +24,23 @@
 #include <string>
 #include <vector>
 
-#include "src/catalog/sdss.h"
-#include "src/catalog/tpch.h"
 #include "src/sim/experiment.h"
 #include "src/sim/report.h"
 #include "src/sim/sweep.h"
 #include "src/util/logging.h"
 #include "src/util/status.h"
-#include "src/util/units.h"
 #include "src/workload/trace.h"
+#include "tools/experiment_flags.h"
 
 namespace {
 
 using namespace cloudcache;
+using tools::ExperimentFlags;
+using tools::FlagParse;
+using tools::FlagValue;
 
 struct Args {
-  std::string scheme = "econ-cheap";
-  std::string catalog = "tpch";
-  double scale_tb = 2.5;
-  uint64_t queries = 50'000;
-  double interarrival = 10.0;
-  std::string arrival = "fixed";
-  double skew = 1.0;
-  double repeat = 0.3;
-  uint64_t seed = 17;
-  double regret_a = 0.02;
-  int64_t horizon = 50'000;
-  double initial_credit = 200.0;
-  bool build_latency = false;
-  bool plan_cache = true;
-  uint32_t tenants = 1;      // Concurrent query streams.
-  double tenant_skew = 0.0;  // Zipf skew of per-tenant traffic shares.
-  bool fair_eviction = false;  // Tenant-aware eviction weighting.
-  bool admission = false;      // Per-tenant admission control.
-  double admission_ratio = 2.0;  // Unmonetized-regret / revenue throttle.
-  std::vector<TenantBudgetShape> tenant_budgets;  // --tenant-budget=t:p[:t].
-  uint32_t nodes = 1;            // Cluster cache nodes.
-  bool elastic = false;          // Economic scale-out/in.
-  double node_rent_multiplier = 1.0;  // Rented-node rent scale.
-  uint32_t max_nodes = 4;        // Elasticity ceiling.
+  ExperimentFlags exp;    // The shared experiment surface.
   bool sweep = false;     // Run the full scheme x interarrival grid.
   unsigned threads = 0;   // Sweep workers; 0 = hardware concurrency.
   std::string csv;        // Credit/cost timeline CSV.
@@ -70,41 +49,13 @@ struct Args {
   std::string checkpoint_path;    // Snapshot file.
   std::string restore;            // "", "auto", or "hard".
   uint64_t crash_after = 0;       // Crash-injection point (0 = off).
-  // Whether single-run-only flags were given (to warn under --sweep).
-  bool scheme_set = false;
-  bool interarrival_set = false;
 };
 
 void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [flags]\n"
-      "  --scheme=bypass|econ-col|econ-cheap|econ-fast   (econ-cheap)\n"
-      "  --catalog=tpch|sdss                             (tpch)\n"
-      "  --scale-tb=X          TPC-H backend size        (2.5)\n"
-      "  --queries=N                                     (50000)\n"
-      "  --interarrival=SECS                             (10)\n"
-      "  --arrival=fixed|poisson                         (fixed)\n"
-      "  --skew=X              template popularity skew  (1.0)\n"
-      "  --repeat=P            burst probability         (0.3)\n"
-      "  --seed=N                                        (17)\n"
-      "  --regret-a=X          a of Eq. 3                (0.02)\n"
-      "  --horizon=N           n of Eq. 7                (50000)\n"
-      "  --credit=DOLLARS      seed credit               (200)\n"
-      "  --build-latency       model structure build latency\n"
-      "  --no-plan-cache       disable the plan-skeleton cache (A/B perf)\n"
-      "  --tenants=N           concurrent query streams sharing the cache\n"
-      "                        (1; >1 merges streams event-driven)\n"
-      "  --tenant-skew=X       Zipf skew of per-tenant traffic shares (0)\n"
-      "  --fair-eviction       weigh eviction by tenant regret attribution\n"
-      "  --admission           throttle tenants with unmonetizable regret\n"
-      "  --admission-ratio=X   unmonetized-regret/revenue throttle point (2)\n"
-      "  --tenant-budget=T:P[:M]  scale tenant T's budget price multiplier\n"
-      "                        by P (and t_max by M); repeatable\n"
-      "  --nodes=N             cluster cache nodes (1 = classic single node)\n"
-      "  --elastic=on|off      economic node scale-out/in (off)\n"
-      "  --node-rent-multiplier=X  rented-node rent vs reservation rate (1)\n"
-      "  --max-nodes=N         elasticity ceiling (4)\n"
+      "%s"
       "  --sweep               run all 4 schemes x 4 paper intervals\n"
       "  --threads=N           sweep worker threads (0 = all cores); with\n"
       "                        --checkpoint-path, intra-run workers for\n"
@@ -118,108 +69,29 @@ void Usage(const char* argv0) {
       "                        snapshot, =auto falls back to a fresh run\n"
       "  --crash-after=K       crash injection: abort without finalizing\n"
       "                        after K queries (exit 3; restore resumes)\n",
-      argv0);
-}
-
-bool Flag(const char* arg, const char* name, std::string* value) {
-  const size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-    *value = arg + len + 1;
-    return true;
-  }
-  return false;
+      argv0, tools::ExperimentFlagsUsage());
 }
 
 std::optional<Args> Parse(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
+    const FlagParse shared = tools::ParseExperimentFlag(argv[i], &args.exp);
+    if (shared == FlagParse::kConsumed) continue;
+    if (shared == FlagParse::kError) return std::nullopt;
     std::string v;
-    if (Flag(argv[i], "--scheme", &v)) { args.scheme = v; args.scheme_set = true; }
-    else if (Flag(argv[i], "--catalog", &v)) args.catalog = v;
-    else if (Flag(argv[i], "--scale-tb", &v)) args.scale_tb = std::stod(v);
-    else if (Flag(argv[i], "--queries", &v)) args.queries = std::stoull(v);
-    else if (Flag(argv[i], "--interarrival", &v)) { args.interarrival = std::stod(v); args.interarrival_set = true; }
-    else if (Flag(argv[i], "--arrival", &v)) args.arrival = v;
-    else if (Flag(argv[i], "--skew", &v)) args.skew = std::stod(v);
-    else if (Flag(argv[i], "--repeat", &v)) args.repeat = std::stod(v);
-    else if (Flag(argv[i], "--seed", &v)) args.seed = std::stoull(v);
-    else if (Flag(argv[i], "--regret-a", &v)) args.regret_a = std::stod(v);
-    else if (Flag(argv[i], "--horizon", &v)) args.horizon = std::stoll(v);
-    else if (Flag(argv[i], "--credit", &v)) args.initial_credit = std::stod(v);
-    else if (std::strcmp(argv[i], "--build-latency") == 0) args.build_latency = true;
-    else if (std::strcmp(argv[i], "--no-plan-cache") == 0) args.plan_cache = false;
-    else if (Flag(argv[i], "--tenants", &v))
-      args.tenants =
-          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
-    else if (Flag(argv[i], "--tenant-skew", &v)) args.tenant_skew = std::stod(v);
-    else if (std::strcmp(argv[i], "--fair-eviction") == 0)
-      args.fair_eviction = true;
-    else if (std::strcmp(argv[i], "--admission") == 0) args.admission = true;
-    else if (Flag(argv[i], "--admission-ratio", &v))
-      args.admission_ratio = std::stod(v);
-    else if (Flag(argv[i], "--tenant-budget", &v)) {
-      // T:P[:M] — tenant index, price-multiplier scale, optional tmax
-      // scale. Every field is validated: a stray non-numeric tenant must
-      // not silently squeeze tenant 0.
-      const auto reject = [] {
-        std::fprintf(stderr,
-                     "--tenant-budget wants <tenant>:<price>[:<tmax>] "
-                     "(numeric fields)\n");
-        return std::nullopt;
-      };
-      TenantBudgetShape shape;
-      const size_t first = v.find(':');
-      if (first == std::string::npos || first == 0) return reject();
-      const std::string tenant_field = v.substr(0, first);
-      char* end = nullptr;
-      const unsigned long tenant =
-          std::strtoul(tenant_field.c_str(), &end, 10);
-      if (end == nullptr || *end != '\0') return reject();
-      shape.tenant = static_cast<uint32_t>(tenant);
-      const size_t second = v.find(':', first + 1);
-      const std::string price_field =
-          v.substr(first + 1, second == std::string::npos
-                                  ? std::string::npos
-                                  : second - first - 1);
-      if (price_field.empty()) return reject();
-      shape.price_scale = std::strtod(price_field.c_str(), &end);
-      if (end == nullptr || *end != '\0') return reject();
-      if (second != std::string::npos) {
-        const std::string tmax_field = v.substr(second + 1);
-        if (tmax_field.empty()) return reject();
-        shape.tmax_scale = std::strtod(tmax_field.c_str(), &end);
-        if (end == nullptr || *end != '\0') return reject();
-      }
-      args.tenant_budgets.push_back(shape);
-    }
-    else if (Flag(argv[i], "--nodes", &v))
-      args.nodes =
-          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
-    else if (Flag(argv[i], "--elastic", &v)) {
-      if (v == "on") args.elastic = true;
-      else if (v == "off") args.elastic = false;
-      else {
-        std::fprintf(stderr, "--elastic wants on|off\n");
-        return std::nullopt;
-      }
-    }
-    else if (Flag(argv[i], "--node-rent-multiplier", &v))
-      args.node_rent_multiplier = std::stod(v);
-    else if (Flag(argv[i], "--max-nodes", &v))
-      args.max_nodes =
-          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
-    else if (std::strcmp(argv[i], "--sweep") == 0) args.sweep = true;
-    else if (Flag(argv[i], "--threads", &v))
+    if (std::strcmp(argv[i], "--sweep") == 0) args.sweep = true;
+    else if (FlagValue(argv[i], "--threads", &v))
       args.threads =
           static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
-    else if (Flag(argv[i], "--csv", &v)) args.csv = v;
-    else if (Flag(argv[i], "--trace-out", &v)) args.trace_out = v;
-    else if (Flag(argv[i], "--checkpoint-every", &v))
+    else if (FlagValue(argv[i], "--csv", &v)) args.csv = v;
+    else if (FlagValue(argv[i], "--trace-out", &v)) args.trace_out = v;
+    else if (FlagValue(argv[i], "--checkpoint-every", &v))
       args.checkpoint_every = std::stoull(v);
-    else if (Flag(argv[i], "--checkpoint-path", &v)) args.checkpoint_path = v;
+    else if (FlagValue(argv[i], "--checkpoint-path", &v))
+      args.checkpoint_path = v;
     else if (std::strcmp(argv[i], "--restore") == 0) args.restore = "hard";
-    else if (Flag(argv[i], "--restore", &v)) args.restore = v;
-    else if (Flag(argv[i], "--crash-after", &v))
+    else if (FlagValue(argv[i], "--restore", &v)) args.restore = v;
+    else if (FlagValue(argv[i], "--crash-after", &v))
       args.crash_after = std::stoull(v);
     else {
       Usage(argv[0]);
@@ -234,31 +106,7 @@ std::optional<Args> Parse(int argc, char** argv) {
 /// config-mismatch at restore time surfaces later as kFailedPrecondition
 /// from the snapshot's config hash).
 Status ValidateArgs(const Args& args) {
-  if (args.tenants == 0) {
-    return Status::InvalidArgument("--tenants must be >= 1");
-  }
-  if (args.admission_ratio <= 0) {
-    return Status::InvalidArgument("--admission-ratio must be > 0");
-  }
-  for (const TenantBudgetShape& shape : args.tenant_budgets) {
-    if (shape.tenant >= args.tenants) {
-      return Status::InvalidArgument(
-          "--tenant-budget tenant " + std::to_string(shape.tenant) +
-          " out of range (tenants=" + std::to_string(args.tenants) + ")");
-    }
-    // The negated comparison rejects NaN too (NaN > 0 is false).
-    if (!(shape.price_scale > 0) || !std::isfinite(shape.price_scale) ||
-        !(shape.tmax_scale > 0) || !std::isfinite(shape.tmax_scale)) {
-      return Status::InvalidArgument(
-          "--tenant-budget scales must be finite and > 0");
-    }
-  }
-  if (args.nodes == 0) {
-    return Status::InvalidArgument("--nodes must be >= 1");
-  }
-  if (args.node_rent_multiplier <= 0) {
-    return Status::InvalidArgument("--node-rent-multiplier must be > 0");
-  }
+  CLOUDCACHE_RETURN_IF_ERROR(tools::ValidateExperimentFlags(args.exp));
   if (!args.restore.empty() && args.restore != "auto" &&
       args.restore != "hard") {
     return Status::InvalidArgument(
@@ -282,11 +130,11 @@ Status ValidateArgs(const Args& args) {
         "--trace-out records the workload without simulating, so there is "
         "no economy state to checkpoint or restore");
   }
-  if (args.crash_after > 0 && args.crash_after >= args.queries) {
+  if (args.crash_after > 0 && args.crash_after >= args.exp.queries) {
     return Status::InvalidArgument(
         "--crash-after=" + std::to_string(args.crash_after) +
         " never fires: the run finalizes at --queries=" +
-        std::to_string(args.queries) +
+        std::to_string(args.exp.queries) +
         " (crash injection stops strictly before the final query)");
   }
   return Status::OK();
@@ -306,49 +154,20 @@ int main(int argc, char** argv) {
 
   Catalog catalog;
   std::vector<QueryTemplate> templates;
-  if (args.catalog == "tpch") {
-    catalog = MakeTpchCatalog(TpchScaleForBytes(
-        static_cast<uint64_t>(args.scale_tb * static_cast<double>(kTB))));
-    templates = MakeTpchTemplates();
-  } else if (args.catalog == "sdss") {
-    catalog = MakeSdssCatalog();
-    templates = MakeSdssTemplates();
-  } else {
-    std::fprintf(stderr, "unknown catalog '%s'\n", args.catalog.c_str());
+  const Status made =
+      tools::MakeExperimentCatalog(args.exp, &catalog, &templates);
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.ToString().c_str());
     return 2;
   }
 
-  ExperimentConfig config;
-  config.workload.interarrival_seconds = args.interarrival;
-  config.workload.popularity_skew = args.skew;
-  config.workload.repeat_probability = args.repeat;
-  config.workload.seed = args.seed;
-  config.workload.arrival = args.arrival == "poisson"
-                                ? WorkloadOptions::Arrival::kPoisson
-                                : WorkloadOptions::Arrival::kFixed;
-  config.sim.num_queries = args.queries;
-  config.tenancy.tenants = args.tenants;
-  config.tenancy.traffic_skew = args.tenant_skew;
-  config.tenancy.fair_eviction = args.fair_eviction;
-  config.tenancy.admission = args.admission;
-  if ((args.fair_eviction || args.admission) && args.tenants < 2) {
-    std::fprintf(stderr,
-                 "note: --fair-eviction/--admission read tenant regret "
-                 "attribution; with --tenants=1 they have no effect\n");
+  Result<ExperimentConfig> built =
+      tools::MakeExperimentFlagsConfig(args.exp);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 2;
   }
-  if (!args.tenant_budgets.empty() && args.tenants < 2) {
-    std::fprintf(stderr,
-                 "note: --tenant-budget applies on the multi-tenant path; "
-                 "with --tenants=1 it has no effect\n");
-  }
-  config.tenancy.tenant_budgets = args.tenant_budgets;
-  config.cluster.nodes = args.nodes;
-  config.cluster.elastic = args.elastic;
-  config.cluster.node_rent_multiplier = args.node_rent_multiplier;
-  config.cluster.elasticity.max_nodes =
-      std::max(args.max_nodes, args.nodes);
-  // One amortization horizon prices structure builds and node rent alike.
-  config.cluster.elasticity.amortization_horizon = args.horizon;
+  ExperimentConfig config = std::move(built).value();
 
   if (!args.trace_out.empty()) {
     Result<std::vector<ResolvedTemplate>> resolved =
@@ -359,8 +178,8 @@ int main(int argc, char** argv) {
     }
     WorkloadGenerator generator(&catalog, *resolved, config.workload);
     std::vector<Query> trace;
-    trace.reserve(args.queries);
-    for (uint64_t i = 0; i < args.queries; ++i) {
+    trace.reserve(args.exp.queries);
+    for (uint64_t i = 0; i < args.exp.queries; ++i) {
       trace.push_back(generator.Next());
     }
     const Status status = TraceWriter::Write(args.trace_out, trace);
@@ -373,19 +192,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  config.customize_econ = [&args](EconScheme::Config& econ) {
-    econ.economy.regret_fraction_a = args.regret_a;
-    econ.economy.amortization_horizon = args.horizon;
-    econ.economy.initial_credit = Money::FromDollars(args.initial_credit);
-    econ.economy.model_build_latency = args.build_latency;
-    econ.economy.admission.throttle_ratio = args.admission_ratio;
-    econ.economy.admission.readmit_ratio = args.admission_ratio / 2;
-    econ.enumerator.enable_plan_cache = args.plan_cache;
-  };
-
   if (args.sweep) {
     // The whole paper grid (Figs. 4-5) through the parallel sweep engine.
-    if (args.scheme_set || args.interarrival_set) {
+    if (args.exp.scheme_set || args.exp.interarrival_set) {
       std::fprintf(stderr,
                    "note: --sweep runs all 4 schemes x 4 paper intervals; "
                    "--scheme/--interarrival are ignored\n");
@@ -397,7 +206,7 @@ int main(int argc, char** argv) {
     }
     SweepSpec spec;  // Defaults: paper schemes x paper interarrivals.
     spec.seed_policy = SweepSpec::SeedPolicy::kFixed;
-    spec.base_seed = args.seed;
+    spec.base_seed = args.exp.seed;
     spec.base = config;
     const std::vector<std::vector<SimMetrics>> rows =
         GroupRowsByInterarrival(
@@ -413,19 +222,6 @@ int main(int argc, char** argv) {
         MakeResponseTimeTable(spec.interarrivals, rows).ToAscii().c_str(),
         stdout);
     return 0;
-  }
-
-  if (args.scheme == "bypass") {
-    config.scheme = SchemeKind::kBypassYield;
-  } else if (args.scheme == "econ-col") {
-    config.scheme = SchemeKind::kEconCol;
-  } else if (args.scheme == "econ-cheap") {
-    config.scheme = SchemeKind::kEconCheap;
-  } else if (args.scheme == "econ-fast") {
-    config.scheme = SchemeKind::kEconFast;
-  } else {
-    std::fprintf(stderr, "unknown scheme '%s'\n", args.scheme.c_str());
-    return 2;
   }
 
   SimMetrics metrics;
@@ -454,9 +250,9 @@ int main(int argc, char** argv) {
     // One cell of the sweep engine: same code path as the grid runs.
     SweepSpec spec;
     spec.schemes = {config.scheme};
-    spec.interarrivals = {args.interarrival};
+    spec.interarrivals = {args.exp.interarrival};
     spec.seed_policy = SweepSpec::SeedPolicy::kFixed;
-    spec.base_seed = args.seed;
+    spec.base_seed = args.exp.seed;
     spec.base = config;
     std::vector<SweepResult> results =
         RunSweep(catalog, templates, spec, /*n_threads=*/1);
@@ -465,15 +261,15 @@ int main(int argc, char** argv) {
   std::fputs(FormatRunDetail(metrics).c_str(), stdout);
   if (metrics.tenants.size() > 1) {
     std::printf("\nPer-tenant breakdown (%zu tenants, traffic skew %g%s%s)\n",
-                metrics.tenants.size(), args.tenant_skew,
-                args.fair_eviction ? ", fair-eviction" : "",
-                args.admission ? ", admission" : "");
+                metrics.tenants.size(), args.exp.tenant_skew,
+                args.exp.fair_eviction ? ", fair-eviction" : "",
+                args.exp.admission ? ", admission" : "");
     std::fputs(MakeTenantTable(metrics).ToAscii().c_str(), stdout);
     std::fputs(FormatFairness(metrics).c_str(), stdout);
   }
   if (metrics.cluster.active) {
     std::printf("\nPer-node breakdown (%s)\n",
-                args.elastic ? "elastic" : "fixed fleet");
+                args.exp.elastic ? "elastic" : "fixed fleet");
     std::fputs(MakeNodeTable(metrics).ToAscii().c_str(), stdout);
     std::fputs(FormatCluster(metrics).c_str(), stdout);
   }
