@@ -31,15 +31,16 @@ int main(int argc, char** argv) {
   EmitTable(MakeResponseTimeTable(intervals, rows), options);
 
   std::puts("");
-  std::puts("Latency detail (p50 / p95) at each interval:");
+  std::puts("Latency detail (p50 / p95 / p99) at each interval:");
   for (size_t i = 0; i < intervals.size(); ++i) {
     std::printf("-- interarrival %.0fs --\n", intervals[i]);
     for (const SimMetrics& m : rows[i]) {
       std::printf(
-          "  %-10s mean %7.3fs  p50 %7.3fs  p95 %7.3fs  cache-hits %llu "
-          "invest %llu evict %llu\n",
+          "  %-10s mean %7.3fs  p50 %7.3fs  p95 %7.3fs  p99 %7.3fs  "
+          "cache-hits %llu invest %llu evict %llu\n",
           m.scheme_name.c_str(), m.MeanResponse(),
-          m.response_sketch.Quantile(0.5), m.response_sketch.Quantile(0.95),
+          m.response_hist.Quantile(0.5), m.response_hist.Quantile(0.95),
+          m.response_hist.Quantile(0.99),
           static_cast<unsigned long long>(m.served_in_cache),
           static_cast<unsigned long long>(m.investments),
           static_cast<unsigned long long>(m.evictions));

@@ -95,6 +95,9 @@ struct CellResult {
   double qps = 0;
   double operating_cost_dollars = 0;
   double cache_hit_rate = 0;
+  double response_p50 = 0;
+  double response_p95 = 0;
+  double response_p99 = 0;
 };
 
 }  // namespace
@@ -147,6 +150,9 @@ int main(int argc, char** argv) {
                      : 0;
       cell.operating_cost_dollars = metrics.operating_cost.Total();
       cell.cache_hit_rate = metrics.CacheHitRate();
+      cell.response_p50 = metrics.response_hist.Quantile(0.5);
+      cell.response_p95 = metrics.response_hist.Quantile(0.95);
+      cell.response_p99 = metrics.response_hist.Quantile(0.99);
       cells.push_back(cell);
       std::fprintf(stderr, "  [done] %-10s @ %4.0fs  %9.0f q/s\n",
                    SchemeKindToString(scheme), interval, cell.qps);
@@ -196,11 +202,15 @@ int main(int argc, char** argv) {
                  "    {\"scheme\": \"%s\", \"interarrival_s\": %.1f, "
                  "\"queries\": %llu, \"wall_seconds\": %.6f, "
                  "\"qps\": %.1f, \"operating_cost_dollars\": %.6f, "
-                 "\"cache_hit_rate\": %.6f}%s\n",
+                 "\"cache_hit_rate\": %.6f, "
+                 "\"response_p50_seconds\": %.6f, "
+                 "\"response_p95_seconds\": %.6f, "
+                 "\"response_p99_seconds\": %.6f}%s\n",
                  SchemeKindToString(cell.scheme), cell.interarrival_seconds,
                  static_cast<unsigned long long>(cell.queries),
                  cell.wall_seconds, cell.qps, cell.operating_cost_dollars,
-                 cell.cache_hit_rate, i + 1 < cells.size() ? "," : "");
+                 cell.cache_hit_rate, cell.response_p50, cell.response_p95,
+                 cell.response_p99, i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(json,
                "  ],\n"

@@ -202,6 +202,17 @@ class Scheme {
   // and the simulator refuses to checkpoint a scheme that does not
   // support it rather than writing an empty section.
 
+  /// Attaches a structured economic event tracer (nullptr detaches);
+  /// `node_ordinal` stamps the records. Observability-only — attaching a
+  /// tracer must never change a decision. The default ignores it (schemes
+  /// without an economy emit no economic events); a cluster forwards to
+  /// every node it operates, present and future.
+  virtual void SetEventTracer(obs::EventTracer* tracer,
+                              uint32_t node_ordinal) {
+    (void)tracer;
+    (void)node_ordinal;
+  }
+
   /// Whether SaveState/RestoreState round-trip this scheme's full state.
   virtual bool SupportsCheckpoint() const { return false; }
   /// Serializes the scheme's complete run state (registry interning
@@ -277,6 +288,10 @@ class EconScheme : public Scheme {
   }
   void AbsorbCredit(Money amount, SimTime now) override {
     engine_->mutable_account().DepositRevenue(amount, now);
+  }
+  void SetEventTracer(obs::EventTracer* tracer,
+                      uint32_t node_ordinal) override {
+    engine_->SetEventTracer(tracer, node_ordinal);
   }
   bool SupportsCheckpoint() const override { return true; }
   void SaveState(persist::Encoder* enc) const override;

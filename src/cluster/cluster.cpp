@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 
 namespace cloudcache {
@@ -9,7 +10,8 @@ namespace cloudcache {
 ClusterScheme::ClusterScheme(const Catalog* catalog,
                              const PriceList* decision_prices,
                              ClusterOptions options, NodeFactory factory)
-    : decision_prices_(decision_prices),
+    : catalog_(catalog),
+      decision_prices_(decision_prices),
       options_(options),
       factory_(std::move(factory)),
       router_(catalog),
@@ -64,6 +66,8 @@ ServedQuery ClusterScheme::OnQuery(const Query& query, SimTime now) {
     saw_query_ = true;
   }
   last_arrival_ = query.arrival_time;
+  trace_query_ = query.id;
+  trace_tenant_ = query.tenant_id;
 
   const size_t n = RouteQuery(query);
   last_served_ = n;
@@ -142,16 +146,32 @@ ClusterScheme::WindowEnd ClusterScheme::MaybeScale(SimTime now) {
   return end;
 }
 
+void ClusterScheme::SetEventTracer(obs::EventTracer* tracer,
+                                   uint32_t node_ordinal) {
+  (void)node_ordinal;
+  tracer_ = tracer;
+  for (Node& node : nodes_) {
+    node.scheme->SetEventTracer(tracer, node.ordinal);
+  }
+}
+
 void ClusterScheme::RentNode(SimTime now) {
   Node node;
   node.ordinal = next_ordinal_++;
   node.scheme = factory_(node.ordinal);
   CLOUDCACHE_CHECK(node.scheme != nullptr);
   node.rented_at = now;
+  node.scheme->SetEventTracer(tracer_, node.ordinal);
   nodes_.push_back(std::move(node));
   ++scale_out_events_;
   if (nodes_.size() > peak_nodes_) {
     peak_nodes_ = static_cast<uint32_t>(nodes_.size());
+  }
+  if (tracer_ != nullptr) {
+    tracer_
+        ->Event("node_rent", trace_query_, now, trace_tenant_,
+                next_ordinal_ - 1)
+        .U64("fleet_size", nodes_.size());
   }
 }
 
@@ -170,6 +190,10 @@ size_t ClusterScheme::ReleaseNode(size_t index, SimTime now) {
   const size_t destination = WarmestSurvivor(index);
   Scheme& victim = *nodes_[index].scheme;
   Scheme& heir = *nodes_[destination].scheme;
+  const uint32_t victim_ordinal = nodes_[index].ordinal;
+  const uint32_t heir_ordinal = nodes_[destination].ordinal;
+  const uint64_t migrations_before = migrations_;
+  const uint64_t failures_before = migration_failures_;
 
   // Migrate survivors: structures a recent plan actually used. Cold
   // inventory — exactly what made the node releasable — is dropped with
@@ -188,10 +212,19 @@ size_t ClusterScheme::ReleaseNode(size_t index, SimTime now) {
       if (cache.LastUsed(id) + options_.migration_recency_seconds < now) {
         return;
       }
-      if (heir.AdoptStructure(key, now).ok()) {
+      const bool adopted = heir.AdoptStructure(key, now).ok();
+      if (adopted) {
         ++migrations_;
       } else {
         ++migration_failures_;
+      }
+      if (tracer_ != nullptr) {
+        tracer_
+            ->Event("migrate", trace_query_, now, trace_tenant_,
+                    victim_ordinal)
+            .Str("key", key.ToString(*catalog_))
+            .U64("to_node", heir_ordinal)
+            .U64("adopted", adopted ? 1 : 0);
       }
     });
   }
@@ -201,6 +234,16 @@ size_t ClusterScheme::ReleaseNode(size_t index, SimTime now) {
   // while in deficit — is absorbed too).
   const Money remaining = victim.credit();
   if (!remaining.IsZero()) heir.AbsorbCredit(remaining, now);
+
+  if (tracer_ != nullptr) {
+    tracer_
+        ->Event("node_release", trace_query_, now, trace_tenant_,
+                victim_ordinal)
+        .U64("heir_node", heir_ordinal)
+        .U64("migrations", migrations_ - migrations_before)
+        .U64("migration_failures", migration_failures_ - failures_before)
+        .F64("credit_absorbed_dollars", remaining.ToDollars());
+  }
 
   nodes_.erase(nodes_.begin() + static_cast<std::ptrdiff_t>(index));
   ++scale_in_events_;
@@ -346,6 +389,11 @@ Status ClusterScheme::RestoreState(persist::Decoder* dec) {
     restored.push_back(std::move(node));
   }
   nodes_ = std::move(restored);
+  // Factory-rebuilt nodes start without the tracer; re-attach it so a
+  // restored run traces exactly like an uninterrupted one.
+  for (Node& node : nodes_) {
+    node.scheme->SetEventTracer(tracer_, node.ordinal);
+  }
   CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&next_ordinal_));
   for (const Node& node : nodes_) {
     if (node.ordinal >= next_ordinal_) {

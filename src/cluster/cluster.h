@@ -94,6 +94,13 @@ class ClusterScheme : public Scheme {
   Money StandingRegret() const override;
   void DescribeCluster(ClusterMetrics* out) const override;
 
+  /// Forwards the tracer to every node, each stamped with its own
+  /// ordinal (the `node_ordinal` argument is ignored — a cluster's nodes
+  /// are not interchangeable); nodes rented later inherit it. The cluster
+  /// itself emits node_rent / node_release / migrate elasticity events.
+  void SetEventTracer(obs::EventTracer* tracer,
+                      uint32_t node_ordinal) override;
+
   size_t num_nodes() const { return nodes_.size(); }
   const Scheme& node(size_t index) const { return *nodes_[index].scheme; }
   /// Mutable node access for tests and warm-start setups (pre-seeding a
@@ -170,6 +177,7 @@ class ClusterScheme : public Scheme {
   /// lifetime traffic — the migration destination.
   size_t WarmestSurvivor(size_t releasing) const;
 
+  const Catalog* catalog_;
   const PriceList* decision_prices_;
   ClusterOptions options_;
   NodeFactory factory_;
@@ -191,6 +199,12 @@ class ClusterScheme : public Scheme {
   uint64_t scale_in_events_ = 0;
   uint64_t migrations_ = 0;
   uint64_t migration_failures_ = 0;
+  /// Structured event trace (null when off) and the last query served on
+  /// the serial path — elasticity events fire at window boundaries, so
+  /// they are stamped with the query whose arrival closed the window.
+  obs::EventTracer* tracer_ = nullptr;
+  uint64_t trace_query_ = 0;
+  uint32_t trace_tenant_ = 0;
   std::string name_;
 };
 

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "src/econ/fairness.h"
+#include "src/obs/stage_profile.h"
+#include "src/obs/trace.h"
 #include "src/plan/skyline.h"
 #include "src/util/logging.h"
 
@@ -459,6 +461,14 @@ void EconomyEngine::MaybeInvest(SimTime now, QueryOutcome* outcome) {
     }
     amortizer_.RegisterBuild(id, build_cost);
     outcome->investments.push_back(id);
+    if (tracer_ != nullptr) {
+      tracer_->Event("invest", trace_query_, now, trace_tenant_, trace_node_)
+          .U64("structure", id)
+          .Str("key", registry_->key(id).ToString(*catalog_))
+          .F64("build_cost_dollars", build_cost.ToDollars())
+          .F64("ready_at", ready_at)
+          .U64("companions", built.size() - 1);
+    }
   }
 }
 
@@ -500,6 +510,15 @@ void EconomyEngine::EvictFailedStructures(SimTime now,
       } else {
         tick_evictions_.push_back(id);
       }
+      if (tracer_ != nullptr) {
+        tracer_
+            ->Event("evict", trace_query_, now, trace_tenant_, trace_node_)
+            .U64("structure", id)
+            .Str("key", registry_->key(id).ToString(*catalog_))
+            .Str("reason", "maintenance")
+            .F64("owed_dollars", owed.ToDollars())
+            .F64("threshold_dollars", threshold.ToDollars());
+      }
     }
   });
 }
@@ -540,6 +559,8 @@ QueryOutcome EconomyEngine::OnQuery(const Query& query,
                                     const BudgetFunction& budget,
                                     SimTime now) {
   QueryOutcome outcome;
+  trace_query_ = query.id;
+  trace_tenant_ = query.tenant_id;
   if (tenant_regret_.empty()) {
     active_tenant_regret_ = nullptr;
     suppress_regret_ = false;
@@ -555,12 +576,23 @@ QueryOutcome EconomyEngine::OnQuery(const Query& query,
     // while throttled, this query's regret goes unbooked (the query
     // itself is served and billed exactly as before).
     bool newly_throttled = false;
+    const bool was_throttled = query.tenant_id < admission_.tenant_count() &&
+                               admission_.throttled(query.tenant_id);
     suppress_regret_ =
         admission_.Throttled(query.tenant_id, &newly_throttled);
     if (newly_throttled && options_.admission.forfeit_standing_regret) {
       ForfeitTenantRegret(query.tenant_id);
     }
     outcome.throttled = suppress_regret_;
+    if (tracer_ != nullptr) {
+      if (newly_throttled) {
+        tracer_->Event("throttle", trace_query_, now, trace_tenant_,
+                       trace_node_);
+      } else if (was_throttled && !suppress_regret_) {
+        tracer_->Event("readmit", trace_query_, now, trace_tenant_,
+                       trace_node_);
+      }
+    }
   }
   outcome.evictions = std::move(tick_evictions_);
   tick_evictions_.clear();
@@ -574,9 +606,22 @@ QueryOutcome EconomyEngine::OnQuery(const Query& query,
   // the skyline yields survivor INDICES into that shared set, and every
   // downstream step reads plans through those indices — no plan is
   // copied on the decision path (only the chosen one, into the outcome).
-  PlanSet* enumerated = enumerator_.EnumerateShared(query, cache_);
-  PriceCarriedCharges(enumerated, now);
-  SkylineIndicesInto(*enumerated, &skyline_indices_, &skyline_scratch_);
+  PlanSet* enumerated;
+  {
+    obs::ScopedStageTimer timer(obs::Stage::kEnumerate);
+    enumerated = enumerator_.EnumerateShared(query, cache_);
+  }
+  {
+    obs::ScopedStageTimer timer(obs::Stage::kPrice);
+    PriceCarriedCharges(enumerated, now);
+  }
+  {
+    obs::ScopedStageTimer timer(obs::Stage::kSkyline);
+    SkylineIndicesInto(*enumerated, &skyline_indices_, &skyline_scratch_);
+  }
+  // Everything below — affordability, selection, settlement, regret, and
+  // investment — is the settle stage; the timer runs to return.
+  obs::ScopedStageTimer settle_timer(obs::Stage::kSettle);
   const std::vector<QueryPlan>& plans = enumerated->plans;
   const std::vector<size_t>& skyline = skyline_indices_;
   outcome.num_plans = static_cast<uint32_t>(skyline.size());

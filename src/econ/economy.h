@@ -20,6 +20,10 @@
 
 namespace cloudcache {
 
+namespace obs {
+class EventTracer;
+}  // namespace obs
+
 /// How the cloud picks among the affordable executable plans.
 enum class PlanSelection {
   /// Section IV-C, cases B/C: minimize the cloud's gain
@@ -191,6 +195,16 @@ class EconomyEngine {
   /// tenants are provisioned).
   const AdmissionController& admission() const { return admission_; }
 
+  /// Attaches a structured economic event tracer (nullptr detaches).
+  /// `node` stamps every record this engine emits — the node ordinal in a
+  /// cluster, 0 otherwise. Tracing is observability-only: it reads
+  /// decisions after they are made and never feeds back, so traced runs
+  /// stay bit-identical to untraced ones.
+  void SetEventTracer(obs::EventTracer* tracer, uint32_t node) {
+    tracer_ = tracer;
+    trace_node_ = node;
+  }
+
   /// Serves one query with the user's budget function attached.
   QueryOutcome OnQuery(const Query& query, const BudgetFunction& budget,
                        SimTime now);
@@ -297,6 +311,14 @@ class EconomyEngine {
   RegretLedger* active_tenant_regret_ = nullptr;
   /// Admission control (decisions); the engine enforces them.
   AdmissionController admission_;
+  /// Structured event trace (null when off) plus the node ordinal and the
+  /// per-query context stamped onto every record. OnQuery refreshes the
+  /// context at entry; OnTick-path events reuse the last query's id (the
+  /// trace schema documents tick events as "between queries").
+  obs::EventTracer* tracer_ = nullptr;
+  uint32_t trace_node_ = 0;
+  uint64_t trace_query_ = 0;
+  uint32_t trace_tenant_ = 0;
   /// Tenant id of the query currently being served (meaningful only when
   /// attribution is on) and whether its regret is being suppressed.
   uint32_t active_tenant_ = 0;

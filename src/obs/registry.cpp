@@ -1,0 +1,161 @@
+#include "src/obs/registry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cloudcache {
+namespace obs {
+
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kSummary:
+      return "summary";
+  }
+  return "untyped";
+}
+
+/// Escapes a label value per the exposition format: backslash, quote, and
+/// newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatMetricValue(double value) {
+  // Shortest %.*g form that parses back to the identical double: "42"
+  // stays "42", irrationals get exactly the digits they need. Bounded at
+  // 17 significant digits, which always round-trips.
+  char buf[64];
+  // Integers exact in a double print without an exponent ("200", not
+  // "2e+02") — counters should read as counts.
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+Family* Registry::FamilyFor(const std::string& name,
+                            const std::string& help, MetricType type) {
+  for (Family& family : families_) {
+    if (family.name == name) return &family;
+  }
+  families_.push_back(Family{name, help, type, {}});
+  return &families_.back();
+}
+
+void Registry::Add(const std::string& name, const std::string& help,
+                   MetricType type, double value,
+                   std::vector<Label> labels) {
+  Family* family = FamilyFor(name, help, type);
+  Sample sample;
+  sample.labels = std::move(labels);
+  sample.value = value;
+  family->samples.push_back(std::move(sample));
+}
+
+void Registry::Summary(const std::string& name, const std::string& help,
+                       const Histogram& hist,
+                       const std::vector<double>& quantiles,
+                       std::vector<Label> labels) {
+  Family* family = FamilyFor(name, help, MetricType::kSummary);
+  for (double q : quantiles) {
+    Sample sample;
+    sample.labels = labels;
+    sample.labels.push_back(Label{"quantile", FormatMetricValue(q)});
+    sample.value = hist.Quantile(q);
+    family->samples.push_back(std::move(sample));
+  }
+  Sample sum;
+  sum.labels = labels;
+  sum.suffix = "_sum";
+  sum.value = hist.sum();
+  family->samples.push_back(std::move(sum));
+  Sample count;
+  count.labels = std::move(labels);
+  count.suffix = "_count";
+  count.value = static_cast<double>(hist.count());
+  family->samples.push_back(std::move(count));
+}
+
+std::string Registry::RenderPrometheus() const {
+  std::string out;
+  for (const Family& family : families_) {
+    out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# TYPE " + family.name + " " + TypeName(family.type) + "\n";
+    for (const Sample& sample : family.samples) {
+      out += family.name + sample.suffix;
+      if (!sample.labels.empty()) {
+        out += "{";
+        for (size_t i = 0; i < sample.labels.size(); ++i) {
+          if (i > 0) out += ",";
+          out += sample.labels[i].key + "=\"" +
+                 EscapeLabelValue(sample.labels[i].value) + "\"";
+        }
+        out += "}";
+      }
+      out += " " + FormatMetricValue(sample.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string Registry::RenderJson() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const Family& family : families_) {
+    for (const Sample& sample : family.samples) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":\"" + family.name + sample.suffix + "\"";
+      out += ",\"type\":\"";
+      out += TypeName(family.type);
+      out += "\"";
+      if (!sample.labels.empty()) {
+        out += ",\"labels\":{";
+        for (size_t i = 0; i < sample.labels.size(); ++i) {
+          if (i > 0) out += ",";
+          out += "\"" + sample.labels[i].key + "\":\"" +
+                 EscapeLabelValue(sample.labels[i].value) + "\"";
+        }
+        out += "}";
+      }
+      out += ",\"value\":" + FormatMetricValue(sample.value) + "}";
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace cloudcache

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/histogram.h"
+
+namespace cloudcache {
+
+struct SimMetrics;
+
+namespace obs {
+
+/// One key="value" pair qualifying a sample (Prometheus label syntax).
+struct Label {
+  std::string key;
+  std::string value;
+};
+
+enum class MetricType { kCounter, kGauge, kSummary };
+
+/// One exported value: family name + labels + value.
+struct Sample {
+  std::vector<Label> labels;
+  double value = 0;
+  /// Suffix appended to the family name ("_sum", "_count" for summary
+  /// children; empty for plain samples).
+  std::string suffix;
+};
+
+/// A named family of samples sharing one HELP/TYPE declaration.
+struct Family {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kGauge;
+  std::vector<Sample> samples;
+};
+
+/// An ordered collection of metric families with two deterministic
+/// renderings: Prometheus text exposition (served by
+/// `cloudcached --metrics-port`) and a JSON array sharing the exact same
+/// names and labels (written by `cloudcache_sim --metrics-json`). One
+/// naming scheme, three consumers — see docs/observability.md.
+///
+/// Families and samples render in insertion order; two registries built
+/// from the same inputs produce byte-identical text.
+class Registry {
+ public:
+  /// Appends a sample to the named family, creating it (with `help` and
+  /// `type`) on first use. Later calls for the same family ignore
+  /// help/type — the first declaration wins, as in Prometheus.
+  void Add(const std::string& name, const std::string& help,
+           MetricType type, double value, std::vector<Label> labels = {});
+
+  void Counter(const std::string& name, const std::string& help,
+               double value, std::vector<Label> labels = {}) {
+    Add(name, help, MetricType::kCounter, value, std::move(labels));
+  }
+  void Gauge(const std::string& name, const std::string& help, double value,
+             std::vector<Label> labels = {}) {
+    Add(name, help, MetricType::kGauge, value, std::move(labels));
+  }
+
+  /// Exports a histogram as a Prometheus summary: one quantile sample per
+  /// entry of `quantiles` (labelled quantile="0.5" etc.) plus the _sum
+  /// and _count children.
+  void Summary(const std::string& name, const std::string& help,
+               const Histogram& hist, const std::vector<double>& quantiles,
+               std::vector<Label> labels = {});
+
+  const std::vector<Family>& families() const { return families_; }
+
+  /// Prometheus text exposition format (version 0.0.4).
+  std::string RenderPrometheus() const;
+  /// The same samples as a JSON array:
+  /// {"metrics":[{"name":...,"labels":{...},"value":...}, ...]}.
+  std::string RenderJson() const;
+
+ private:
+  Family* FamilyFor(const std::string& name, const std::string& help,
+                    MetricType type);
+
+  std::vector<Family> families_;
+};
+
+/// The canonical export of a finished (or in-flight) run: every SimMetrics
+/// aggregate, the response-time summary at p50/p95/p99, per-tenant slices,
+/// and the cluster shape, under the `cloudcache_` prefix. This is the one
+/// place metric names are assigned; the exposition endpoint, the JSON
+/// export, and the docs all read from it.
+void FillFromSimMetrics(const SimMetrics& metrics, Registry* registry);
+
+/// Formats a double the way the renderers do: shortest-ish round-trip
+/// (%.17g trimmed), deterministic across platforms.
+std::string FormatMetricValue(double value);
+
+}  // namespace obs
+}  // namespace cloudcache

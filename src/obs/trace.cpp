@@ -1,0 +1,102 @@
+#include "src/obs/trace.h"
+
+#include <fstream>
+#include <utility>
+
+#include "src/obs/registry.h"
+
+namespace cloudcache {
+namespace obs {
+
+namespace {
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+EventTracer::Record::~Record() {
+  if (tracer_ == nullptr) return;
+  line_ += "}";
+  tracer_->WriteLine(line_);
+}
+
+EventTracer::Record& EventTracer::Record::U64(const char* key,
+                                              uint64_t value) {
+  line_ += ",\"";
+  line_ += key;
+  line_ += "\":" + std::to_string(value);
+  return *this;
+}
+
+EventTracer::Record& EventTracer::Record::F64(const char* key,
+                                              double value) {
+  line_ += ",\"";
+  line_ += key;
+  line_ += "\":" + FormatMetricValue(value);
+  return *this;
+}
+
+EventTracer::Record& EventTracer::Record::Str(const char* key,
+                                              const std::string& value) {
+  line_ += ",\"";
+  line_ += key;
+  line_ += "\":\"" + EscapeJson(value) + "\"";
+  return *this;
+}
+
+Result<std::unique_ptr<EventTracer>> EventTracer::Open(
+    const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(
+      path, std::ios::out | std::ios::trunc);
+  if (!file->is_open()) {
+    return Status::InvalidArgument("cannot open trace file: " + path);
+  }
+  std::unique_ptr<EventTracer> tracer(new EventTracer());
+  tracer->out_ = file.get();
+  tracer->owned_ = std::move(file);
+  return tracer;
+}
+
+EventTracer::~EventTracer() { Flush(); }
+
+EventTracer::Record EventTracer::Event(const char* type, uint64_t query_id,
+                                       double sim_time, uint32_t tenant,
+                                       uint32_t node) {
+  std::string line = "{\"type\":\"";
+  line += type;
+  line += "\",\"query\":" + std::to_string(query_id);
+  line += ",\"t\":" + FormatMetricValue(sim_time);
+  line += ",\"tenant\":" + std::to_string(tenant);
+  line += ",\"node\":" + std::to_string(node);
+  return Record(this, std::move(line));
+}
+
+void EventTracer::WriteLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *out_ << line << '\n';
+}
+
+void EventTracer::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_->flush();
+}
+
+}  // namespace obs
+}  // namespace cloudcache

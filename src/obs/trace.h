@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace cloudcache {
+namespace obs {
+
+/// Structured economic event trace: one JSON object per line (JSONL).
+///
+/// Every record starts with the same four context fields — `query` (the
+/// id of the query whose handling caused the event), `t` (simulation
+/// seconds), `tenant`, and `node` — followed by event-specific fields.
+/// Event types and their fields are documented in docs/observability.md;
+/// the trace-golden test pins that records are byte-stable run to run.
+///
+/// Writing is mutex-serialized so a tracer object is safe to share, but
+/// record ORDER is only deterministic on single-threaded drivers — the
+/// CLI refuses `--trace` with `--threads` > 0 for exactly that reason.
+/// Tracing is observability-only: it reads simulation state, never feeds
+/// back into it, so traced runs stay bit-identical to untraced ones.
+class EventTracer {
+ public:
+  /// A record under construction. Fields append in call order; the
+  /// destructor terminates the object and writes the line.
+  class Record {
+   public:
+    Record(Record&& other) noexcept
+        : tracer_(other.tracer_), line_(std::move(other.line_)) {
+      other.tracer_ = nullptr;
+    }
+    Record& operator=(Record&&) = delete;
+    Record(const Record&) = delete;
+    Record& operator=(const Record&) = delete;
+    ~Record();
+
+    Record& U64(const char* key, uint64_t value);
+    Record& F64(const char* key, double value);
+    Record& Str(const char* key, const std::string& value);
+
+   private:
+    friend class EventTracer;
+    Record(EventTracer* tracer, std::string line)
+        : tracer_(tracer), line_(std::move(line)) {}
+
+    EventTracer* tracer_;
+    std::string line_;
+  };
+
+  /// Opens `path` for writing (truncating an existing file).
+  static Result<std::unique_ptr<EventTracer>> Open(const std::string& path);
+
+  /// Writes to a caller-owned stream (tests trace into a string).
+  explicit EventTracer(std::ostream* out) : out_(out) {}
+  ~EventTracer();
+
+  /// Starts a record of `type` carrying the four mandatory context
+  /// fields. The returned Record must be finished (destroyed) before the
+  /// next event from the same thread.
+  Record Event(const char* type, uint64_t query_id, double sim_time,
+               uint32_t tenant, uint32_t node);
+
+  /// Flushes buffered lines to the underlying stream.
+  void Flush();
+
+ private:
+  EventTracer() = default;
+  void WriteLine(const std::string& line);
+
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_ = nullptr;
+  std::mutex mu_;
+};
+
+}  // namespace obs
+}  // namespace cloudcache

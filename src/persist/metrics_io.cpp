@@ -29,6 +29,7 @@ void SaveTenantMetrics(const TenantMetrics& tenant, Encoder* enc) {
   enc->PutU64(tenant.served_in_backend);
   enc->PutU64(tenant.wan_bytes);
   SaveRunningStats(tenant.response_seconds, enc);
+  tenant.response_hist.SaveState(enc);
   SaveResourceBreakdown(tenant.operating_cost, enc);
   enc->PutMoney(tenant.revenue);
   enc->PutMoney(tenant.profit);
@@ -50,6 +51,7 @@ Status RestoreTenantMetrics(Decoder* dec, TenantMetrics* tenant) {
   CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&tenant->wan_bytes));
   CLOUDCACHE_RETURN_IF_ERROR(
       RestoreRunningStats(dec, &tenant->response_seconds));
+  CLOUDCACHE_RETURN_IF_ERROR(tenant->response_hist.RestoreState(dec));
   CLOUDCACHE_RETURN_IF_ERROR(
       RestoreResourceBreakdown(dec, &tenant->operating_cost));
   CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&tenant->revenue));
@@ -117,7 +119,7 @@ Status RestoreClusterMetrics(Decoder* dec, ClusterMetrics* cluster) {
 void SaveSimMetrics(const SimMetrics& metrics, Encoder* enc) {
   enc->PutString(metrics.scheme_name);
   SaveRunningStats(metrics.response_seconds, enc);
-  SaveQuantileSketch(metrics.response_sketch, enc);
+  metrics.response_hist.SaveState(enc);
   SaveResourceBreakdown(metrics.operating_cost, enc);
   enc->PutMoney(metrics.revenue);
   enc->PutMoney(metrics.profit);
@@ -152,8 +154,7 @@ Status RestoreSimMetrics(Decoder* dec, SimMetrics* metrics) {
   CLOUDCACHE_RETURN_IF_ERROR(dec->ReadString(&metrics->scheme_name));
   CLOUDCACHE_RETURN_IF_ERROR(
       RestoreRunningStats(dec, &metrics->response_seconds));
-  CLOUDCACHE_RETURN_IF_ERROR(
-      RestoreQuantileSketch(dec, &metrics->response_sketch));
+  CLOUDCACHE_RETURN_IF_ERROR(metrics->response_hist.RestoreState(dec));
   CLOUDCACHE_RETURN_IF_ERROR(
       RestoreResourceBreakdown(dec, &metrics->operating_cost));
   CLOUDCACHE_RETURN_IF_ERROR(dec->ReadMoney(&metrics->revenue));

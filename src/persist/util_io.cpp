@@ -43,37 +43,6 @@ Status RestoreRunningStats(Decoder* dec, RunningStats* stats) {
   return Status::OK();
 }
 
-void SaveQuantileSketch(const QuantileSketch& sketch, Encoder* enc) {
-  const std::vector<int64_t>& bins = sketch.raw_bins();
-  enc->PutU64(bins.size());
-  for (int64_t bin : bins) enc->PutI64(bin);
-  enc->PutI64(sketch.count());
-  enc->PutI64(sketch.raw_underflow());
-  enc->PutDouble(sketch.raw_min());
-  enc->PutDouble(sketch.raw_max());
-}
-
-Status RestoreQuantileSketch(Decoder* dec, QuantileSketch* sketch) {
-  uint64_t size = 0;
-  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&size));
-  if (size != sketch->raw_bins().size()) {
-    return Status::InvalidArgument(
-        "quantile sketch bin count mismatch in snapshot");
-  }
-  std::vector<int64_t> bins(size);
-  for (int64_t& bin : bins) {
-    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadI64(&bin));
-  }
-  int64_t count = 0, underflow = 0;
-  double min = 0, max = 0;
-  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadI64(&count));
-  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadI64(&underflow));
-  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&min));
-  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadDouble(&max));
-  sketch->RestoreRaw(std::move(bins), count, underflow, min, max);
-  return Status::OK();
-}
-
 void SaveTimeSeries(const TimeSeries& series, Encoder* enc) {
   enc->PutU64(series.size());
   for (double t : series.times()) enc->PutDouble(t);

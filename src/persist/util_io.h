@@ -17,9 +17,6 @@ Status RestoreRng(Decoder* dec, Rng* rng);
 void SaveRunningStats(const RunningStats& stats, Encoder* enc);
 Status RestoreRunningStats(Decoder* dec, RunningStats* stats);
 
-void SaveQuantileSketch(const QuantileSketch& sketch, Encoder* enc);
-Status RestoreQuantileSketch(Decoder* dec, QuantileSketch* sketch);
-
 void SaveTimeSeries(const TimeSeries& series, Encoder* enc);
 Status RestoreTimeSeries(Decoder* dec, TimeSeries* series);
 

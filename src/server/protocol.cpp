@@ -25,6 +25,8 @@ const char* MessageTypeName(MessageType type) {
       return "Shutdown";
     case MessageType::kShutdownAck:
       return "ShutdownAck";
+    case MessageType::kStatsSubscribe:
+      return "StatsSubscribe";
   }
   return "unknown";
 }
@@ -59,7 +61,7 @@ Status PeekType(persist::Decoder* dec, MessageType* type) {
   uint8_t raw = 0;
   CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU8(&raw));
   if (raw < static_cast<uint8_t>(MessageType::kHello) ||
-      raw > static_cast<uint8_t>(MessageType::kShutdownAck)) {
+      raw > static_cast<uint8_t>(MessageType::kStatsSubscribe)) {
     return Status::InvalidArgument("unknown message type " +
                                    std::to_string(raw));
   }
@@ -238,6 +240,17 @@ void EncodeStatsAck(const StatsAckMsg& msg, persist::Encoder* enc) {
   enc->PutU64(msg.served);
   enc->PutU32(msg.active_streams);
   enc->PutI64(msg.credit_micros);
+  enc->PutU64(msg.served_in_cache);
+  enc->PutU64(msg.throttled);
+  enc->PutU64(msg.investments);
+  enc->PutU64(msg.evictions);
+  enc->PutU64(msg.streams.size());
+  for (const StreamStatsMsg& stream : msg.streams) {
+    enc->PutU32(stream.stream);
+    enc->PutU64(stream.queries);
+    enc->PutU64(stream.served);
+    enc->PutU64(stream.throttled);
+  }
 }
 
 Status DecodeStatsAck(persist::Decoder* dec, StatsAckMsg* msg) {
@@ -246,6 +259,36 @@ Status DecodeStatsAck(persist::Decoder* dec, StatsAckMsg* msg) {
   CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&msg->served));
   CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&msg->active_streams));
   CLOUDCACHE_RETURN_IF_ERROR(dec->ReadI64(&msg->credit_micros));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&msg->served_in_cache));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&msg->throttled));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&msg->investments));
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&msg->evictions));
+  uint64_t streams = 0;
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadLength(&streams));
+  msg->streams.clear();
+  msg->streams.reserve(static_cast<size_t>(streams));
+  for (uint64_t i = 0; i < streams; ++i) {
+    StreamStatsMsg stream;
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU32(&stream.stream));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&stream.queries));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&stream.served));
+    CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&stream.throttled));
+    msg->streams.push_back(stream);
+  }
+  return dec->ExpectEnd();
+}
+
+void EncodeStatsSubscribe(const StatsSubscribeMsg& msg,
+                          persist::Encoder* enc) {
+  enc->PutU8(static_cast<uint8_t>(MessageType::kStatsSubscribe));
+  enc->PutU64(msg.every);
+}
+
+Status DecodeStatsSubscribe(persist::Decoder* dec, StatsSubscribeMsg* msg) {
+  CLOUDCACHE_RETURN_IF_ERROR(dec->ReadU64(&msg->every));
+  if (msg->every == 0) {
+    return Status::InvalidArgument("StatsSubscribe.every must be >= 1");
+  }
   return dec->ExpectEnd();
 }
 

@@ -22,7 +22,10 @@ namespace server {
 /// Bumped on any incompatible change to framing, message layout, or
 /// message semantics. HelloAck echoes the server's version; a client must
 /// refuse to proceed on a mismatch, and the server refuses first.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// v2: StatsAck grew cache/throttle/investment counters and per-stream
+/// slices, and StatsSubscribe streams StatsAck frames on a control
+/// connection (loadgen --watch).
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Frames above this payload size are refused as corrupt before any
 /// allocation — no legitimate message comes close (a Query is a few
@@ -46,6 +49,10 @@ enum class MessageType : uint8_t {
   kStatsAck = 7,     // server -> client
   kShutdown = 8,     // client -> server
   kShutdownAck = 9,  // server -> client
+  /// Control connections only: the server pushes a StatsAck now and then
+  /// again every `every` served queries, until the run completes or the
+  /// server drains (a final StatsAck precedes the close).
+  kStatsSubscribe = 10,  // client -> server
 };
 
 enum class ErrorCode : uint8_t {
@@ -123,12 +130,33 @@ struct ErrorMsg {
   std::string message;
 };
 
+/// Per-stream slice of a StatsAck (one entry per workload stream).
+struct StreamStatsMsg {
+  uint32_t stream = 0;
+  uint64_t queries = 0;
+  uint64_t served = 0;
+  uint64_t throttled = 0;
+};
+
 struct StatsAckMsg {
   uint64_t processed = 0;
   uint64_t num_queries = 0;
   uint64_t served = 0;
   uint32_t active_streams = 0;
   int64_t credit_micros = 0;
+  // v2: the registry-backed snapshot — aggregate economy counters plus
+  // one slice per stream, so a watcher renders per-stream progress
+  // without scraping the HTTP endpoint.
+  uint64_t served_in_cache = 0;
+  uint64_t throttled = 0;
+  uint64_t investments = 0;
+  uint64_t evictions = 0;
+  std::vector<StreamStatsMsg> streams;
+};
+
+struct StatsSubscribeMsg {
+  /// Push cadence in served queries; must be >= 1.
+  uint64_t every = 0;
 };
 
 // --- Payload codecs. Encode* appends `type byte + body` to `enc` (the
@@ -161,6 +189,10 @@ Status DecodeStats(persist::Decoder* dec);
 
 void EncodeStatsAck(const StatsAckMsg& msg, persist::Encoder* enc);
 Status DecodeStatsAck(persist::Decoder* dec, StatsAckMsg* msg);
+
+void EncodeStatsSubscribe(const StatsSubscribeMsg& msg,
+                          persist::Encoder* enc);
+Status DecodeStatsSubscribe(persist::Decoder* dec, StatsSubscribeMsg* msg);
 
 void EncodeShutdown(persist::Encoder* enc);
 Status DecodeShutdown(persist::Decoder* dec);

@@ -4,8 +4,10 @@
 #include <sys/socket.h>
 
 #include <cstdio>
+#include <string>
 #include <utility>
 
+#include "src/obs/registry.h"
 #include "src/persist/snapshot.h"
 #include "src/structure/index_advisor.h"
 #include "src/util/logging.h"
@@ -45,6 +47,7 @@ CloudCachedServer::CloudCachedServer(
 CloudCachedServer::~CloudCachedServer() {
   RequestShutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
   pool_.reset();
 }
 
@@ -132,11 +135,27 @@ Status CloudCachedServer::Start() {
   CLOUDCACHE_RETURN_IF_ERROR(port.status());
   port_ = port.value();
 
+  if (options_.metrics_port >= 0) {
+    if (options_.metrics_port > 65535) {
+      return Status::InvalidArgument("metrics port out of range");
+    }
+    Result<Socket> metrics_listener = ListenTcp(
+        options_.host, static_cast<uint16_t>(options_.metrics_port));
+    CLOUDCACHE_RETURN_IF_ERROR(metrics_listener.status());
+    metrics_listener_ = std::move(metrics_listener).value();
+    Result<uint16_t> metrics_port = LocalPort(metrics_listener_);
+    CLOUDCACHE_RETURN_IF_ERROR(metrics_port.status());
+    metrics_port_ = metrics_port.value();
+  }
+
   streams_.assign(stream_count_, StreamState());
   const uint32_t workers =
       options_.workers > 0 ? options_.workers : stream_count_ + 4;
   pool_ = std::make_unique<ThreadPool>(workers);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (metrics_listener_.valid()) {
+    metrics_thread_ = std::thread([this] { MetricsLoop(); });
+  }
   return Status::OK();
 }
 
@@ -154,6 +173,7 @@ void CloudCachedServer::RequestShutdown() {
 
 Status CloudCachedServer::Wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
   // Runs any still-queued handlers (they see draining_ and bail) and
   // joins the workers; blocked reads were kicked by RequestShutdown.
   pool_.reset();
@@ -506,6 +526,15 @@ void CloudCachedServer::ControlLoop(const Socket& conn) {
       if (!WriteFrame(conn, enc).ok()) return;
       continue;
     }
+    if (type == MessageType::kStatsSubscribe) {
+      StatsSubscribeMsg sub;
+      if (!DecodeStatsSubscribe(&dec, &sub).ok()) {
+        SendError(conn, ErrorCode::kBadFrame, "malformed StatsSubscribe");
+        return;
+      }
+      SubscriptionLoop(conn, sub.every);
+      return;
+    }
     if (type == MessageType::kShutdown && DecodeShutdown(&dec).ok()) {
       persist::Encoder enc;
       EncodeShutdownAck(&enc);
@@ -515,21 +544,153 @@ void CloudCachedServer::ControlLoop(const Socket& conn) {
       return;
     }
     SendError(conn, ErrorCode::kNotAllowed,
-              "control connections speak Stats and Shutdown only");
+              "control connections speak Stats, StatsSubscribe, and "
+              "Shutdown only");
     return;
+  }
+}
+
+void CloudCachedServer::SubscriptionLoop(const Socket& conn,
+                                         uint64_t every) {
+  uint64_t next_at = 0;  // The first ack goes out immediately.
+  while (true) {
+    StatsAckMsg stats;
+    bool final_ack = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      merge_cv_.wait(lock, [this, next_at] {
+        return draining_ || stop_.load() ||
+               sim_->external_processed() >= next_at ||
+               sim_->external_processed() >= sim_->options().num_queries;
+      });
+      stats = StatsLocked();
+      final_ack = draining_ || stop_.load() ||
+                  stats.processed >= stats.num_queries;
+    }
+    next_at = stats.processed + every;
+    // The frame goes out without mu_: a slow or stalled watcher must
+    // never hold up the merge.
+    persist::Encoder enc;
+    EncodeStatsAck(stats, &enc);
+    if (!WriteFrame(conn, enc).ok()) return;
+    if (final_ack) return;
   }
 }
 
 StatsAckMsg CloudCachedServer::StatsLocked() const {
   StatsAckMsg stats;
+  const SimMetrics& metrics = sim_->external_metrics();
   stats.processed = sim_->external_processed();
   stats.num_queries = sim_->options().num_queries;
-  stats.served = sim_->external_metrics().served;
+  stats.served = metrics.served;
   stats.credit_micros = scheme_->credit().micros();
   for (const StreamState& state : streams_) {
     if (state.connected) ++stats.active_streams;
   }
+  stats.served_in_cache = metrics.served_in_cache;
+  stats.throttled = metrics.throttled;
+  stats.investments = metrics.investments;
+  stats.evictions = metrics.evictions;
+  if (!metrics.tenants.empty()) {
+    stats.streams.reserve(metrics.tenants.size());
+    for (const TenantMetrics& tenant : metrics.tenants) {
+      StreamStatsMsg slice;
+      slice.stream = tenant.tenant_id;
+      slice.queries = tenant.queries;
+      slice.served = tenant.served;
+      slice.throttled = tenant.throttled;
+      stats.streams.push_back(slice);
+    }
+  } else {
+    // Single-tenant runs keep no per-tenant block; synthesize the one
+    // slice from the aggregates so watchers see a uniform shape.
+    StreamStatsMsg slice;
+    slice.stream = 0;
+    slice.queries = metrics.queries;
+    slice.served = metrics.served;
+    slice.throttled = metrics.throttled;
+    stats.streams.push_back(slice);
+  }
   return stats;
+}
+
+std::string CloudCachedServer::RenderMetricsText() const {
+  obs::Registry registry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    obs::FillFromSimMetrics(sim_->external_metrics(), &registry);
+    // Server-side liveness gauges, beyond what SimMetrics carries.
+    registry.Counter("cloudcache_server_processed_total",
+                     "Queries served so far, in merged order.",
+                     static_cast<double>(sim_->external_processed()));
+    registry.Gauge("cloudcache_server_run_queries",
+                   "Configured merged run length.",
+                   static_cast<double>(sim_->options().num_queries));
+    uint32_t active = 0;
+    for (const StreamState& state : streams_) {
+      if (state.connected) ++active;
+    }
+    registry.Gauge("cloudcache_server_active_streams",
+                   "Workload streams with a live connection.",
+                   static_cast<double>(active));
+    registry.Gauge("cloudcache_server_credit_dollars",
+                   "Live cloud credit CR.", scheme_->credit().ToDollars());
+  }
+  // Rendering is pure string work — do it off the economy's mutex.
+  return registry.RenderPrometheus();
+}
+
+void CloudCachedServer::MetricsLoop() {
+  while (!stop_.load()) {
+    pollfd pfd;
+    pfd.fd = metrics_listener_.fd();
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (stop_.load()) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(metrics_listener_.fd(), nullptr, nullptr);
+    if (fd < 0) continue;
+    Socket conn(fd);
+    // One-shot HTTP/1.0 exchange: read the request head, answer, close.
+    // Only the request line matters; headers are skipped.
+    std::string request;
+    char buf[1024];
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < 8192) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      request.append(buf, static_cast<size_t>(n));
+    }
+    std::string status_line = "200 OK";
+    std::string body;
+    std::string content_type = "text/plain; charset=utf-8";
+    if (request.rfind("GET ", 0) != 0) {
+      status_line = "405 Method Not Allowed";
+      body = "only GET is served\n";
+    } else {
+      const size_t path_end = request.find(' ', 4);
+      const std::string path = path_end == std::string::npos
+                                   ? std::string()
+                                   : request.substr(4, path_end - 4);
+      if (path == "/metrics" || path == "/") {
+        body = RenderMetricsText();
+        content_type = "text/plain; version=0.0.4; charset=utf-8";
+      } else {
+        status_line = "404 Not Found";
+        body = "try /metrics\n";
+      }
+    }
+    const std::string response =
+        "HTTP/1.0 " + status_line + "\r\nContent-Type: " + content_type +
+        "\r\nContent-Length: " + std::to_string(body.size()) +
+        "\r\nConnection: close\r\n\r\n" + body;
+    const Status ignored =
+        WriteAll(conn, reinterpret_cast<const uint8_t*>(response.data()),
+                 response.size());
+    (void)ignored;
+  }
+  metrics_listener_.Close();
 }
 
 void CloudCachedServer::RegisterConnection(

@@ -39,6 +39,12 @@ struct ServerOptions {
   CheckpointOptions::Restore restore = CheckpointOptions::Restore::kNone;
   /// Log a progress line to stderr every N served queries (0 = quiet).
   uint64_t log_every = 0;
+  /// Serve Prometheus text exposition over HTTP on this port: GET
+  /// /metrics (or /) answers with the live registry snapshot. -1
+  /// disables; 0 binds an ephemeral port (read it back with
+  /// metrics_port()). Observability-only — scraping never touches the
+  /// economy beyond taking the stats mutex.
+  int32_t metrics_port = -1;
 };
 
 /// The economy served over TCP (docs/server.md). One process hosts the
@@ -82,6 +88,13 @@ class CloudCachedServer {
   /// The bound port (after Start()).
   uint16_t port() const { return port_; }
 
+  /// The bound metrics port (after Start(); 0 when the endpoint is off).
+  uint16_t metrics_port() const { return metrics_port_; }
+
+  /// The Prometheus text exposition the metrics endpoint serves (also
+  /// handy for tests that want the body without HTTP).
+  std::string RenderMetricsText() const;
+
   /// Begins a graceful drain: stop accepting, fail in-flight and new
   /// requests with kShuttingDown, kick blocked reads. Idempotent and
   /// callable from any thread (a signal-watching main loop, a kShutdown
@@ -123,6 +136,12 @@ class CloudCachedServer {
   void StreamLoop(const Socket& conn, uint32_t stream);
   /// Stats/Shutdown loop for control connections.
   void ControlLoop(const Socket& conn);
+  /// Push loop after a StatsSubscribe: writes a StatsAck immediately,
+  /// then every `every` served queries, then a final one at run
+  /// completion or drain before returning.
+  void SubscriptionLoop(const Socket& conn, uint64_t every);
+  /// Accept loop + one-shot HTTP responder for the metrics endpoint.
+  void MetricsLoop();
   /// True when stream t holds the merge head (earliest peeked arrival,
   /// ties to the lowest stream id) — or when the run is complete or
   /// draining, so the caller can observe that and reply. Requires mu_.
@@ -147,6 +166,9 @@ class CloudCachedServer {
 
   Socket listener_;
   uint16_t port_ = 0;
+  Socket metrics_listener_;
+  uint16_t metrics_port_ = 0;
+  std::thread metrics_thread_;
   std::thread accept_thread_;
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<bool> stop_{false};

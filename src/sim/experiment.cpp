@@ -61,6 +61,9 @@ Result<SimMetrics> RunExperimentImpl(
 
   std::unique_ptr<Scheme> scheme =
       MakeExperimentScheme(catalog, indexes, config);
+  if (config.tracer != nullptr) {
+    scheme->SetEventTracer(config.tracer, /*node_ordinal=*/0);
+  }
   SimulatorOptions sim_options = config.sim;
   sim_options.node_rent_multiplier = config.cluster.node_rent_multiplier;
   sim_options.checkpoint.config_hash = HashExperimentConfig(config);

@@ -75,6 +75,12 @@ struct ExperimentConfig {
   /// Applied only when the experiment's scheme is of the matching kind.
   std::function<void(EconScheme::Config&)> customize_econ;
   std::function<void(BypassYieldScheme::Options&)> customize_bypass;
+  /// Structured economic event trace (observability-only; null = off).
+  /// Not owned; must outlive the run. Excluded from HashExperimentConfig —
+  /// tracing never changes a result. Record order is deterministic only
+  /// on serial drivers; callers should refuse to combine a tracer with
+  /// worker threads (cloudcache_sim does).
+  obs::EventTracer* tracer = nullptr;
   uint64_t seed = 7;
 };
 

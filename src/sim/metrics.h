@@ -6,6 +6,7 @@
 
 #include "src/cluster/metrics.h"
 #include "src/econ/fairness.h"
+#include "src/obs/histogram.h"
 #include "src/util/money.h"
 #include "src/util/stats.h"
 
@@ -48,8 +49,11 @@ struct TenantMetrics {
   uint64_t served_in_backend = 0;
   uint64_t wan_bytes = 0;
 
-  // --- Response time over this tenant's served queries.
+  // --- Response time over this tenant's served queries: moments from
+  // the running stats, quantiles from the deterministic histogram (fed
+  // the identical samples).
   RunningStats response_seconds;
+  obs::Histogram response_hist;
 
   // --- Execution + build dollars billed to this tenant's queries.
   ResourceBreakdown operating_cost;
@@ -84,9 +88,11 @@ struct TenantMetrics {
 struct SimMetrics {
   std::string scheme_name;
 
-  // --- Fig. 5: response time over served queries.
+  // --- Fig. 5: response time over served queries. The histogram carries
+  // the quantiles (p50/p95/p99); both accumulators see exactly the served
+  // samples, in arrival order, on every driver.
   RunningStats response_seconds;
-  QuantileSketch response_sketch;
+  obs::Histogram response_hist;
 
   // --- Fig. 4: metered operating cost.
   ResourceBreakdown operating_cost;

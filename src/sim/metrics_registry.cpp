@@ -1,0 +1,114 @@
+// FillFromSimMetrics lives in the sim layer (it reads SimMetrics), while
+// its declaration stays in obs/registry.h behind a forward declaration —
+// obs never includes upward.
+
+#include <string>
+#include <vector>
+
+#include "src/obs/registry.h"
+#include "src/sim/metrics.h"
+
+namespace cloudcache {
+namespace obs {
+
+void FillFromSimMetrics(const SimMetrics& m, Registry* r) {
+  const std::vector<double> kQuantiles = {0.5, 0.95, 0.99};
+
+  r->Counter("cloudcache_queries_total", "Queries offered to the scheme",
+             static_cast<double>(m.queries));
+  r->Counter("cloudcache_served_total", "Queries served",
+             static_cast<double>(m.served));
+  r->Counter("cloudcache_served_cache_total",
+             "Queries served from the cache",
+             static_cast<double>(m.served_in_cache));
+  r->Counter("cloudcache_served_backend_total",
+             "Queries served from the back-end",
+             static_cast<double>(m.served_in_backend));
+  r->Counter("cloudcache_wan_bytes_total",
+             "Bytes shipped across the wide-area network",
+             static_cast<double>(m.wan_bytes));
+
+  r->Summary("cloudcache_response_seconds",
+             "Response time over served queries", m.response_hist,
+             kQuantiles);
+
+  r->Counter("cloudcache_investments_total",
+             "Structures the economy built",
+             static_cast<double>(m.investments));
+  r->Counter("cloudcache_evictions_total",
+             "Structures evicted after maintenance failure",
+             static_cast<double>(m.evictions));
+  r->Counter("cloudcache_throttled_total",
+             "Queries served under admission throttling",
+             static_cast<double>(m.throttled));
+  r->Counter("cloudcache_budget_case_total",
+             "Budget case mix of served queries",
+             static_cast<double>(m.case_a), {{"case", "a"}});
+  r->Counter("cloudcache_budget_case_total", "",
+             static_cast<double>(m.case_b), {{"case", "b"}});
+  r->Counter("cloudcache_budget_case_total", "",
+             static_cast<double>(m.case_c), {{"case", "c"}});
+
+  r->Counter("cloudcache_operating_cost_dollars",
+             "Metered operating cost by resource",
+             m.operating_cost.cpu_dollars, {{"resource", "cpu"}});
+  r->Counter("cloudcache_operating_cost_dollars", "",
+             m.operating_cost.network_dollars, {{"resource", "network"}});
+  r->Counter("cloudcache_operating_cost_dollars", "",
+             m.operating_cost.disk_dollars, {{"resource", "disk"}});
+  r->Counter("cloudcache_operating_cost_dollars", "",
+             m.operating_cost.io_dollars, {{"resource", "io"}});
+  r->Counter("cloudcache_revenue_dollars", "User payments collected",
+             m.revenue.ToDollars());
+  r->Counter("cloudcache_profit_dollars", "Margin over metered cost",
+             m.profit.ToDollars());
+  r->Gauge("cloudcache_credit_dollars", "Cloud credit CR at run end",
+           m.final_credit.ToDollars());
+
+  r->Gauge("cloudcache_resident_bytes", "Cache-resident bytes",
+           static_cast<double>(m.final_resident_bytes));
+  r->Gauge("cloudcache_extra_cpu_nodes", "Extra CPU nodes booted",
+           static_cast<double>(m.final_extra_nodes));
+
+  for (const TenantMetrics& t : m.tenants) {
+    const std::vector<Label> who = {
+        {"tenant", std::to_string(t.tenant_id)}};
+    r->Counter("cloudcache_tenant_queries_total", "Per-tenant queries",
+               static_cast<double>(t.queries), who);
+    r->Counter("cloudcache_tenant_served_total", "Per-tenant served",
+               static_cast<double>(t.served), who);
+    r->Counter("cloudcache_tenant_throttled_total",
+               "Per-tenant queries under admission throttling",
+               static_cast<double>(t.throttled), who);
+    r->Counter("cloudcache_tenant_revenue_dollars",
+               "Per-tenant payments collected", t.revenue.ToDollars(), who);
+    r->Summary("cloudcache_tenant_response_seconds",
+               "Per-tenant response time", t.response_hist, kQuantiles,
+               who);
+  }
+
+  if (m.cluster.active) {
+    r->Gauge("cloudcache_cluster_nodes", "Cache nodes at run end",
+             static_cast<double>(m.cluster.final_nodes));
+    r->Gauge("cloudcache_cluster_peak_nodes", "Peak cache nodes",
+             static_cast<double>(m.cluster.peak_nodes));
+    r->Counter("cloudcache_cluster_scale_out_total",
+               "Elastic scale-out events",
+               static_cast<double>(m.cluster.scale_out_events));
+    r->Counter("cloudcache_cluster_scale_in_total",
+               "Elastic scale-in events",
+               static_cast<double>(m.cluster.scale_in_events));
+    r->Counter("cloudcache_cluster_migrations_total",
+               "Structures migrated at scale-in",
+               static_cast<double>(m.cluster.migrations));
+    r->Counter("cloudcache_cluster_migration_failures_total",
+               "Migration attempts the heir could not afford",
+               static_cast<double>(m.cluster.migration_failures));
+    r->Counter("cloudcache_cluster_node_rent_dollars",
+               "Metered rent of cluster nodes",
+               m.cluster.node_rent_dollars);
+  }
+}
+
+}  // namespace obs
+}  // namespace cloudcache

@@ -118,9 +118,6 @@ void ParallelNodeSimulator::MergeRecord(const QueryRecord& rec,
   metrics->wan_bytes += rec.wan_bytes;
 
   AccountOutcome(rec.served, metrics);
-  if (rec.served.served) {
-    metrics->response_sketch.Add(rec.served.execution.time_seconds);
-  }
   books_[rec.node].credit = rec.credit_after;
 
   if (options_.timeline_stride != 0 &&

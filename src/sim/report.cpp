@@ -12,9 +12,10 @@ std::string FormatRunDetail(const SimMetrics& m) {
       << m.served << " served (" << m.served_in_cache << " cache / "
       << m.served_in_backend << " backend)\n";
   out << "  response: mean " << FormatDouble(m.MeanResponse(), 3)
-      << "s  p50 " << FormatDouble(m.response_sketch.Quantile(0.5), 3)
-      << "s  p95 " << FormatDouble(m.response_sketch.Quantile(0.95), 3)
-      << "s  max " << FormatDouble(m.response_sketch.Quantile(1.0), 3)
+      << "s  p50 " << FormatDouble(m.response_hist.Quantile(0.5), 3)
+      << "s  p95 " << FormatDouble(m.response_hist.Quantile(0.95), 3)
+      << "s  p99 " << FormatDouble(m.response_hist.Quantile(0.99), 3)
+      << "s  max " << FormatDouble(m.response_hist.Quantile(1.0), 3)
       << "s\n";
   out << "  operating cost: $" << FormatDouble(m.operating_cost.Total(), 2)
       << "  (cpu $" << FormatDouble(m.operating_cost.cpu_dollars, 2)
@@ -151,7 +152,7 @@ TableWriter MakeSchemeSummaryTable(const std::vector<SimMetrics>& runs) {
     CLOUDCACHE_CHECK(
         table
             .AddRow({m.scheme_name, FormatDouble(m.MeanResponse(), 3),
-                     FormatDouble(m.response_sketch.Quantile(0.95), 3),
+                     FormatDouble(m.response_hist.Quantile(0.95), 3),
                      FormatDouble(m.operating_cost.Total(), 2),
                      FormatDouble(m.operating_cost.cpu_dollars, 2),
                      FormatDouble(m.operating_cost.network_dollars, 2),

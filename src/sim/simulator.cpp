@@ -134,9 +134,6 @@ ServedQuery Simulator::ProcessQuery(const Query& query, uint64_t i,
   MeterQuery(query, served, now, metrics, tenant);
 
   AccountOutcome(served, metrics);
-  if (served.served) {
-    metrics->response_sketch.Add(served.execution.time_seconds);
-  }
   if (tenant != nullptr) AccountOutcome(served, tenant);
 
   if (options_.timeline_stride != 0 &&

@@ -76,17 +76,17 @@ struct SimulatorOptions {
 
 /// Books one served-query outcome into a counter block. SimMetrics and
 /// TenantMetrics intentionally share the names of every per-query
-/// counter, so the run-wide aggregates and a tenant slice stay in
-/// lockstep through this single accounting path (the quantile sketch is
-/// run-wide only and handled by the caller). Shared by the classic driver
-/// below and the windowed parallel driver (src/sim/node_parallel.h), so
-/// both book outcomes identically.
+/// counter — response histogram included — so the run-wide aggregates and
+/// a tenant slice stay in lockstep through this single accounting path.
+/// Shared by the classic driver below and the windowed parallel driver
+/// (src/sim/node_parallel.h), so both book outcomes identically.
 template <typename Counters>
 void AccountOutcome(const ServedQuery& served, Counters* c) {
   ++c->queries;
   if (served.served) {
     ++c->served;
     c->response_seconds.Add(served.execution.time_seconds);
+    c->response_hist.Add(served.execution.time_seconds);
     if (served.spec.access == PlanSpec::Access::kBackend) {
       ++c->served_in_backend;
     } else {

@@ -42,65 +42,6 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
-QuantileSketch::QuantileSketch() : bins_(kBins, 0) {}
-
-namespace {
-// Bin geometry: kBins log-spaced bins over [kLo, kHi).
-constexpr double kLo = 1e-9;
-constexpr double kHi = 1e9;
-const double kLogLo = std::log(kLo);
-const double kLogSpan = std::log(kHi) - std::log(kLo);
-}  // namespace
-
-size_t QuantileSketch::BinIndex(double x) const {
-  const double t = (std::log(x) - kLogLo) / kLogSpan;
-  const auto raw = static_cast<long>(t * static_cast<double>(kBins));
-  if (raw < 0) return 0;
-  if (raw >= static_cast<long>(kBins)) return kBins - 1;
-  return static_cast<size_t>(raw);
-}
-
-double QuantileSketch::BinMid(size_t index) const {
-  const double frac =
-      (static_cast<double>(index) + 0.5) / static_cast<double>(kBins);
-  return std::exp(kLogLo + frac * kLogSpan);
-}
-
-void QuantileSketch::Add(double x) {
-  if (x < 0) x = 0;
-  ++count_;
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
-  if (x < kLo) {
-    ++underflow_;
-    return;
-  }
-  ++bins_[BinIndex(x)];
-}
-
-void QuantileSketch::Merge(const QuantileSketch& other) {
-  for (size_t i = 0; i < kBins; ++i) bins_[i] += other.bins_[i];
-  count_ += other.count_;
-  underflow_ += other.underflow_;
-  min_ = std::min(min_, other.min_);
-  max_ = std::max(max_, other.max_);
-}
-
-double QuantileSketch::Quantile(double q) const {
-  if (count_ == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  if (q == 0.0) return min_;
-  if (q == 1.0) return max_;
-  const double target = q * static_cast<double>(count_);
-  double cum = static_cast<double>(underflow_);
-  if (target <= cum) return 0.0;
-  for (size_t i = 0; i < kBins; ++i) {
-    cum += static_cast<double>(bins_[i]);
-    if (cum >= target) return std::clamp(BinMid(i), min_, max_);
-  }
-  return max_;
-}
-
 void TimeSeries::Add(double time, double value) {
   times_.push_back(time);
   values_.push_back(value);

@@ -58,55 +58,6 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Fixed-memory quantile sketch over non-negative values: log-spaced bins
-/// covering [1e-9, 1e9) with ~2.3% relative error, plus exact min/max.
-///
-/// Chosen over exact storage because a million-query simulation would
-/// otherwise hold a million doubles per metric, and over t-digest for
-/// simplicity — the relative error is far below the run-to-run noise of the
-/// simulated workloads.
-class QuantileSketch {
- public:
-  QuantileSketch();
-
-  /// Adds one observation; negative values are clamped to zero.
-  void Add(double x);
-
-  /// Merges another sketch (must be default-layout, which all are).
-  void Merge(const QuantileSketch& other);
-
-  /// Value at quantile q in [0, 1]; 0 if empty. q=0 returns the exact min,
-  /// q=1 the exact max.
-  double Quantile(double q) const;
-
-  int64_t count() const { return count_; }
-
-  /// Raw bin state for checkpointing (see RunningStats::RestoreRaw).
-  const std::vector<int64_t>& raw_bins() const { return bins_; }
-  int64_t raw_underflow() const { return underflow_; }
-  double raw_min() const { return min_; }
-  double raw_max() const { return max_; }
-  void RestoreRaw(std::vector<int64_t> bins, int64_t count, int64_t underflow,
-                  double min, double max) {
-    bins_ = std::move(bins);
-    count_ = count;
-    underflow_ = underflow;
-    min_ = min;
-    max_ = max;
-  }
-
- private:
-  size_t BinIndex(double x) const;
-  double BinMid(size_t index) const;
-
-  static constexpr size_t kBins = 1024;
-  std::vector<int64_t> bins_;
-  int64_t count_ = 0;
-  int64_t underflow_ = 0;
-  double min_ = std::numeric_limits<double>::infinity();
-  double max_ = -std::numeric_limits<double>::infinity();
-};
-
 /// Append-only (time, value) series with down-sampling for reports.
 class TimeSeries {
  public:

@@ -248,10 +248,9 @@ TEST_P(SimulatorInvariants, MetricsAreStructurallyConsistent) {
   EXPECT_GE(m.operating_cost.io_dollars, 0.0);
   EXPECT_GT(m.operating_cost.Total(), 0.0);
   EXPECT_EQ(m.response_seconds.count(), static_cast<int64_t>(m.served));
-  EXPECT_GE(m.response_sketch.Quantile(1.0),
-            m.response_sketch.Quantile(0.0));
-  EXPECT_GE(m.MeanResponse(), m.response_sketch.Quantile(0.0));
-  EXPECT_LE(m.MeanResponse(), m.response_sketch.Quantile(1.0));
+  EXPECT_GE(m.response_hist.Quantile(1.0), m.response_hist.Quantile(0.0));
+  EXPECT_GE(m.MeanResponse(), m.response_hist.Quantile(0.0));
+  EXPECT_LE(m.MeanResponse(), m.response_hist.Quantile(1.0));
   // Cumulative cost timeline is non-decreasing and ends at the total.
   double last = -1;
   for (double v : m.cost_over_time.values()) {

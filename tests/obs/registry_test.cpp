@@ -1,0 +1,132 @@
+#include "src/obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/sim/metrics.h"
+
+namespace cloudcache::obs {
+namespace {
+
+TEST(FormatMetricValueTest, ShortestRoundTrip) {
+  EXPECT_EQ(FormatMetricValue(0.0), "0");
+  EXPECT_EQ(FormatMetricValue(42.0), "42");
+  EXPECT_EQ(FormatMetricValue(0.5), "0.5");
+  EXPECT_EQ(FormatMetricValue(-3.25), "-3.25");
+  // Any double must parse back to the identical bits.
+  for (double value : {1.0 / 3.0, 1e-9, 123456.789, 2.5e17}) {
+    EXPECT_EQ(std::strtod(FormatMetricValue(value).c_str(), nullptr),
+              value);
+  }
+}
+
+TEST(RegistryTest, PrometheusRenderIsExactAndOrdered) {
+  Registry registry;
+  registry.Counter("app_requests_total", "Requests handled", 7);
+  registry.Gauge("app_depth", "Queue depth", 2.5);
+  registry.Counter("app_requests_total", "ignored on second add", 3,
+                   {{"code", "500"}});
+  EXPECT_EQ(registry.RenderPrometheus(),
+            "# HELP app_requests_total Requests handled\n"
+            "# TYPE app_requests_total counter\n"
+            "app_requests_total 7\n"
+            "app_requests_total{code=\"500\"} 3\n"
+            "# HELP app_depth Queue depth\n"
+            "# TYPE app_depth gauge\n"
+            "app_depth 2.5\n");
+}
+
+TEST(RegistryTest, LabelValuesAreEscaped) {
+  Registry registry;
+  registry.Gauge("g", "h", 1, {{"key", "a\\b\"c\nd"}});
+  EXPECT_EQ(registry.RenderPrometheus(),
+            "# HELP g h\n"
+            "# TYPE g gauge\n"
+            "g{key=\"a\\\\b\\\"c\\nd\"} 1\n");
+}
+
+TEST(RegistryTest, SummaryEmitsQuantilesSumAndCount) {
+  Histogram hist;
+  for (int i = 0; i < 100; ++i) hist.Add(2.0);
+  Registry registry;
+  registry.Summary("lat_seconds", "Latency", hist, {0.5, 0.99});
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE lat_seconds summary\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds{quantile=\"0.5\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds{quantile=\"0.99\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum 200\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 100\n"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonRenderSharesNamesWithPrometheus) {
+  Registry registry;
+  registry.Counter("app_requests_total", "Requests handled", 7,
+                   {{"code", "200"}});
+  EXPECT_EQ(registry.RenderJson(),
+            "{\"metrics\":[{\"name\":\"app_requests_total\","
+            "\"type\":\"counter\",\"labels\":{\"code\":\"200\"},"
+            "\"value\":7}]}\n");
+}
+
+TEST(RegistryTest, RenderIsDeterministic) {
+  const auto build = [] {
+    Registry registry;
+    SimMetrics metrics;
+    metrics.queries = 1'000;
+    metrics.served = 990;
+    metrics.served_in_cache = 400;
+    metrics.response_hist.Add(0.25);
+    metrics.response_hist.Add(8.0);
+    FillFromSimMetrics(metrics, &registry);
+    return registry;
+  };
+  EXPECT_EQ(build().RenderPrometheus(), build().RenderPrometheus());
+  EXPECT_EQ(build().RenderJson(), build().RenderJson());
+}
+
+TEST(RegistryTest, FillFromSimMetricsCoversTheSchema) {
+  SimMetrics metrics;
+  metrics.queries = 10;
+  metrics.served = 9;
+  metrics.investments = 2;
+  for (int i = 0; i < 9; ++i) metrics.response_hist.Add(1.0 + i);
+  TenantMetrics tenant;
+  tenant.tenant_id = 3;
+  tenant.queries = 10;
+  tenant.served = 9;
+  metrics.tenants.push_back(tenant);
+  metrics.cluster.active = true;
+  metrics.cluster.final_nodes = 2;
+
+  Registry registry;
+  FillFromSimMetrics(metrics, &registry);
+  const std::string text = registry.RenderPrometheus();
+  // The stable names every consumer (exposition, JSON export, docs)
+  // shares. A rename must be deliberate — it breaks scrapers.
+  for (const char* name :
+       {"cloudcache_queries_total 10", "cloudcache_served_total 9",
+        "cloudcache_investments_total 2",
+        "cloudcache_response_seconds{quantile=\"0.5\"}",
+        "cloudcache_response_seconds{quantile=\"0.95\"}",
+        "cloudcache_response_seconds{quantile=\"0.99\"}",
+        "cloudcache_response_seconds_count 9",
+        "cloudcache_budget_case_total{case=\"a\"}",
+        "cloudcache_operating_cost_dollars{resource=\"cpu\"}",
+        "cloudcache_tenant_queries_total{tenant=\"3\"} 10",
+        "cloudcache_tenant_response_seconds{tenant=\"3\",quantile=\"0.5\"}",
+        "cloudcache_cluster_nodes 2"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  // Single-node, single-tenant runs skip the cluster block entirely.
+  SimMetrics plain;
+  Registry small;
+  FillFromSimMetrics(plain, &small);
+  EXPECT_EQ(small.RenderPrometheus().find("cloudcache_cluster"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudcache::obs

@@ -91,6 +91,10 @@ Status DecodeAs(MessageType want, const std::vector<uint8_t>& bytes) {
       return DecodeShutdown(&dec);
     case MessageType::kShutdownAck:
       return DecodeShutdownAck(&dec);
+    case MessageType::kStatsSubscribe: {
+      StatsSubscribeMsg msg;
+      return DecodeStatsSubscribe(&dec, &msg);
+    }
   }
   return Status::Internal("unreachable");
 }
@@ -227,6 +231,21 @@ TEST(ProtocolTest, ErrorStatsAndShutdownRoundTrip) {
   stats.served = 1'499;
   stats.active_streams = 4;
   stats.credit_micros = -12'345;
+  stats.served_in_cache = 321;
+  stats.throttled = 17;
+  stats.investments = 9;
+  stats.evictions = 2;
+  StreamStatsMsg slice;
+  slice.stream = 0;
+  slice.queries = 800;
+  slice.served = 799;
+  slice.throttled = 17;
+  stats.streams.push_back(slice);
+  slice.stream = 3;
+  slice.queries = 700;
+  slice.served = 700;
+  slice.throttled = 0;
+  stats.streams.push_back(slice);
   enc.Clear();
   EncodeStatsAck(stats, &enc);
   {
@@ -241,6 +260,43 @@ TEST(ProtocolTest, ErrorStatsAndShutdownRoundTrip) {
     EXPECT_EQ(out.served, stats.served);
     EXPECT_EQ(out.active_streams, stats.active_streams);
     EXPECT_EQ(out.credit_micros, stats.credit_micros);
+    EXPECT_EQ(out.served_in_cache, stats.served_in_cache);
+    EXPECT_EQ(out.throttled, stats.throttled);
+    EXPECT_EQ(out.investments, stats.investments);
+    EXPECT_EQ(out.evictions, stats.evictions);
+    ASSERT_EQ(out.streams.size(), stats.streams.size());
+    for (size_t i = 0; i < out.streams.size(); ++i) {
+      EXPECT_EQ(out.streams[i].stream, stats.streams[i].stream);
+      EXPECT_EQ(out.streams[i].queries, stats.streams[i].queries);
+      EXPECT_EQ(out.streams[i].served, stats.streams[i].served);
+      EXPECT_EQ(out.streams[i].throttled, stats.streams[i].throttled);
+    }
+  }
+
+  StatsSubscribeMsg subscribe;
+  subscribe.every = 250;
+  enc.Clear();
+  EncodeStatsSubscribe(subscribe, &enc);
+  {
+    persist::Decoder dec(enc.buffer().data(), enc.size());
+    MessageType type = MessageType::kHello;
+    ASSERT_TRUE(PeekType(&dec, &type).ok());
+    EXPECT_EQ(type, MessageType::kStatsSubscribe);
+    StatsSubscribeMsg out;
+    ASSERT_TRUE(DecodeStatsSubscribe(&dec, &out).ok());
+    EXPECT_EQ(out.every, subscribe.every);
+  }
+  // A zero cadence would push a frame per served query forever; the
+  // decoder refuses it so the server never has to.
+  subscribe.every = 0;
+  enc.Clear();
+  EncodeStatsSubscribe(subscribe, &enc);
+  {
+    persist::Decoder dec(enc.buffer().data(), enc.size());
+    MessageType type = MessageType::kHello;
+    ASSERT_TRUE(PeekType(&dec, &type).ok());
+    StatsSubscribeMsg out;
+    EXPECT_FALSE(DecodeStatsSubscribe(&dec, &out).ok());
   }
 
   // The bodyless messages.
@@ -294,8 +350,15 @@ TEST(ProtocolTest, EveryTruncationOfEveryMessageIsRefused) {
   enc.Clear();
 
   StatsAckMsg stats;
+  stats.streams.push_back(StreamStatsMsg());  // Truncate into the slice.
   EncodeStatsAck(stats, &enc);
   messages.emplace_back(MessageType::kStatsAck, enc.buffer());
+  enc.Clear();
+
+  StatsSubscribeMsg subscribe;
+  subscribe.every = 100;
+  EncodeStatsSubscribe(subscribe, &enc);
+  messages.emplace_back(MessageType::kStatsSubscribe, enc.buffer());
   enc.Clear();
 
   for (const auto& [type, bytes] : messages) {
@@ -325,7 +388,7 @@ TEST(ProtocolTest, TrailingBytesAreRefused) {
 }
 
 TEST(ProtocolTest, UnknownTypeBytesAreRefused) {
-  for (const uint8_t raw : {uint8_t{0}, uint8_t{10}, uint8_t{0xFF}}) {
+  for (const uint8_t raw : {uint8_t{0}, uint8_t{11}, uint8_t{0xFF}}) {
     const std::vector<uint8_t> bytes = {raw};
     persist::Decoder dec(bytes.data(), bytes.size());
     MessageType type = MessageType::kHello;
@@ -389,7 +452,7 @@ TEST(ProtocolTest, InvalidQueryDomainsAreRefused) {
 }
 
 TEST(ProtocolTest, NamesCoverEveryValue) {
-  for (uint8_t raw = 1; raw <= 9; ++raw) {
+  for (uint8_t raw = 1; raw <= 10; ++raw) {
     EXPECT_STRNE(MessageTypeName(static_cast<MessageType>(raw)), "");
   }
   for (uint8_t raw = 1; raw <= 10; ++raw) {

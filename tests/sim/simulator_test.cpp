@@ -103,8 +103,8 @@ TEST_F(SimulatorTest, ResponseTimeStatsPopulated) {
   Simulator sim(&catalog_, &scheme, &workload, DefaultSim());
   const SimMetrics metrics = sim.Run();
   EXPECT_GT(metrics.MeanResponse(), 0.0);
-  EXPECT_GE(metrics.response_sketch.Quantile(0.95),
-            metrics.response_sketch.Quantile(0.5));
+  EXPECT_GE(metrics.response_hist.Quantile(0.95),
+            metrics.response_hist.Quantile(0.5));
   EXPECT_EQ(metrics.response_seconds.count(),
             static_cast<int64_t>(metrics.served));
 }

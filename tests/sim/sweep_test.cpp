@@ -119,9 +119,10 @@ void ExpectBitIdentical(const SimMetrics& a, const SimMetrics& b) {
   EXPECT_EQ(a.response_seconds.sum(), b.response_seconds.sum());
   EXPECT_EQ(a.response_seconds.min(), b.response_seconds.min());
   EXPECT_EQ(a.response_seconds.max(), b.response_seconds.max());
-  for (double q : {0.0, 0.5, 0.95, 1.0}) {
-    EXPECT_EQ(a.response_sketch.Quantile(q), b.response_sketch.Quantile(q));
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(a.response_hist.Quantile(q), b.response_hist.Quantile(q));
   }
+  EXPECT_TRUE(obs::BitIdentical(a.response_hist, b.response_hist));
 
   EXPECT_EQ(a.operating_cost.cpu_dollars, b.operating_cost.cpu_dollars);
   EXPECT_EQ(a.operating_cost.network_dollars,

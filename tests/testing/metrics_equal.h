@@ -55,6 +55,7 @@ inline void ExpectBitIdenticalMetrics(const SimMetrics& a,
   EXPECT_EQ(a.response_seconds.mean(), b.response_seconds.mean());
   EXPECT_EQ(a.response_seconds.min(), b.response_seconds.min());
   EXPECT_EQ(a.response_seconds.max(), b.response_seconds.max());
+  EXPECT_TRUE(obs::BitIdentical(a.response_hist, b.response_hist));
 
   EXPECT_EQ(a.final_resident_bytes, b.final_resident_bytes);
   EXPECT_EQ(a.final_extra_nodes, b.final_extra_nodes);
@@ -122,6 +123,7 @@ inline void ExpectBitIdenticalTenants(const SimMetrics& a,
     EXPECT_EQ(ta.wan_bytes, tb.wan_bytes);
     EXPECT_EQ(ta.response_seconds.count(), tb.response_seconds.count());
     EXPECT_EQ(ta.response_seconds.sum(), tb.response_seconds.sum());
+    EXPECT_TRUE(obs::BitIdentical(ta.response_hist, tb.response_hist));
     EXPECT_EQ(ta.operating_cost.cpu_dollars, tb.operating_cost.cpu_dollars);
     EXPECT_EQ(ta.operating_cost.network_dollars,
               tb.operating_cost.network_dollars);

@@ -74,58 +74,6 @@ TEST(RunningStatsTest, StableOverManySamples) {
   EXPECT_NEAR(s.variance(), 0.25, 1e-6);
 }
 
-TEST(QuantileSketchTest, EmptyReturnsZero) {
-  QuantileSketch sketch;
-  EXPECT_EQ(sketch.Quantile(0.5), 0.0);
-  EXPECT_EQ(sketch.count(), 0);
-}
-
-TEST(QuantileSketchTest, ExactMinAndMax) {
-  QuantileSketch sketch;
-  for (double x : {3.0, 1.0, 4.0, 1.5, 9.0}) sketch.Add(x);
-  EXPECT_EQ(sketch.Quantile(0.0), 1.0);
-  EXPECT_EQ(sketch.Quantile(1.0), 9.0);
-}
-
-TEST(QuantileSketchTest, MedianWithinRelativeError) {
-  QuantileSketch sketch;
-  Rng rng(5);
-  for (int i = 0; i < 100'000; ++i) {
-    sketch.Add(rng.NextUniform(0.0, 100.0));
-  }
-  EXPECT_NEAR(sketch.Quantile(0.5), 50.0, 3.0);
-  EXPECT_NEAR(sketch.Quantile(0.9), 90.0, 4.0);
-}
-
-TEST(QuantileSketchTest, NegativeClampsToZero) {
-  QuantileSketch sketch;
-  sketch.Add(-5.0);
-  EXPECT_EQ(sketch.Quantile(0.0), 0.0);
-  EXPECT_EQ(sketch.Quantile(1.0), 0.0);
-}
-
-TEST(QuantileSketchTest, MergeCombinesMass) {
-  QuantileSketch a, b;
-  for (int i = 0; i < 1000; ++i) a.Add(1.0);
-  for (int i = 0; i < 1000; ++i) b.Add(100.0);
-  a.Merge(b);
-  EXPECT_EQ(a.count(), 2000);
-  EXPECT_NEAR(a.Quantile(0.25), 1.0, 0.05);
-  EXPECT_NEAR(a.Quantile(0.75), 100.0, 4.0);
-}
-
-TEST(QuantileSketchTest, QuantilesMonotone) {
-  QuantileSketch sketch;
-  Rng rng(7);
-  for (int i = 0; i < 10'000; ++i) sketch.Add(rng.NextExponential(2.0));
-  double prev = 0;
-  for (double q = 0.0; q <= 1.0; q += 0.05) {
-    const double v = sketch.Quantile(q);
-    EXPECT_GE(v, prev) << "q=" << q;
-    prev = v;
-  }
-}
-
 TEST(TimeSeriesTest, AppendsAndReads) {
   TimeSeries ts;
   ts.Add(0.0, 1.0);

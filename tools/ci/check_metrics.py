@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Validates Prometheus text exposition scraped from cloudcached.
+
+Reads an exposition body (a file path argument, or stdin with "-") and
+checks the subset of the text format cloudcached emits:
+
+  * every line is a `# HELP`, a `# TYPE`, or a sample line;
+  * `# TYPE` values are counter / gauge / summary;
+  * sample lines parse as  name{label="value",...} <float>  with metric
+    and label names matching the Prometheus grammar and label values
+    using only the \\\\ \\" \\n escapes;
+  * every sample belongs to the most recent `# TYPE` family (allowing
+    the `_sum` / `_count` suffixes on summaries);
+  * at least one `cloudcache_` family is present, so an empty or error
+    body cannot pass.
+
+Exit status: 0 when the body validates, 1 otherwise (problems are
+listed one per line as line-number: message). Run with --self-test to
+verify the checker against planted good and bad cases.
+"""
+import re
+import sys
+
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\["\\n])*)"')
+SAMPLE = re.compile(r"^(" + NAME + r")(\{(.*)\})? (\S+)$")
+TYPES = ("counter", "gauge", "summary")
+
+
+def parse_labels(body: str) -> bool:
+    """True when `body` is a well-formed k="v",k="v" label list."""
+    pos = 0
+    while pos < len(body):
+        match = LABEL.match(body, pos)
+        if not match:
+            return False
+        pos = match.end()
+        if pos < len(body):
+            if body[pos] != ",":
+                return False
+            pos += 1
+    return pos == len(body)
+
+
+def check_text(text: str) -> list:
+    problems = []
+    family = None
+    saw_cloudcache = False
+    if not text.endswith("\n"):
+        problems.append("0: body does not end with a newline")
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in TYPES:
+                problems.append(f"{number}: bad TYPE line: {line}")
+                continue
+            family = parts[2]
+            if family.startswith("cloudcache_"):
+                saw_cloudcache = True
+            continue
+        if line.startswith("#"):
+            problems.append(f"{number}: unknown comment form: {line}")
+            continue
+        match = SAMPLE.match(line)
+        if not match:
+            problems.append(f"{number}: unparsable sample: {line}")
+            continue
+        name, _, labels, value = match.groups()
+        if family is None or name not in (
+            family,
+            family + "_sum",
+            family + "_count",
+        ):
+            problems.append(
+                f"{number}: sample {name} outside its TYPE family"
+            )
+        if labels and not parse_labels(labels):
+            problems.append(f"{number}: bad label list: {{{labels}}}")
+        try:
+            float(value)
+        except ValueError:
+            problems.append(f"{number}: non-numeric value: {value}")
+    if not saw_cloudcache and not any(p.startswith("0:") for p in problems):
+        problems.append("0: no cloudcache_ family in the body")
+    return problems
+
+
+GOOD = """\
+# HELP cloudcache_queries_total Queries offered to the scheme
+# TYPE cloudcache_queries_total counter
+cloudcache_queries_total 3000
+# HELP cloudcache_response_seconds Response time over served queries
+# TYPE cloudcache_response_seconds summary
+cloudcache_response_seconds{quantile="0.5"} 0.125
+cloudcache_response_seconds{quantile="0.99"} 2.5
+cloudcache_response_seconds_sum 410.75
+cloudcache_response_seconds_count 2990
+# HELP cloudcache_tenant_queries_total Per-tenant queries
+# TYPE cloudcache_tenant_queries_total counter
+cloudcache_tenant_queries_total{tenant="0"} 1500
+cloudcache_tenant_queries_total{tenant="1",quantile="esc\\"aped"} 1500
+"""
+
+
+def self_test() -> int:
+    """Planted cases: the good body, then one body per defect class."""
+    cases = [
+        ("valid body", GOOD, 0),
+        ("empty body", "\n", 1),
+        (
+            "sample outside family",
+            "# TYPE cloudcache_a counter\ncloudcache_b 1\n",
+            1,
+        ),
+        (
+            # The rejected TYPE line leaves no declared family, so the
+            # sample is orphaned and no cloudcache_ family registers.
+            "bad type",
+            "# TYPE cloudcache_a histogram\ncloudcache_a 1\n",
+            3,
+        ),
+        (
+            "non-numeric value",
+            "# TYPE cloudcache_a counter\ncloudcache_a NaNa\n",
+            1,
+        ),
+        (
+            "unescaped quote in label",
+            '# TYPE cloudcache_a counter\ncloudcache_a{l="x"y"} 1\n',
+            1,
+        ),
+        (
+            "missing final newline",
+            "# TYPE cloudcache_a counter\ncloudcache_a 1",
+            1,
+        ),
+    ]
+    for name, body, expected in cases:
+        got = len(check_text(body))
+        if got != expected:
+            print(
+                f"self-test FAILED: {name}: expected {expected} "
+                f"problem(s), got {got}"
+            )
+            return 1
+    print(f"self-test OK ({len(cases)} planted cases)")
+    return 0
+
+
+def main() -> int:
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    if len(args) != 1:
+        print("usage: check_metrics.py <exposition-file|-> | --self-test")
+        return 2
+    if args[0] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args[0], encoding="utf-8") as handle:
+            text = handle.read()
+    problems = check_text(text)
+    for problem in problems:
+        print(problem)
+    if not problems:
+        print(f"exposition OK ({len(text.splitlines())} lines)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,10 +104,11 @@ def self_test():
     """Planted-case checks of the guard's verdicts."""
     settings = {key: 1 for key in SETTINGS_KEYS}
 
-    def snapshot(tmp, name, qps):
+    def snapshot(tmp, name, qps, **extra_fields):
         path = f"{tmp}/{name}"
         with open(path, "w") as fh:
-            json.dump({**settings, "aggregate_qps": qps}, fh)
+            json.dump({**settings, "aggregate_qps": qps, **extra_fields},
+                      fh)
         return path
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -116,10 +117,19 @@ def self_test():
         slow = snapshot(tmp, "slow.json", {"econ-cheap": 50.0})
         extra = snapshot(tmp, "extra.json",
                          {"econ-cheap": 98.0, "econ-fast": 120.0})
+        # Snapshot schemas grow (response quantiles arrived after the
+        # first baselines were committed); fields the guard does not know
+        # must never trip it.
+        unknown = snapshot(tmp, "unknown.json", {"econ-cheap": 98.0},
+                           cells=[{"scheme": "econ-cheap",
+                                   "response_p99_seconds": 1.25,
+                                   "not_a_guard_field": True}],
+                           future_top_level_field="ignored")
         cases = [
             ("matching fresh run passes", [match], 0),
             ("regression fails", [slow], 1),
             ("fresh-only scheme demands a baseline regen", [extra], 2),
+            ("unknown fields are ignored", [unknown], 0),
         ]
         for label, fresh, want in cases:
             got = guard(baseline, fresh, max_drop=0.15)

@@ -20,10 +20,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "src/obs/registry.h"
+#include "src/obs/stage_profile.h"
+#include "src/obs/trace.h"
 #include "src/sim/experiment.h"
 #include "src/sim/report.h"
 #include "src/sim/sweep.h"
@@ -49,6 +54,9 @@ struct Args {
   std::string checkpoint_path;    // Snapshot file.
   std::string restore;            // "", "auto", or "hard".
   uint64_t crash_after = 0;       // Crash-injection point (0 = off).
+  std::string metrics_json;       // Machine-readable SimMetrics export.
+  std::string trace;              // Economic event trace (JSONL).
+  bool profile_stages = false;    // Decision-loop stage timing table.
 };
 
 void Usage(const char* argv0) {
@@ -68,7 +76,13 @@ void Usage(const char* argv0) {
       "                        fails loudly on a missing/corrupt/mismatched\n"
       "                        snapshot, =auto falls back to a fresh run\n"
       "  --crash-after=K       crash injection: abort without finalizing\n"
-      "                        after K queries (exit 3; restore resumes)\n",
+      "                        after K queries (exit 3; restore resumes)\n"
+      "  --metrics-json=PATH   write the final metrics as JSON (same names\n"
+      "                        as the Prometheus exposition)\n"
+      "  --trace=PATH          write the economic event trace (JSONL);\n"
+      "                        single run, serial driver only\n"
+      "  --profile-stages      time the decision-loop stages and print a\n"
+      "                        per-stage table to stderr at the end\n",
       argv0, tools::ExperimentFlagsUsage());
 }
 
@@ -93,6 +107,11 @@ std::optional<Args> Parse(int argc, char** argv) {
     else if (FlagValue(argv[i], "--restore", &v)) args.restore = v;
     else if (FlagValue(argv[i], "--crash-after", &v))
       args.crash_after = std::stoull(v);
+    else if (FlagValue(argv[i], "--metrics-json", &v))
+      args.metrics_json = v;
+    else if (FlagValue(argv[i], "--trace", &v)) args.trace = v;
+    else if (std::strcmp(argv[i], "--profile-stages") == 0)
+      args.profile_stages = true;
     else {
       Usage(argv[0]);
       return std::nullopt;
@@ -129,6 +148,32 @@ Status ValidateArgs(const Args& args) {
     return Status::InvalidArgument(
         "--trace-out records the workload without simulating, so there is "
         "no economy state to checkpoint or restore");
+  }
+  if (!args.metrics_json.empty() && args.sweep) {
+    return Status::InvalidArgument(
+        "--metrics-json exports one run's metrics; --sweep produces a "
+        "grid — run the cells individually");
+  }
+  if (!args.metrics_json.empty() && !args.trace_out.empty()) {
+    return Status::InvalidArgument(
+        "--trace-out records the workload without simulating, so there "
+        "are no metrics to export");
+  }
+  if (!args.trace.empty()) {
+    if (args.sweep) {
+      return Status::InvalidArgument(
+          "--trace records one run's events; --sweep runs a grid");
+    }
+    if (!args.trace_out.empty()) {
+      return Status::InvalidArgument(
+          "--trace records economic events during simulation; --trace-out "
+          "records the workload without simulating — pick one");
+    }
+    if (args.threads > 0) {
+      return Status::InvalidArgument(
+          "--trace needs the serial driver for deterministic record "
+          "order; drop --threads");
+    }
   }
   if (args.crash_after > 0 && args.crash_after >= args.exp.queries) {
     return Status::InvalidArgument(
@@ -168,6 +213,21 @@ int main(int argc, char** argv) {
     return 2;
   }
   ExperimentConfig config = std::move(built).value();
+
+  if (args.profile_stages) {
+    obs::StageProfiler::Instance().Enable(true);
+  }
+  std::unique_ptr<obs::EventTracer> tracer;
+  if (!args.trace.empty()) {
+    Result<std::unique_ptr<obs::EventTracer>> opened =
+        obs::EventTracer::Open(args.trace);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    tracer = std::move(opened).value();
+    config.tracer = tracer.get();
+  }
 
   if (!args.trace_out.empty()) {
     Result<std::vector<ResolvedTemplate>> resolved =
@@ -221,6 +281,10 @@ int main(int argc, char** argv) {
     std::fputs(
         MakeResponseTimeTable(spec.interarrivals, rows).ToAscii().c_str(),
         stdout);
+    if (args.profile_stages) {
+      std::fputs(obs::StageProfiler::Instance().FormatTable().c_str(),
+                 stderr);
+    }
     return 0;
   }
 
@@ -292,6 +356,28 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("timeline written to %s\n", args.csv.c_str());
+  }
+
+  if (tracer != nullptr) {
+    tracer->Flush();
+    std::printf("event trace written to %s\n", args.trace.c_str());
+  }
+  if (!args.metrics_json.empty()) {
+    obs::Registry registry;
+    obs::FillFromSimMetrics(metrics, &registry);
+    std::ofstream out(args.metrics_json,
+                      std::ios::binary | std::ios::trunc);
+    out << registry.RenderJson();
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_json.c_str());
+      return 1;
+    }
+    out.close();
+    std::printf("metrics written to %s\n", args.metrics_json.c_str());
+  }
+  if (args.profile_stages) {
+    std::fputs(obs::StageProfiler::Instance().FormatTable().c_str(),
+               stderr);
   }
   return 0;
 }

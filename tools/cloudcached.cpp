@@ -47,6 +47,8 @@ struct Args {
   uint64_t checkpoint_every = 0;
   std::string restore;  // "", "auto", or "hard".
   uint64_t log_every = 0;
+  int32_t metrics_port = -1;  // -1 = off, 0 = ephemeral.
+  std::string metrics_port_file;
 };
 
 void Usage(const char* argv0) {
@@ -63,7 +65,10 @@ void Usage(const char* argv0) {
       "  --restore[=auto]      resume from the snapshot; bare --restore\n"
       "                        fails loudly on a missing/corrupt/mismatched\n"
       "                        snapshot, =auto falls back to a fresh economy\n"
-      "  --log-every=N         progress line to stderr every N queries\n",
+      "  --log-every=N         progress line to stderr every N queries\n"
+      "  --metrics-port=N      serve Prometheus text on GET /metrics; 0\n"
+      "                        binds an ephemeral port (default: off)\n"
+      "  --metrics-port-file=P write the bound metrics port here\n",
       argv0, tools::ExperimentFlagsUsage());
 }
 
@@ -89,6 +94,11 @@ std::optional<Args> Parse(int argc, char** argv) {
     else if (FlagValue(argv[i], "--restore", &v)) args.restore = v;
     else if (FlagValue(argv[i], "--log-every", &v))
       args.log_every = std::stoull(v);
+    else if (FlagValue(argv[i], "--metrics-port", &v))
+      args.metrics_port =
+          static_cast<int32_t>(std::strtol(v.c_str(), nullptr, 10));
+    else if (FlagValue(argv[i], "--metrics-port-file", &v))
+      args.metrics_port_file = v;
     else {
       Usage(argv[0]);
       return std::nullopt;
@@ -110,6 +120,13 @@ Status ValidateArgs(const Args& args) {
     return Status::InvalidArgument(
         "--checkpoint-every/--restore need a snapshot file; add "
         "--snapshot-path=PATH");
+  }
+  if (args.metrics_port > 65535) {
+    return Status::InvalidArgument("--metrics-port wants 0..65535");
+  }
+  if (!args.metrics_port_file.empty() && args.metrics_port < 0) {
+    return Status::InvalidArgument(
+        "--metrics-port-file needs --metrics-port");
   }
   return Status::OK();
 }
@@ -149,6 +166,7 @@ int main(int argc, char** argv) {
   options.snapshot_path = args.snapshot_path;
   options.checkpoint_every = args.checkpoint_every;
   options.log_every = args.log_every;
+  options.metrics_port = args.metrics_port;
   if (args.restore == "auto") {
     options.restore = CheckpointOptions::Restore::kAuto;
   } else if (args.restore == "hard") {
@@ -166,6 +184,23 @@ int main(int argc, char** argv) {
                "%016llx\n",
                args.host.c_str(), server.port(), args.exp.tenants,
                static_cast<unsigned long long>(server.config_hash()));
+  if (args.metrics_port >= 0) {
+    std::fprintf(stderr, "cloudcached: metrics on http://%s:%u/metrics\n",
+                 args.host.c_str(), server.metrics_port());
+  }
+  if (!args.metrics_port_file.empty()) {
+    std::FILE* f = std::fopen(args.metrics_port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cloudcached: cannot write %s\n",
+                   args.metrics_port_file.c_str());
+      server.RequestShutdown();
+      const Status ignored = server.Wait();
+      (void)ignored;
+      return 1;
+    }
+    std::fprintf(f, "%u\n", server.metrics_port());
+    std::fclose(f);
+  }
   if (!args.port_file.empty()) {
     std::FILE* f = std::fopen(args.port_file.c_str(), "w");
     if (f == nullptr) {

@@ -49,6 +49,7 @@ struct Args {
   uint64_t count = 0;     // Merged queries to send; 0 = run to completion.
   bool shutdown = false;  // Send Shutdown once the streams finish.
   bool stats = false;     // Probe Stats and exit (no workload).
+  uint64_t watch = 0;     // Subscribe and print acks every N (0 = off).
   bool config_check = true;  // Send our config hash in Hello.
 };
 
@@ -65,6 +66,10 @@ void Usage(const char* argv0) {
       "                        (0 = drive the configured run to completion)\n"
       "  --shutdown            request graceful server shutdown at the end\n"
       "  --stats               print server stats and exit\n"
+      "  --watch[=N]           subscribe to server stats and print a\n"
+      "                        snapshot every N served queries (1000)\n"
+      "                        until the run completes or the server\n"
+      "                        drains\n"
       "  --no-config-check     skip the Hello config-hash cross-check\n",
       argv0, tools::ExperimentFlagsUsage());
 }
@@ -83,6 +88,14 @@ std::optional<Args> Parse(int argc, char** argv) {
     else if (FlagValue(argv[i], "--count", &v)) args.count = std::stoull(v);
     else if (std::strcmp(argv[i], "--shutdown") == 0) args.shutdown = true;
     else if (std::strcmp(argv[i], "--stats") == 0) args.stats = true;
+    else if (std::strcmp(argv[i], "--watch") == 0) args.watch = 1000;
+    else if (FlagValue(argv[i], "--watch", &v)) {
+      args.watch = std::stoull(v);
+      if (args.watch == 0) {
+        std::fprintf(stderr, "--watch wants a cadence >= 1\n");
+        return std::nullopt;
+      }
+    }
     else if (std::strcmp(argv[i], "--no-config-check") == 0)
       args.config_check = false;
     else {
@@ -191,6 +204,32 @@ void ReplayStream(const server::Socket& conn,
   }
 }
 
+/// Renders one StatsAck snapshot: aggregate line, economy counters, and
+/// one line per stream.
+void PrintStats(const server::StatsAckMsg& stats) {
+  std::printf(
+      "processed %llu/%llu (served %llu, in-cache %llu), %u active "
+      "stream(s), credit $%.2f\n",
+      static_cast<unsigned long long>(stats.processed),
+      static_cast<unsigned long long>(stats.num_queries),
+      static_cast<unsigned long long>(stats.served),
+      static_cast<unsigned long long>(stats.served_in_cache),
+      stats.active_streams,
+      static_cast<double>(stats.credit_micros) / 1e6);
+  std::printf(
+      "  economy: %llu investment(s), %llu eviction(s), %llu throttled\n",
+      static_cast<unsigned long long>(stats.investments),
+      static_cast<unsigned long long>(stats.evictions),
+      static_cast<unsigned long long>(stats.throttled));
+  for (const server::StreamStatsMsg& stream : stats.streams) {
+    std::printf("  stream %u: %llu queries, %llu served, %llu throttled\n",
+                stream.stream,
+                static_cast<unsigned long long>(stream.queries),
+                static_cast<unsigned long long>(stream.served),
+                static_cast<unsigned long long>(stream.throttled));
+  }
+}
+
 int RunStats(const Args& args, uint64_t config_hash) {
   server::Socket conn;
   server::HelloAckMsg ack;
@@ -221,13 +260,55 @@ int RunStats(const Args& args, uint64_t config_hash) {
     std::fprintf(stderr, "loadgen: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf(
-      "processed %llu/%llu (served %llu), %u active stream(s), credit "
-      "$%.2f\n",
-      static_cast<unsigned long long>(stats.processed),
-      static_cast<unsigned long long>(stats.num_queries),
-      static_cast<unsigned long long>(stats.served), stats.active_streams,
-      static_cast<double>(stats.credit_micros) / 1e6);
+  PrintStats(stats);
+  return 0;
+}
+
+/// Subscribes on a control connection and prints every pushed StatsAck
+/// until the server sends the final one (run complete or drain) and
+/// closes.
+int RunWatch(const Args& args, uint64_t config_hash) {
+  server::Socket conn;
+  server::HelloAckMsg ack;
+  Status status =
+      Handshake(args, server::kControlStream, config_hash, &conn, &ack);
+  if (status.ok()) {
+    server::StatsSubscribeMsg sub;
+    sub.every = args.watch;
+    persist::Encoder enc;
+    server::EncodeStatsSubscribe(sub, &enc);
+    status = server::WriteFrame(conn, enc);
+  }
+  std::vector<uint8_t> payload;
+  while (status.ok()) {
+    bool clean_eof = false;
+    status = server::ReadFrame(conn, &payload, &clean_eof);
+    if (!status.ok() || clean_eof) break;
+    persist::Decoder dec(payload.data(), payload.size());
+    server::MessageType type = server::MessageType::kStatsAck;
+    status = server::PeekType(&dec, &type);
+    if (status.ok() && type == server::MessageType::kError) {
+      server::ErrorMsg error;
+      status = server::DecodeError(&dec, &error);
+      if (status.ok()) {
+        status = Status::FailedPrecondition(
+            std::string("server error: ") +
+            server::ErrorCodeName(error.code) + ": " + error.message);
+      }
+      break;
+    }
+    if (status.ok() && type != server::MessageType::kStatsAck) {
+      status = Status::Internal("unexpected frame on the subscription");
+      break;
+    }
+    server::StatsAckMsg stats;
+    if (status.ok()) status = server::DecodeStatsAck(&dec, &stats);
+    if (status.ok()) PrintStats(stats);
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "loadgen: %s\n", status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }
 
@@ -293,6 +374,7 @@ int main(int argc, char** argv) {
   const uint64_t config_hash = HashExperimentConfig(config);
 
   if (args.stats) return RunStats(args, config_hash);
+  if (args.watch > 0) return RunWatch(args, config_hash);
 
   Result<std::vector<ResolvedTemplate>> resolved =
       ResolveTemplates(catalog, templates);
